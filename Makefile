@@ -1,0 +1,37 @@
+# vectordb — build, test and reproduce the paper's evaluation.
+
+GO ?= go
+
+.PHONY: all build test race vet bench experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (Sec. 7).
+experiments:
+	$(GO) run ./cmd/benchmark -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/imagesearch
+	$(GO) run ./examples/recipesearch
+	$(GO) run ./examples/chemsearch
+	$(GO) run ./examples/distributed
+	$(GO) run ./examples/restapi
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,126 @@
+package vectordb_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"vectordb"
+)
+
+// Binary fingerprint collections (Tanimoto/Hamming/Jaccard, paper Sec. 2.1
+// and the chemical-structure application of Sec. 6.2) flow through the same
+// engine as float vectors, bit-packed via PackBits.
+
+func randomFingerprint(r *rand.Rand, nbits, density int) []bool {
+	bits := make([]bool, nbits)
+	for i := range bits {
+		bits[i] = r.Intn(density) == 0
+	}
+	return bits
+}
+
+func TestTanimotoCollection(t *testing.T) {
+	db := vectordb.Open(nil)
+	defer db.Close()
+	const nbits = 256
+	col, err := db.CreateCollection("compounds", vectordb.Schema{
+		VectorFields: []vectordb.VectorField{{
+			Name:   "fingerprint",
+			Dim:    vectordb.BinaryDim(nbits),
+			Metric: vectordb.Tanimoto,
+		}},
+		CatFields: []string{"scaffold"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	// Two scaffold families; members share most bits with their scaffold.
+	scaffolds := [][]bool{randomFingerprint(r, nbits, 4), randomFingerprint(r, nbits, 4)}
+	names := []string{"benzene", "steroid"}
+	var ents []vectordb.Entity
+	for i := 0; i < 400; i++ {
+		fam := i % 2
+		bits := append([]bool(nil), scaffolds[fam]...)
+		for v := 0; v < 8; v++ {
+			bits[r.Intn(nbits)] = !bits[r.Intn(nbits)]
+		}
+		ents = append(ents, vectordb.Entity{
+			ID:      int64(i + 1),
+			Vectors: [][]float32{vectordb.PackBits(bits)},
+			Cats:    []string{names[fam]},
+		})
+	}
+	if err := col.Insert(ents); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Querying with scaffold 0 must return family-0 members first.
+	q := vectordb.PackBits(scaffolds[0])
+	hits, err := col.Search(q, vectordb.SearchRequest{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 10 {
+		t.Fatalf("%d hits", len(hits))
+	}
+	for _, h := range hits {
+		e, _ := col.Get(h.ID)
+		if e.Cats[0] != "benzene" {
+			t.Fatalf("hit %d from wrong scaffold %q (distance %v)", h.ID, e.Cats[0], h.Distance)
+		}
+		if h.Distance < 0 || h.Distance > 1 {
+			t.Fatalf("Tanimoto distance %v out of [0,1]", h.Distance)
+		}
+	}
+	// Categorical + binary combine.
+	hits, err = col.Search(q, vectordb.SearchRequest{
+		K:   5,
+		Cat: &vectordb.CatFilter{Attr: "scaffold", Values: []string{"steroid"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hits {
+		e, _ := col.Get(h.ID)
+		if e.Cats[0] != "steroid" {
+			t.Fatalf("categorical filter violated: %v", e.Cats)
+		}
+	}
+}
+
+func TestHammingSelfMatch(t *testing.T) {
+	db := vectordb.Open(nil)
+	defer db.Close()
+	col, err := db.CreateCollection("codes", vectordb.Schema{
+		VectorFields: []vectordb.VectorField{{Name: "f", Dim: vectordb.BinaryDim(64), Metric: vectordb.Hamming}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	ents := make([]vectordb.Entity, 100)
+	for i := range ents {
+		ents[i] = vectordb.Entity{ID: int64(i + 1), Vectors: [][]float32{vectordb.PackBits(randomFingerprint(r, 64, 2))}}
+	}
+	col.Insert(ents)
+	col.Flush()
+	hits, err := col.Search(ents[42].Vectors[0], vectordb.SearchRequest{K: 1})
+	if err != nil || len(hits) != 1 || hits[0].ID != 43 || hits[0].Distance != 0 {
+		t.Fatalf("self-match: %v, %v", hits, err)
+	}
+}
+
+func TestPackUnpackBits(t *testing.T) {
+	bits := make([]bool, 70)
+	bits[0], bits[33], bits[69] = true, true, true
+	back := vectordb.UnpackBits(vectordb.PackBits(bits))
+	for i := range bits {
+		if back[i] != bits[i] {
+			t.Fatalf("bit %d lost", i)
+		}
+	}
+}

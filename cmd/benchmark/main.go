@@ -1,0 +1,55 @@
+// Command benchmark regenerates the paper's evaluation (Sec. 7): every
+// table and figure has an experiment ID, and `-exp all` runs the full
+// suite. Scales default to laptop size; raise -n/-nq to push toward the
+// paper's configuration.
+//
+// Usage:
+//
+//	benchmark -exp fig8            # one experiment
+//	benchmark -exp all             # the whole evaluation
+//	benchmark -list                # available experiment IDs
+//	benchmark -exp fig14 -n 100000 -nq 50 -k 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"vectordb/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment ID (or 'all')")
+	list := flag.Bool("list", false, "list experiment IDs")
+	n := flag.Int("n", 0, "dataset size (0 = default)")
+	nq := flag.Int("nq", 0, "query count (0 = default)")
+	k := flag.Int("k", 0, "top-k (0 = default)")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+	if *exp == "" {
+		log.Fatal("benchmark: -exp required (use -list for IDs)")
+	}
+	sc := experiments.Scale{N: *n, NQ: *nq, K: *k}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.Names()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		t, err := experiments.Run(id, sc)
+		if err != nil {
+			log.Fatalf("benchmark: %s: %v", id, err)
+		}
+		t.Fprint(os.Stdout)
+		fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

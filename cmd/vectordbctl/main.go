@@ -1,0 +1,151 @@
+// Command vectordbctl is a small CLI client for a vectordb server.
+//
+// Usage:
+//
+//	vectordbctl -server http://localhost:19530 <command> [args]
+//
+// Commands:
+//
+//	list                          list collections
+//	create NAME DIM [METRIC]      create a single-vector collection
+//	drop NAME                     drop a collection
+//	stats NAME                    show collection statistics
+//	insert NAME ID v1,v2,...      insert one entity
+//	delete NAME ID [ID...]        tombstone entities
+//	search NAME K v1,v2,...       top-K search with a literal vector
+//	flush NAME                    flush pending writes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"vectordb/client"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:19530", "server base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		log.Fatal("vectordbctl: command required (list|create|drop|stats|search|flush)")
+	}
+	c := client.New(*server)
+	if err := run(c, args); err != nil {
+		log.Fatalf("vectordbctl: %v", err)
+	}
+}
+
+func run(c *client.Client, args []string) error {
+	switch args[0] {
+	case "list":
+		names, err := c.ListCollections()
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+	case "create":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: create NAME DIM [METRIC]")
+		}
+		dim, err := strconv.Atoi(args[2])
+		if err != nil {
+			return fmt.Errorf("bad dim: %w", err)
+		}
+		metric := "L2"
+		if len(args) > 3 {
+			metric = args[3]
+		}
+		return c.CreateCollection(args[1], []client.VectorField{{Name: "v", Dim: dim, Metric: metric}}, nil)
+	case "drop":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: drop NAME")
+		}
+		return c.DropCollection(args[1])
+	case "stats":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: stats NAME")
+		}
+		st, err := c.Stats(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("segments=%d total_rows=%d live_rows=%d tombstones=%d\n",
+			st.Segments, st.TotalRows, st.LiveRows, st.Tombstones)
+		return nil
+	case "flush":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: flush NAME")
+		}
+		return c.Flush(args[1])
+	case "insert":
+		if len(args) < 4 {
+			return fmt.Errorf("usage: insert NAME ID v1,v2,...")
+		}
+		id, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad id: %w", err)
+		}
+		vec, err := parseVector(args[3])
+		if err != nil {
+			return err
+		}
+		return c.Insert(args[1], []client.Entity{{ID: id, Vectors: [][]float32{vec}}})
+	case "delete":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: delete NAME ID [ID...]")
+		}
+		ids := make([]int64, 0, len(args)-2)
+		for _, a := range args[2:] {
+			id, err := strconv.ParseInt(a, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad id %q: %w", a, err)
+			}
+			ids = append(ids, id)
+		}
+		return c.Delete(args[1], ids)
+	case "search":
+		if len(args) < 4 {
+			return fmt.Errorf("usage: search NAME K v1,v2,...")
+		}
+		k, err := strconv.Atoi(args[2])
+		if err != nil {
+			return fmt.Errorf("bad k: %w", err)
+		}
+		vec, err := parseVector(args[3])
+		if err != nil {
+			return err
+		}
+		res, err := c.Search(args[1], vec, k, nil)
+		if err != nil {
+			return err
+		}
+		for _, r := range res {
+			fmt.Printf("%d\t%g\n", r.ID, r.Distance)
+		}
+		return nil
+	default:
+		fmt.Fprintln(os.Stderr, "unknown command:", args[0])
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func parseVector(s string) ([]float32, error) {
+	parts := strings.Split(s, ",")
+	vec := make([]float32, len(parts))
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad vector component %q: %w", p, err)
+		}
+		vec[i] = float32(f)
+	}
+	return vec, nil
+}

@@ -1,0 +1,49 @@
+// Command vectordbd runs a standalone vectordb server exposing the RESTful
+// API of Sec. 2.1 on the given address.
+//
+// Usage:
+//
+//	vectordbd [-addr :19530] [-data DIR]
+//
+// With -data, segments persist to the directory; otherwise storage is
+// in-memory.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"vectordb/internal/core"
+	"vectordb/internal/objstore"
+	"vectordb/internal/rest"
+)
+
+func main() {
+	addr := flag.String("addr", ":19530", "listen address")
+	data := flag.String("data", "", "data directory (empty = in-memory)")
+	flag.Parse()
+
+	var store objstore.Store
+	if *data != "" {
+		fs, err := objstore.NewFS(*data)
+		if err != nil {
+			log.Fatalf("vectordbd: %v", err)
+		}
+		store = fs
+	}
+	db := core.NewDB(store)
+	defer db.Close()
+
+	log.Printf("vectordbd listening on %s (data: %s)", *addr, dataDesc(*data))
+	if err := http.ListenAndServe(*addr, rest.NewServer(db)); err != nil {
+		log.Fatalf("vectordbd: %v", err)
+	}
+}
+
+func dataDesc(dir string) string {
+	if dir == "" {
+		return "in-memory"
+	}
+	return dir
+}

@@ -1,0 +1,93 @@
+// Image search with attribute filtering (paper Sec. 6.1 and Sec. 4.1): a
+// trademark/product-image scenario where each image is an embedding plus a
+// price attribute, and queries ask for "similar images cheaper than X".
+//
+//	go run ./examples/imagesearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"vectordb"
+)
+
+// fakeImageEmbedding stands in for a VGG/ResNet feature extractor: images of
+// the same "product line" share a latent prototype.
+func fakeImageEmbedding(r *rand.Rand, prototype []float32) []float32 {
+	v := make([]float32, len(prototype))
+	for i := range v {
+		v[i] = prototype[i] + float32(r.NormFloat64()*0.1)
+	}
+	return v
+}
+
+func main() {
+	db := vectordb.Open(nil)
+	defer db.Close()
+
+	col, err := db.CreateCollection("products", vectordb.Schema{
+		VectorFields: []vectordb.VectorField{{Name: "image", Dim: 128, Metric: vectordb.L2}},
+		AttrFields:   []string{"price_cents"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 50 product lines, 400 images each, prices spread 1–200 dollars.
+	r := rand.New(rand.NewSource(7))
+	prototypes := make([][]float32, 50)
+	for p := range prototypes {
+		prototypes[p] = make([]float32, 128)
+		for j := range prototypes[p] {
+			prototypes[p][j] = float32(r.NormFloat64())
+		}
+	}
+	var ents []vectordb.Entity
+	id := int64(0)
+	for p := range prototypes {
+		for i := 0; i < 400; i++ {
+			id++
+			ents = append(ents, vectordb.Entity{
+				ID:      id,
+				Vectors: [][]float32{fakeImageEmbedding(r, prototypes[p])},
+				Attrs:   []int64{int64(100 + r.Intn(19900))}, // cents
+			})
+		}
+	}
+	if err := col.Insert(ents); err != nil {
+		log.Fatal(err)
+	}
+	if err := col.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := col.BuildIndex("image", "IVF_FLAT", map[string]string{"nlist": "64"}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("catalog: %d product images\n", col.Count())
+
+	// "Find T-shirts similar to this image that cost less than $100."
+	query := fakeImageEmbedding(r, prototypes[13])
+	hits, err := col.Search(query, vectordb.SearchRequest{
+		K:      5,
+		Nprobe: 8,
+		Filter: &vectordb.AttrRange{Attr: "price_cents", Lo: 0, Hi: 9999},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("similar products under $100:")
+	for _, h := range hits {
+		e, _ := col.Get(h.ID)
+		fmt.Printf("  id=%d distance=%.3f price=$%.2f\n", h.ID, h.Distance, float64(e.Attrs[0])/100)
+	}
+
+	// Same query without the price constraint for comparison.
+	unfiltered, _ := col.Search(query, vectordb.SearchRequest{K: 5, Nprobe: 8})
+	fmt.Println("similar products at any price:")
+	for _, h := range unfiltered {
+		e, _ := col.Get(h.ID)
+		fmt.Printf("  id=%d distance=%.3f price=$%.2f\n", h.ID, h.Distance, float64(e.Attrs[0])/100)
+	}
+}

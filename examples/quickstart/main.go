@@ -1,0 +1,62 @@
+// Quickstart: create a collection, insert vectors, search.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"vectordb"
+)
+
+func main() {
+	db := vectordb.Open(nil)
+	defer db.Close()
+
+	col, err := db.CreateCollection("quickstart", vectordb.Schema{
+		VectorFields: []vectordb.VectorField{{Name: "embedding", Dim: 64, Metric: vectordb.L2}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Insert 10k random vectors.
+	r := rand.New(rand.NewSource(1))
+	const n = 10000
+	batch := make([]vectordb.Entity, 0, 1000)
+	for i := 0; i < n; i++ {
+		v := make([]float32, 64)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		batch = append(batch, vectordb.Entity{ID: int64(i + 1), Vectors: [][]float32{v}})
+		if len(batch) == 1000 {
+			if err := col.Insert(batch); err != nil {
+				log.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := col.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inserted %d vectors across %d segments\n", col.Count(), col.Stats().Segments)
+
+	// Build an IVF index for faster queries.
+	if err := col.BuildIndex("embedding", "IVF_FLAT", map[string]string{"nlist": "64"}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Search for a known vector's neighbors.
+	target, _ := col.Get(4242)
+	hits, err := col.Search(target.Vectors[0], vectordb.SearchRequest{K: 5, Nprobe: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top-5 neighbors of entity 4242:")
+	for _, h := range hits {
+		fmt.Printf("  id=%d distance=%.4f\n", h.ID, h.Distance)
+	}
+}

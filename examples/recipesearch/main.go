@@ -1,0 +1,101 @@
+// Recipe search with multi-vector entities (paper Sec. 4.2 / Fig. 16): each
+// recipe is described by a text-embedding and an image-embedding; queries
+// rank recipes by a weighted sum over both similarities. Demonstrates both
+// vector fusion (decomposable inner product) and the general SearchMulti
+// path.
+//
+//	go run ./examples/recipesearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"vectordb"
+)
+
+func main() {
+	db := vectordb.Open(nil)
+	defer db.Close()
+
+	col, err := db.CreateCollection("recipes", vectordb.Schema{
+		VectorFields: []vectordb.VectorField{
+			{Name: "text", Dim: 48, Metric: vectordb.IP},
+			{Name: "image", Dim: 32, Metric: vectordb.IP},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 20 cuisines; text and image embeddings share a latent cuisine vector.
+	r := rand.New(rand.NewSource(99))
+	type cuisine struct{ text, image []float32 }
+	cuisines := make([]cuisine, 20)
+	for c := range cuisines {
+		cuisines[c] = cuisine{text: randUnit(r, 48), image: randUnit(r, 32)}
+	}
+	var ents []vectordb.Entity
+	for i := 0; i < 5000; i++ {
+		c := cuisines[r.Intn(len(cuisines))]
+		ents = append(ents, vectordb.Entity{
+			ID:      int64(i + 1),
+			Vectors: [][]float32{perturb(r, c.text, 0.3), perturb(r, c.image, 0.3)},
+		})
+	}
+	if err := col.Insert(ents); err != nil {
+		log.Fatal(err)
+	}
+	if err := col.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d recipes with text+image embeddings\n", col.Count())
+
+	// Query: "something that reads like cuisine 3 but looks like cuisine 7",
+	// weighting the text description twice as much as the photo.
+	qText := perturb(r, cuisines[3].text, 0.1)
+	qImage := perturb(r, cuisines[7].image, 0.1)
+	hits, err := col.SearchMulti([][]float32{qText, qImage}, []float32{2, 1}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top recipes by 2·text + 1·image similarity:")
+	for _, h := range hits {
+		// Distance is the negated weighted inner product.
+		fmt.Printf("  id=%d aggregated-similarity=%.3f\n", h.ID, -h.Distance)
+	}
+}
+
+func randUnit(r *rand.Rand, dim int) []float32 {
+	v := make([]float32, dim)
+	var n float64
+	for i := range v {
+		v[i] = float32(r.NormFloat64())
+		n += float64(v[i]) * float64(v[i])
+	}
+	inv := 1 / float32(1e-9+sqrt(n))
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+func perturb(r *rand.Rand, base []float32, sigma float64) []float32 {
+	v := make([]float32, len(base))
+	for i := range v {
+		v[i] = base[i] + float32(r.NormFloat64()*sigma)
+	}
+	return v
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	g := x
+	for i := 0; i < 40; i++ {
+		g = 0.5 * (g + x/g)
+	}
+	return g
+}

@@ -1,0 +1,111 @@
+// REST deployment (paper Sec. 2.1 application interfaces): starts a
+// vectordb server in-process and drives it end to end through the Go SDK —
+// the same flow a Python/Java client would use over HTTP.
+//
+//	go run ./examples/restapi
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+
+	"vectordb/client"
+	"vectordb/internal/rest"
+)
+
+func main() {
+	// Serve on an ephemeral port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: rest.NewServer(nil)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("vectordb server listening at", base)
+
+	c := client.New(base)
+	if !c.Healthy() {
+		log.Fatal("server unhealthy")
+	}
+
+	if err := c.CreateCollectionFull("products",
+		[]client.VectorField{{Name: "embedding", Dim: 32}},
+		[]string{"price_cents"},
+		[]string{"brand"}); err != nil {
+		log.Fatal(err)
+	}
+
+	r := rand.New(rand.NewSource(42))
+	brands := []string{"acme", "globex", "umbrella"}
+	ents := make([]client.Entity, 3000)
+	for i := range ents {
+		v := make([]float32, 32)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		ents[i] = client.Entity{
+			ID:      int64(i + 1),
+			Vectors: [][]float32{v},
+			Attrs:   []int64{int64(100 + r.Intn(20000))},
+			Cats:    []string{brands[r.Intn(len(brands))]},
+		}
+	}
+	if err := c.Insert("products", ents); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Flush("products"); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.BuildIndex("products", "embedding", "IVF_FLAT", map[string]string{"nlist": "32"}); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := c.Stats("products")
+	fmt.Printf("catalog: %d live rows in %d segment(s)\n", st.LiveRows, st.Segments)
+
+	q := ents[500].Vectors[0]
+	hits, err := c.Search("products", q, 3, &client.SearchOptions{Nprobe: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plain top-3:", ids(hits))
+
+	hits, err = c.Search("products", q, 3, &client.SearchOptions{
+		Filter: &client.Filter{Attr: "price_cents", Lo: 0, Hi: 5000},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("under $50  :", ids(hits))
+
+	hits, err = c.Search("products", q, 3, &client.SearchOptions{
+		CatFilter: &rest.CatFilterJSON{Attr: "brand", Values: []string{"acme"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("acme only  :", ids(hits))
+
+	if err := c.Delete("products", []int64{hits[0].ID}); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Flush("products"); err != nil {
+		log.Fatal(err)
+	}
+	again, _ := c.Search("products", q, 3, &client.SearchOptions{
+		CatFilter: &rest.CatFilterJSON{Attr: "brand", Values: []string{"acme"}},
+	})
+	fmt.Printf("after deleting %d: %v\n", hits[0].ID, ids(again))
+}
+
+func ids(rs []client.Result) []int64 {
+	out := make([]int64, len(rs))
+	for i, r := range rs {
+		out[i] = r.ID
+	}
+	return out
+}

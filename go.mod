@@ -1,0 +1,3 @@
+module vectordb
+
+go 1.22

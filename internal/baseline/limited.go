@@ -1,0 +1,77 @@
+package baseline
+
+import (
+	"sync"
+
+	"vectordb/internal/dataset"
+	"vectordb/internal/index"
+	"vectordb/internal/topk"
+	"vectordb/internal/vec"
+)
+
+// LimitedPool models a system with a correct index but a query engine that
+// cannot exploit many cores (System A in Fig. 9): a fixed small worker pool
+// regardless of the machine's parallelism.
+type LimitedPool struct {
+	Label     string
+	IndexType string
+	Params    map[string]string
+	Workers   int // default 2
+	idx       index.Index
+}
+
+// Name implements System.
+func (s *LimitedPool) Name() string { return s.Label }
+
+// Build implements System.
+func (s *LimitedPool) Build(d *dataset.Dataset, metric vec.Metric) error {
+	b, err := index.NewBuilder(s.IndexType, metric, d.Dim, s.Params)
+	if err != nil {
+		return err
+	}
+	s.idx, err = b.Build(d.Data, nil)
+	return err
+}
+
+// SearchBatch implements System with the capped worker pool.
+func (s *LimitedPool) SearchBatch(queries []float32, k, accuracy int) [][]topk.Result {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = 2
+	}
+	dim := s.idx.Dim()
+	nq := len(queries) / dim
+	if workers > nq {
+		workers = nq
+	}
+	out := make([][]topk.Result, nq)
+	p := index.SearchParams{K: k, Nprobe: accuracy, Ef: accuracy, SearchL: accuracy}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for qi := range next {
+				out[qi] = s.idx.Search(queries[qi*dim:(qi+1)*dim], p)
+			}
+		}()
+	}
+	for qi := 0; qi < nq; qi++ {
+		next <- qi
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// MemoryBytes implements System.
+func (s *LimitedPool) MemoryBytes() int64 { return s.idx.MemoryBytes() }
+
+// Parallelism reports the capped pool width.
+func (s *LimitedPool) Parallelism() int {
+	if s.Workers <= 0 {
+		return 2
+	}
+	return s.Workers
+}

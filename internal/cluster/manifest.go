@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"vectordb/internal/core"
+	"vectordb/internal/objstore"
+	"vectordb/internal/vec"
+)
+
+// Manifest is the per-collection metadata the writer publishes to shared
+// storage after every flush: the current segment set, the tombstones, the
+// schema, and the WAL watermark covered by those segments. Readers serve
+// queries from the manifest; a restarted writer replays WAL entries past
+// AppliedSeq to recover un-flushed writes.
+type Manifest struct {
+	Collection  string          `json:"collection"`
+	Version     int64           `json:"version"`
+	Schema      SchemaJSON      `json:"schema"`
+	SegmentKeys []string        `json:"segment_keys"`
+	Tombstones  []TombstoneJSON `json:"tombstones,omitempty"`
+	AppliedSeq  int64           `json:"applied_seq"`
+}
+
+// TombstoneJSON is one sequence-scoped tombstone.
+type TombstoneJSON struct {
+	ID  int64 `json:"id"`
+	Seq int64 `json:"seq"`
+}
+
+// SchemaJSON is the wire form of core.Schema.
+type SchemaJSON struct {
+	VectorFields []VectorFieldJSON `json:"vector_fields"`
+	AttrFields   []string          `json:"attr_fields,omitempty"`
+	CatFields    []string          `json:"cat_fields,omitempty"`
+}
+
+// VectorFieldJSON is the wire form of core.VectorField.
+type VectorFieldJSON struct {
+	Name   string `json:"name"`
+	Dim    int    `json:"dim"`
+	Metric string `json:"metric"`
+}
+
+// SchemaToJSON converts a core schema to its wire form.
+func SchemaToJSON(s *core.Schema) SchemaJSON {
+	out := SchemaJSON{
+		AttrFields: append([]string(nil), s.AttrFields...),
+		CatFields:  append([]string(nil), s.CatFields...),
+	}
+	for _, f := range s.VectorFields {
+		out.VectorFields = append(out.VectorFields, VectorFieldJSON{Name: f.Name, Dim: f.Dim, Metric: f.Metric.String()})
+	}
+	return out
+}
+
+// ToSchema converts the wire form back to a core schema.
+func (sj SchemaJSON) ToSchema() (core.Schema, error) {
+	var s core.Schema
+	for _, f := range sj.VectorFields {
+		m, err := vec.ParseMetric(f.Metric)
+		if err != nil {
+			return s, err
+		}
+		s.VectorFields = append(s.VectorFields, core.VectorField{Name: f.Name, Dim: f.Dim, Metric: m})
+	}
+	s.AttrFields = append([]string(nil), sj.AttrFields...)
+	s.CatFields = append([]string(nil), sj.CatFields...)
+	return s, s.Validate()
+}
+
+// TombstonesToMap converts the wire form to the core map.
+func (m *Manifest) TombstonesToMap() map[int64]int64 {
+	out := make(map[int64]int64, len(m.Tombstones))
+	for _, t := range m.Tombstones {
+		out[t.ID] = t.Seq
+	}
+	return out
+}
+
+func manifestKey(collection string) string { return "manifest/" + collection }
+
+func walKey(collection string, seq int64) string {
+	return fmt.Sprintf("wal/%s/%012d", collection, seq)
+}
+
+func walSeqFromKey(collection, key string) (int64, error) {
+	prefix := fmt.Sprintf("wal/%s/", collection)
+	if len(key) <= len(prefix) {
+		return 0, fmt.Errorf("cluster: bad wal key %q", key)
+	}
+	return strconv.ParseInt(key[len(prefix):], 10, 64)
+}
+
+// PublishManifest writes the manifest blob and bumps the coordinator's
+// version.
+func PublishManifest(store objstore.Store, coord *Coordinator, m *Manifest) error {
+	v, err := coord.BumpManifest(m.Collection)
+	if err != nil {
+		return err
+	}
+	m.Version = v
+	blob, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return store.Put(manifestKey(m.Collection), blob)
+}
+
+// LoadManifest reads a collection's manifest from shared storage.
+func LoadManifest(store objstore.Store, collection string) (*Manifest, error) {
+	blob, err := store.Get(manifestKey(collection))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("cluster: manifest %s: %w", collection, err)
+	}
+	return &m, nil
+}

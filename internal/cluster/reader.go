@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"vectordb/internal/bufferpool"
+	"vectordb/internal/core"
+	"vectordb/internal/objstore"
+	"vectordb/internal/topk"
+)
+
+// ReaderConfig tunes a reader instance.
+type ReaderConfig struct {
+	// CacheBytes is the local buffer capacity standing in for the
+	// instance's "significant amount of buffer memory and SSDs" (Sec. 5.3);
+	// default 256 MiB.
+	CacheBytes int64
+	// IndexRows, IndexType, IndexParams control local per-segment index
+	// builds on loaded segments (default: IVF_FLAT on segments ≥ 4096 rows).
+	IndexRows   int
+	IndexType   string
+	IndexParams map[string]string
+}
+
+func (c *ReaderConfig) defaults() {
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.IndexRows <= 0 {
+		c.IndexRows = 4096
+	}
+	if c.IndexType == "" {
+		c.IndexType = "IVF_FLAT"
+	}
+}
+
+// Reader is one stateless read instance: it serves queries for the shard of
+// segments that consistent hashing assigns to it, caching segment data
+// loaded from shared storage and building local indexes for large segments.
+type Reader struct {
+	ID    string
+	store objstore.Store
+	cfg   ReaderConfig
+
+	mu        sync.Mutex
+	alive     bool
+	pool      *bufferpool.Pool
+	manifests map[string]*readerManifest
+}
+
+type readerManifest struct {
+	version int64
+	man     *Manifest
+	schema  core.Schema
+}
+
+// NewReader creates a live reader instance.
+func NewReader(id string, store objstore.Store, cfg ReaderConfig) *Reader {
+	cfg.defaults()
+	r := &Reader{ID: id, store: store, cfg: cfg, alive: true, manifests: map[string]*readerManifest{}}
+	r.pool = bufferpool.New(cfg.CacheBytes, r.loadSegment)
+	return r
+}
+
+// Alive reports whether the instance is up.
+func (r *Reader) Alive() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.alive
+}
+
+// Crash simulates an instance crash: the cache and manifest state die.
+func (r *Reader) Crash() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.alive = false
+	r.manifests = map[string]*readerManifest{}
+	r.pool = bufferpool.New(r.cfg.CacheBytes, r.loadSegment)
+}
+
+// Restart brings a crashed instance back with cold caches (as a K8s
+// replacement pod would come up).
+func (r *Reader) Restart() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.alive = true
+}
+
+// CacheStats reports buffer pool hits and misses.
+func (r *Reader) CacheStats() (hits, misses int64) {
+	r.mu.Lock()
+	pool := r.pool
+	r.mu.Unlock()
+	return pool.Stats()
+}
+
+// loadSegment is the bufferpool loader: fetch + decode a segment blob and
+// build its local index if it is large.
+func (r *Reader) loadSegment(key string) (any, int64, error) {
+	// key = "<collection>\x00<segmentKey>"
+	var collection, segKey string
+	for i := 0; i < len(key); i++ {
+		if key[i] == 0 {
+			collection, segKey = key[:i], key[i+1:]
+			break
+		}
+	}
+	r.mu.Lock()
+	rm := r.manifests[collection]
+	r.mu.Unlock()
+	if rm == nil {
+		return nil, 0, fmt.Errorf("cluster: reader %s has no manifest for %q", r.ID, collection)
+	}
+	blob, err := r.store.Get(segKey)
+	if err != nil {
+		return nil, 0, err
+	}
+	seg, err := core.UnmarshalSegment(blob, len(rm.schema.AttrFields), len(rm.schema.CatFields))
+	if err != nil {
+		return nil, 0, err
+	}
+	for f, vf := range rm.schema.VectorFields {
+		// Prefer the index the writer persisted with the segment
+		// (Sec. 2.3: index and data live together); build locally only for
+		// large segments without one. Scan remains the fallback.
+		if idx, ok := core.LoadSegmentIndex(r.store, segKey, f, vf.Metric, vf.Dim); ok {
+			seg.SetIndex(f, idx)
+			continue
+		}
+		if seg.Rows() >= r.cfg.IndexRows {
+			_ = seg.BuildIndex(&rm.schema, f, r.cfg.IndexType, r.cfg.IndexParams)
+		}
+	}
+	return seg, seg.SizeBytes(), nil
+}
+
+// refreshManifest ensures the reader has the manifest at version (readers
+// poll shared storage when the coordinator's version moves).
+func (r *Reader) refreshManifest(collection string, version int64) (*readerManifest, error) {
+	r.mu.Lock()
+	rm := r.manifests[collection]
+	r.mu.Unlock()
+	if rm != nil && rm.version >= version {
+		return rm, nil
+	}
+	m, err := LoadManifest(r.store, collection)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := m.Schema.ToSchema()
+	if err != nil {
+		return nil, err
+	}
+	rm = &readerManifest{version: m.Version, man: m, schema: schema}
+	r.mu.Lock()
+	r.manifests[collection] = rm
+	r.mu.Unlock()
+	return rm, nil
+}
+
+// ErrReaderDown marks liveness failures; the cluster router fails over on
+// this error and only this error (a bad request must not deregister
+// healthy readers).
+var ErrReaderDown = errors.New("cluster: reader down")
+
+// RangeFilter is a serializable attribute constraint pushed down to the
+// readers (the distributed form of attribute filtering, Sec. 4.1 + 5.3):
+// each reader resolves it against its shard's sorted attribute columns.
+type RangeFilter struct {
+	Attr   string `json:"attr"`
+	Lo, Hi int64
+}
+
+// SearchOwned answers a top-k query over the segments this reader owns
+// under the given ring. version pins the manifest version the query must
+// reflect (snapshot consistency across the fleet). rf, when non-nil, is an
+// attribute constraint evaluated shard-locally.
+func (r *Reader) SearchOwned(collection string, version int64, ring *Ring, query []float32, opts core.SearchOptions, rf ...*RangeFilter) ([]topk.Result, error) {
+	r.mu.Lock()
+	alive := r.alive
+	pool := r.pool
+	r.mu.Unlock()
+	if !alive {
+		return nil, fmt.Errorf("%w: reader %s", ErrReaderDown, r.ID)
+	}
+	rm, err := r.refreshManifest(collection, version)
+	if err != nil {
+		return nil, err
+	}
+	field := 0
+	if opts.Field != "" {
+		if field, err = rm.schema.VectorFieldIndex(opts.Field); err != nil {
+			return nil, err
+		}
+	}
+	var filter *RangeFilter
+	if len(rf) > 0 {
+		filter = rf[0]
+	}
+	attr := -1
+	if filter != nil {
+		if attr, err = rm.schema.AttrFieldIndex(filter.Attr); err != nil {
+			return nil, err
+		}
+	}
+	deleted := rm.man.TombstonesToMap()
+	sn := &core.Snapshot{Deleted: deleted}
+	p := opts
+	h := topk.New(opts.K)
+	for _, segKey := range rm.man.SegmentKeys {
+		if ring.Lookup(segKey) != r.ID {
+			continue
+		}
+		v, err := pool.Get(collection + "\x00" + segKey)
+		if err != nil {
+			return nil, err
+		}
+		seg := v.(*core.Segment)
+		userFilter := opts.Filter
+		if filter != nil {
+			inner := userFilter
+			seg := seg
+			userFilter = func(id int64) bool {
+				val, ok := seg.AttrByID(attr, id)
+				if !ok || val < filter.Lo || val > filter.Hi {
+					return false
+				}
+				return inner == nil || inner(id)
+			}
+		}
+		sp := p.Params()
+		sp.Filter = sn.FilterFor(seg.ID, userFilter)
+		for _, res := range seg.Search(&rm.schema, field, query, sp) {
+			h.Push(res.ID, res.Distance)
+		}
+	}
+	return h.Results(), nil
+}

@@ -1,0 +1,129 @@
+// Package cluster implements the distributed deployment of Sec. 5.3: a
+// shared-storage architecture with compute/storage separation, a highly
+// available coordinator layer (three replicas standing in for the
+// Zookeeper-managed instances), a single writer, and elastically scalable
+// readers over which data is sharded by consistent hashing. Computing
+// instances are stateless: a crashed instance is replaced (as Kubernetes
+// would) and rebuilds its state from shared storage; writer atomicity comes
+// from replaying the write-ahead log shipped to shared storage.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Ring is a consistent-hash ring with virtual nodes, mapping shard keys
+// (segment keys) to node names (reader IDs).
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  int
+	hashes  []uint64
+	owner   map[uint64]string
+	members map[string]bool
+}
+
+// NewRing creates a ring with the given virtual-node count per member
+// (default 64 when ≤ 0).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	return &Ring{vnodes: vnodes, owner: map[uint64]string{}, members: map[string]bool{}}
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	// FNV alone clusters badly on short sequential keys; a splitmix64
+	// finalizer gives the avalanche the ring needs for balance.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a member; idempotent.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[node] {
+		return
+	}
+	r.members[node] = true
+	for v := 0; v < r.vnodes; v++ {
+		h := hash64(fmt.Sprintf("%s#%d", node, v))
+		r.owner[h] = node
+		r.hashes = append(r.hashes, h)
+	}
+	sort.Slice(r.hashes, func(i, j int) bool { return r.hashes[i] < r.hashes[j] })
+}
+
+// Remove deletes a member; idempotent.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[node] {
+		return
+	}
+	delete(r.members, node)
+	kept := r.hashes[:0]
+	for _, h := range r.hashes {
+		if r.owner[h] == node {
+			delete(r.owner, h)
+			continue
+		}
+		kept = append(kept, h)
+	}
+	r.hashes = kept
+}
+
+// Lookup maps a key to its owning member ("" when the ring is empty).
+func (r *Ring) Lookup(key string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.hashes) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.owner[r.hashes[i]]
+}
+
+// Members returns the member names, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the member count.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Clone returns an independent copy (coordinator replication).
+func (r *Ring) Clone() *Ring {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c := NewRing(r.vnodes)
+	for m := range r.members {
+		c.Add(m)
+	}
+	return c
+}

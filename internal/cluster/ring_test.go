@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: consistent hashing only moves keys to/from the node being added
+// or removed — never between unrelated survivors.
+func TestRingMinimalMovementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ring := NewRing(64)
+		nodes := []string{"n0", "n1", "n2", "n3", "n4"}
+		for _, n := range nodes {
+			ring.Add(n)
+		}
+		keys := make([]string, 200)
+		before := map[string]string{}
+		for i := range keys {
+			keys[i] = fmt.Sprintf("key-%d-%d", seed, i)
+			before[keys[i]] = ring.Lookup(keys[i])
+		}
+		victim := nodes[r.Intn(len(nodes))]
+		ring.Remove(victim)
+		for _, k := range keys {
+			after := ring.Lookup(k)
+			if before[k] != victim && after != before[k] {
+				return false // unrelated key moved
+			}
+			if after == victim {
+				return false // removed node still owns keys
+			}
+		}
+		// Re-adding restores the original ownership exactly.
+		ring.Add(victim)
+		for _, k := range keys {
+			if ring.Lookup(k) != before[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingCloneIndependence(t *testing.T) {
+	r := NewRing(32)
+	r.Add("a")
+	c := r.Clone()
+	c.Add("b")
+	if r.Size() != 1 || c.Size() != 2 {
+		t.Fatalf("clone not independent: %d/%d", r.Size(), c.Size())
+	}
+	if r.Lookup("k") != "a" {
+		t.Fatal("original ring changed")
+	}
+}

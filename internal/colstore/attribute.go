@@ -1,0 +1,184 @@
+// Package colstore implements the columnar entity storage of Sec. 2.4:
+// vectors are stored contiguously sorted by row ID (multi-vector entities
+// column-grouped by field), and each numerical attribute is stored as an
+// array of ⟨key,rowID⟩ pairs sorted by key with per-page min/max skip
+// pointers (following Snowflake) for fast point and range lookups.
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// AttrEntry is one ⟨key, rowID⟩ pair of an attribute column.
+type AttrEntry struct {
+	Key int64 // attribute value
+	Row int64 // row ID
+}
+
+// PageSize is the number of entries covered by one skip pointer.
+const PageSize = 256
+
+// AttributeColumn stores one numerical attribute sorted by value.
+type AttributeColumn struct {
+	entries []AttrEntry
+	// pageMin/pageMax are the skip pointers: min/max key per page. With the
+	// column sorted by key, min/max reduce to first/last entry of the page,
+	// exactly the data-page zone maps Snowflake keeps.
+	pageMin []int64
+	pageMax []int64
+}
+
+// BuildAttributeColumn sorts values into a column. values[i] belongs to row
+// ids[i] (ids nil means row position).
+func BuildAttributeColumn(values []int64, ids []int64) *AttributeColumn {
+	entries := make([]AttrEntry, len(values))
+	for i, v := range values {
+		row := int64(i)
+		if ids != nil {
+			row = ids[i]
+		}
+		entries[i] = AttrEntry{Key: v, Row: row}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Key != entries[j].Key {
+			return entries[i].Key < entries[j].Key
+		}
+		return entries[i].Row < entries[j].Row
+	})
+	c := &AttributeColumn{entries: entries}
+	c.buildSkipPointers()
+	return c
+}
+
+func (c *AttributeColumn) buildSkipPointers() {
+	n := len(c.entries)
+	pages := (n + PageSize - 1) / PageSize
+	c.pageMin = make([]int64, pages)
+	c.pageMax = make([]int64, pages)
+	for p := 0; p < pages; p++ {
+		lo := p * PageSize
+		hi := lo + PageSize
+		if hi > n {
+			hi = n
+		}
+		c.pageMin[p] = c.entries[lo].Key
+		c.pageMax[p] = c.entries[hi-1].Key
+	}
+}
+
+// Len returns the number of entries.
+func (c *AttributeColumn) Len() int { return len(c.entries) }
+
+// Pages returns the number of skip-pointer pages.
+func (c *AttributeColumn) Pages() int { return len(c.pageMin) }
+
+// PageBounds returns the skip pointer (min, max) of page p.
+func (c *AttributeColumn) PageBounds(p int) (int64, int64) { return c.pageMin[p], c.pageMax[p] }
+
+// MinMax returns the column's overall key range; ok is false when empty.
+func (c *AttributeColumn) MinMax() (min, max int64, ok bool) {
+	if len(c.entries) == 0 {
+		return 0, 0, false
+	}
+	return c.entries[0].Key, c.entries[len(c.entries)-1].Key, true
+}
+
+// RangeRows returns the row IDs with lo ≤ key ≤ hi, pruning pages whose
+// skip-pointer range misses [lo, hi] and binary-searching within the rest.
+func (c *AttributeColumn) RangeRows(lo, hi int64) []int64 {
+	if lo > hi || len(c.entries) == 0 {
+		return nil
+	}
+	// Binary search over pages via skip pointers: first page whose max ≥ lo.
+	firstPage := sort.Search(len(c.pageMax), func(p int) bool { return c.pageMax[p] >= lo })
+	if firstPage == len(c.pageMax) {
+		return nil
+	}
+	var out []int64
+	for p := firstPage; p < len(c.pageMin); p++ {
+		if c.pageMin[p] > hi {
+			break // later pages only contain larger keys
+		}
+		start := p * PageSize
+		end := start + PageSize
+		if end > len(c.entries) {
+			end = len(c.entries)
+		}
+		page := c.entries[start:end]
+		// within-page binary search for the first key ≥ lo
+		i := sort.Search(len(page), func(i int) bool { return page[i].Key >= lo })
+		for ; i < len(page) && page[i].Key <= hi; i++ {
+			out = append(out, page[i].Row)
+		}
+	}
+	return out
+}
+
+// CountRange counts entries with lo ≤ key ≤ hi without materializing rows —
+// the selectivity estimate the cost-based strategy D needs.
+func (c *AttributeColumn) CountRange(lo, hi int64) int {
+	if lo > hi || len(c.entries) == 0 {
+		return 0
+	}
+	first := sort.Search(len(c.entries), func(i int) bool { return c.entries[i].Key >= lo })
+	last := sort.Search(len(c.entries), func(i int) bool { return c.entries[i].Key > hi })
+	return last - first
+}
+
+// RangeBitmap returns the matching rows as a membership set (the bitmap of
+// strategy B).
+func (c *AttributeColumn) RangeBitmap(lo, hi int64) map[int64]struct{} {
+	rows := c.RangeRows(lo, hi)
+	set := make(map[int64]struct{}, len(rows))
+	for _, r := range rows {
+		set[r] = struct{}{}
+	}
+	return set
+}
+
+// Entry returns entry i in key order (tests, merges).
+func (c *AttributeColumn) Entry(i int) AttrEntry { return c.entries[i] }
+
+// attributeColumnMagic guards deserialization.
+const attributeColumnMagic = uint32(0x41545443) // "ATTC"
+
+// Marshal serializes the column (entries only; skip pointers are rebuilt).
+func (c *AttributeColumn) Marshal() []byte {
+	buf := make([]byte, 8+16*len(c.entries))
+	binary.LittleEndian.PutUint32(buf[0:], attributeColumnMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(c.entries)))
+	off := 8
+	for _, e := range c.entries {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(e.Key))
+		binary.LittleEndian.PutUint64(buf[off+8:], uint64(e.Row))
+		off += 16
+	}
+	return buf
+}
+
+// UnmarshalAttributeColumn parses a column serialized with Marshal.
+func UnmarshalAttributeColumn(data []byte) (*AttributeColumn, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("colstore: attribute column too short (%d bytes)", len(data))
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != attributeColumnMagic {
+		return nil, fmt.Errorf("colstore: bad attribute column magic")
+	}
+	n := int(binary.LittleEndian.Uint32(data[4:]))
+	if len(data) != 8+16*n {
+		return nil, fmt.Errorf("colstore: attribute column length %d does not match count %d", len(data), n)
+	}
+	c := &AttributeColumn{entries: make([]AttrEntry, n)}
+	off := 8
+	for i := 0; i < n; i++ {
+		c.entries[i] = AttrEntry{
+			Key: int64(binary.LittleEndian.Uint64(data[off:])),
+			Row: int64(binary.LittleEndian.Uint64(data[off+8:])),
+		}
+		off += 16
+	}
+	c.buildSkipPointers()
+	return c, nil
+}

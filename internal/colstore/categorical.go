@@ -1,0 +1,176 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// CategoricalColumn stores one string-valued attribute with an inverted
+// index from value to sorted row-ID postings — the categorical-attribute
+// support the paper lists as future work ("we plan to support categorical
+// attributes with indexes like inverted lists or bitmaps", Sec. 2.1).
+type CategoricalColumn struct {
+	// dict maps each distinct value to its postings (sorted row IDs).
+	dict map[string][]int64
+	rows int
+}
+
+// BuildCategoricalColumn indexes values; values[i] belongs to ids[i]
+// (row position when ids is nil).
+func BuildCategoricalColumn(values []string, ids []int64) *CategoricalColumn {
+	c := &CategoricalColumn{dict: map[string][]int64{}, rows: len(values)}
+	for i, v := range values {
+		row := int64(i)
+		if ids != nil {
+			row = ids[i]
+		}
+		c.dict[v] = append(c.dict[v], row)
+	}
+	for v := range c.dict {
+		p := c.dict[v]
+		sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
+	}
+	return c
+}
+
+// Len returns the number of rows indexed.
+func (c *CategoricalColumn) Len() int { return c.rows }
+
+// Cardinality returns the number of distinct values.
+func (c *CategoricalColumn) Cardinality() int { return len(c.dict) }
+
+// Values lists the distinct values, sorted.
+func (c *CategoricalColumn) Values() []string {
+	out := make([]string, 0, len(c.dict))
+	for v := range c.dict {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rows returns the postings for one value (shared slice: do not mutate).
+func (c *CategoricalColumn) Rows(value string) []int64 { return c.dict[value] }
+
+// Count returns the posting length for one value without materializing —
+// the selectivity estimate for cost-based planning.
+func (c *CategoricalColumn) Count(values ...string) int {
+	n := 0
+	for _, v := range values {
+		n += len(c.dict[v])
+	}
+	return n
+}
+
+// Bitmap returns the membership set of rows matching ANY of the values
+// (an IN predicate).
+func (c *CategoricalColumn) Bitmap(values ...string) map[int64]struct{} {
+	out := map[int64]struct{}{}
+	for _, v := range values {
+		for _, row := range c.dict[v] {
+			out[row] = struct{}{}
+		}
+	}
+	return out
+}
+
+const categoricalMagic = uint32(0x43415443) // "CATC"
+
+// Marshal serializes the column (row-aligned values are reconstructed from
+// postings, so only the dictionary is stored).
+func (c *CategoricalColumn) Marshal() []byte {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, categoricalMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.rows))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.dict)))
+	for _, v := range c.Values() {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+		buf = append(buf, v...)
+		p := c.dict[v]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p)))
+		for _, row := range p {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(row))
+		}
+	}
+	return buf
+}
+
+// UnmarshalCategoricalColumn reverses Marshal.
+func UnmarshalCategoricalColumn(data []byte) (*CategoricalColumn, error) {
+	if len(data) < 12 {
+		return nil, fmt.Errorf("colstore: categorical column too short")
+	}
+	if binary.LittleEndian.Uint32(data) != categoricalMagic {
+		return nil, fmt.Errorf("colstore: bad categorical column magic")
+	}
+	c := &CategoricalColumn{dict: map[string][]int64{}}
+	c.rows = int(binary.LittleEndian.Uint32(data[4:]))
+	nvals := int(binary.LittleEndian.Uint32(data[8:]))
+	off := 12
+	for i := 0; i < nvals; i++ {
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("colstore: categorical column truncated")
+		}
+		l := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if off+l > len(data) {
+			return nil, fmt.Errorf("colstore: categorical value overruns")
+		}
+		v := string(data[off : off+l])
+		off += l
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("colstore: categorical postings truncated")
+		}
+		np := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if off+8*np > len(data) {
+			return nil, fmt.Errorf("colstore: categorical postings overrun")
+		}
+		p := make([]int64, np)
+		for j := range p {
+			p[j] = int64(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+		c.dict[v] = p
+	}
+	return c, nil
+}
+
+// MarshalStrings serializes a row-aligned string array (raw categorical
+// values travel with the segment like RawAttrs do).
+func MarshalStrings(values []string) []byte {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(values)))
+	for _, v := range values {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+		buf = append(buf, v...)
+	}
+	return buf
+}
+
+// UnmarshalStrings reverses MarshalStrings.
+func UnmarshalStrings(data []byte) ([]string, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("colstore: string column too short")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	off := 4
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("colstore: string column truncated")
+		}
+		l := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if off+l > len(data) {
+			return nil, fmt.Errorf("colstore: string value overruns")
+		}
+		out[i] = string(data[off : off+l])
+		off += l
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("colstore: string column has %d trailing bytes", len(data)-off)
+	}
+	return out, nil
+}

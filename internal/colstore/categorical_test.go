@@ -1,0 +1,102 @@
+package colstore
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCategoricalColumnBasics(t *testing.T) {
+	values := []string{"shirt", "shoe", "shirt", "hat", "shoe", "shirt"}
+	c := BuildCategoricalColumn(values, nil)
+	if c.Len() != 6 || c.Cardinality() != 3 {
+		t.Fatalf("len=%d card=%d", c.Len(), c.Cardinality())
+	}
+	got := c.Values()
+	want := []string{"hat", "shirt", "shoe"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values = %v", got)
+		}
+	}
+	rows := c.Rows("shirt")
+	if len(rows) != 3 || rows[0] != 0 || rows[1] != 2 || rows[2] != 5 {
+		t.Fatalf("Rows(shirt) = %v", rows)
+	}
+	if c.Count("shirt", "hat") != 4 {
+		t.Fatalf("Count = %d", c.Count("shirt", "hat"))
+	}
+	bm := c.Bitmap("shoe", "hat")
+	if len(bm) != 3 {
+		t.Fatalf("Bitmap = %v", bm)
+	}
+	if c.Rows("missing") != nil {
+		t.Fatal("missing value returned postings")
+	}
+}
+
+func TestCategoricalCustomIDs(t *testing.T) {
+	c := BuildCategoricalColumn([]string{"a", "b", "a"}, []int64{10, 20, 30})
+	rows := c.Rows("a")
+	if len(rows) != 2 || rows[0] != 10 || rows[1] != 30 {
+		t.Fatalf("Rows = %v", rows)
+	}
+}
+
+func TestCategoricalMarshalRoundTrip(t *testing.T) {
+	values := []string{"x", "", "日本語", "x"}
+	c := BuildCategoricalColumn(values, []int64{4, 3, 2, 1})
+	c2, err := UnmarshalCategoricalColumn(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != c.Len() || c2.Cardinality() != c.Cardinality() {
+		t.Fatalf("shape: %d/%d vs %d/%d", c2.Len(), c2.Cardinality(), c.Len(), c.Cardinality())
+	}
+	for _, v := range c.Values() {
+		a, b := c.Rows(v), c2.Rows(v)
+		if len(a) != len(b) {
+			t.Fatalf("postings for %q differ", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("postings for %q differ at %d", v, i)
+			}
+		}
+	}
+	if _, err := UnmarshalCategoricalColumn([]byte{1, 2}); err == nil {
+		t.Error("short blob accepted")
+	}
+	b := c.Marshal()
+	b[0] ^= 0xFF
+	if _, err := UnmarshalCategoricalColumn(b); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestStringsRoundTrip(t *testing.T) {
+	f := func(values []string) bool {
+		got, err := UnmarshalStrings(MarshalStrings(values))
+		if err != nil || len(got) != len(values) {
+			return false
+		}
+		for i := range values {
+			if got[i] != values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	if _, err := UnmarshalStrings([]byte{1}); err == nil {
+		t.Error("short strings blob accepted")
+	}
+	b := MarshalStrings([]string{"abc"})
+	if _, err := UnmarshalStrings(b[:len(b)-1]); err == nil {
+		t.Error("truncated strings blob accepted")
+	}
+	if _, err := UnmarshalStrings(append(b, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}

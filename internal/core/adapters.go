@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+
+	"vectordb/internal/query"
+	"vectordb/internal/topk"
+)
+
+// SourceView adapts a pinned snapshot of a collection to the query.Source
+// interface so the attribute-filtering strategies of Sec. 4.1 run over the
+// LSM engine. Release it when done.
+type SourceView struct {
+	c  *Collection
+	sn *Snapshot
+}
+
+var _ query.Source = (*SourceView)(nil)
+
+// Source pins the current snapshot and returns its Source adapter.
+func (c *Collection) Source() *SourceView {
+	return &SourceView{c: c, sn: c.snaps.acquire()}
+}
+
+// Release unpins the underlying snapshot.
+func (v *SourceView) Release() { v.c.snaps.release(v.sn) }
+
+// TotalRows implements query.Source (visible rows).
+func (v *SourceView) TotalRows() int { return v.sn.LiveRows() }
+
+// CountRange implements query.Source. Tombstoned rows are included in the
+// estimate — selectivity estimation tolerates that slack.
+func (v *SourceView) CountRange(attr int, lo, hi int64) int {
+	n := 0
+	for _, seg := range v.sn.Segments {
+		n += seg.Attrs[attr].CountRange(lo, hi)
+	}
+	return n
+}
+
+// RangeRows implements query.Source, resolving through each segment's
+// sorted attribute column and hiding tombstoned rows.
+func (v *SourceView) RangeRows(attr int, lo, hi int64) []int64 {
+	var out []int64
+	for _, seg := range v.sn.Segments {
+		for _, id := range seg.Attrs[attr].RangeRows(lo, hi) {
+			if v.sn.deletedCovers(id, seg.ID) {
+				continue
+			}
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// AttrValue implements query.Source.
+func (v *SourceView) AttrValue(attr int, id int64) (int64, bool) {
+	for i := len(v.sn.Segments) - 1; i >= 0; i-- {
+		seg := v.sn.Segments[i]
+		if v.sn.deletedCovers(id, seg.ID) {
+			continue
+		}
+		if val, ok := seg.AttrByID(attr, id); ok {
+			return val, true
+		}
+	}
+	return 0, false
+}
+
+// VectorQuery implements query.Source.
+func (v *SourceView) VectorQuery(field int, q []float32, k, nprobe int, filter func(int64) bool) []topk.Result {
+	res, err := v.c.SearchSnapshot(v.sn, q, SearchOptions{
+		Field:  v.c.schema.VectorFields[field].Name,
+		K:      k,
+		Nprobe: nprobe,
+		Filter: filter,
+	})
+	if err != nil {
+		return nil
+	}
+	return res
+}
+
+// DistanceByID implements query.Source.
+func (v *SourceView) DistanceByID(field int, q []float32, id int64) (float32, bool) {
+	for i := len(v.sn.Segments) - 1; i >= 0; i-- {
+		seg := v.sn.Segments[i]
+		if v.sn.deletedCovers(id, seg.ID) {
+			continue
+		}
+		if vecRow, ok := seg.VectorByID(field, id); ok {
+			return v.c.schema.VectorFields[field].Metric.Dist()(q, vecRow), true
+		}
+	}
+	return 0, false
+}
+
+// MultiView adapts the collection to query.MultiSource for the multi-vector
+// algorithms of Sec. 4.2. Release it when done.
+type MultiView struct {
+	c  *Collection
+	sn *Snapshot
+}
+
+var _ query.MultiSource = (*MultiView)(nil)
+
+// MultiSource pins the current snapshot and returns its MultiSource adapter.
+func (c *Collection) MultiSource() *MultiView {
+	return &MultiView{c: c, sn: c.snaps.acquire()}
+}
+
+// Release unpins the underlying snapshot.
+func (v *MultiView) Release() { v.c.snaps.release(v.sn) }
+
+// Fields implements query.MultiSource.
+func (v *MultiView) Fields() int { return len(v.c.schema.VectorFields) }
+
+// FieldQuery implements query.MultiSource.
+func (v *MultiView) FieldQuery(field int, q []float32, k int) []topk.Result {
+	res, err := v.c.SearchSnapshot(v.sn, q, SearchOptions{
+		Field: v.c.schema.VectorFields[field].Name,
+		K:     k,
+	})
+	if err != nil {
+		return nil
+	}
+	return res
+}
+
+// FieldDistance implements query.MultiSource.
+func (v *MultiView) FieldDistance(field int, q []float32, id int64) (float32, bool) {
+	sv := SourceView{c: v.c, sn: v.sn}
+	return sv.DistanceByID(field, q, id)
+}
+
+// SearchFiltered runs an attribute-filtered vector query using the
+// cost-based strategy D over the current snapshot — the default filtering
+// path of the public API and the REST server.
+func (c *Collection) SearchFiltered(queryVec []float32, attrName string, lo, hi int64, opts SearchOptions) ([]topk.Result, error) {
+	attr, err := c.schema.AttrFieldIndex(attrName)
+	if err != nil {
+		return nil, err
+	}
+	field := 0
+	if opts.Field != "" {
+		if field, err = c.schema.VectorFieldIndex(opts.Field); err != nil {
+			return nil, err
+		}
+	}
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("core: K must be positive")
+	}
+	src := c.Source()
+	defer src.Release()
+	res, _ := query.StrategyD(src,
+		query.RangeCond{Attr: attr, Lo: lo, Hi: hi},
+		query.VecCond{Field: field, Query: queryVec, K: opts.K, Nprobe: opts.Nprobe},
+		query.DefaultCostModel())
+	return res, nil
+}
+
+// SearchMultiVector runs the iterative-merging multi-vector query over the
+// current snapshot (falls back from vector fusion when the metric is not
+// decomposable, mirroring Sec. 4.2's guidance).
+func (c *Collection) SearchMultiVector(queries [][]float32, weights []float32, k int) ([]topk.Result, error) {
+	if len(queries) != len(c.schema.VectorFields) {
+		return nil, fmt.Errorf("core: %d query vectors for %d fields", len(queries), len(c.schema.VectorFields))
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: K must be positive")
+	}
+	if _, err := c.fusedMetric(); err == nil {
+		if res, err := c.SearchFused(queries, weights, SearchOptions{K: k}); err == nil {
+			return res, nil
+		}
+	}
+	mv := c.MultiSource()
+	defer mv.Release()
+	return query.IterativeMerging(mv, queries, weights, k, 16384), nil
+}
+
+// CatRows returns the IDs whose categorical field matches any of values,
+// resolved through each segment's inverted lists and hiding tombstones.
+func (v *SourceView) CatRows(cat int, values ...string) []int64 {
+	var out []int64
+	for _, seg := range v.sn.Segments {
+		for _, val := range values {
+			for _, id := range seg.Cats[cat].Rows(val) {
+				if v.sn.deletedCovers(id, seg.ID) {
+					continue
+				}
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// SearchCategorical runs a vector query restricted to entities whose
+// categorical field matches ANY of values — the inverted-list filtering of
+// the Sec. 2.1 extension, using the bitmap strategy (strategy B) since
+// equality predicates resolve to exact postings.
+func (c *Collection) SearchCategorical(queryVec []float32, catName string, values []string, opts SearchOptions) ([]topk.Result, error) {
+	cat, err := c.schema.CatFieldIndex(catName)
+	if err != nil {
+		return nil, err
+	}
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("core: K must be positive")
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("core: at least one categorical value required")
+	}
+	src := c.Source()
+	defer src.Release()
+	rows := src.CatRows(cat, values...)
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	// Highly selective postings: exact scan over the matches (strategy A's
+	// regime); otherwise bitmap-filtered vector search (strategy B).
+	if len(rows) <= opts.K*8 {
+		h := topk.New(opts.K)
+		field := 0
+		if opts.Field != "" {
+			if field, err = c.schema.VectorFieldIndex(opts.Field); err != nil {
+				return nil, err
+			}
+		}
+		for _, id := range rows {
+			if d, ok := src.DistanceByID(field, queryVec, id); ok {
+				h.Push(id, d)
+			}
+		}
+		return h.Results(), nil
+	}
+	bitmap := make(map[int64]struct{}, len(rows))
+	for _, id := range rows {
+		bitmap[id] = struct{}{}
+	}
+	o := opts
+	o.Filter = func(id int64) bool {
+		_, ok := bitmap[id]
+		return ok
+	}
+	return c.Search(queryVec, o)
+}

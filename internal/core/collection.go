@@ -1,0 +1,561 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vectordb/internal/colstore"
+	"vectordb/internal/index"
+	_ "vectordb/internal/index/all" // make every built-in index type available
+	"vectordb/internal/objstore"
+	"vectordb/internal/topk"
+	"vectordb/internal/wal"
+)
+
+// Config tunes a collection's LSM and indexing behaviour. Zero values mean
+// defaults.
+type Config struct {
+	// FlushRows seals the MemTable when it accumulates this many rows
+	// (Sec. 2.3's size threshold; default 4096).
+	FlushRows int
+	// FlushInterval seals a non-empty MemTable at this period ("or once
+	// every second"); default 1s, negative disables the timer.
+	FlushInterval time.Duration
+	// MergeFactor is how many same-tier segments trigger a tiered merge
+	// (default 4).
+	MergeFactor int
+	// MaxSegmentRows caps merged segment size — the paper's configurable
+	// 1 GB limit, expressed in rows (default 1<<18).
+	MaxSegmentRows int
+	// IndexRows is the segment size at which indexes are built automatically
+	// ("by default, Milvus builds indexes only for large segments");
+	// default 8192. Users can still index any segment via BuildIndex.
+	IndexRows int
+	// IndexType and IndexParams configure auto-built indexes
+	// (default IVF_FLAT).
+	IndexType   string
+	IndexParams map[string]string
+	// SyncIndex builds indexes synchronously during flush/merge instead of
+	// in the background thread (deterministic tests; default async,
+	// Sec. 5.1 "Milvus builds indexes asynchronously").
+	SyncIndex bool
+}
+
+func (c *Config) defaults() {
+	if c.FlushRows <= 0 {
+		c.FlushRows = 4096
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = time.Second
+	}
+	if c.MergeFactor <= 0 {
+		c.MergeFactor = 4
+	}
+	if c.MaxSegmentRows <= 0 {
+		c.MaxSegmentRows = 1 << 18
+	}
+	if c.IndexRows <= 0 {
+		c.IndexRows = 8192
+	}
+	if c.IndexType == "" {
+		c.IndexType = "IVF_FLAT"
+	}
+}
+
+// tombstone is a sequence-scoped delete: it hides id in every segment whose
+// ID is ≤ seq (segments that existed when the delete arrived).
+type tombstone struct {
+	id  int64
+	seq int64
+}
+
+// memTable buffers writes before they become an immutable segment.
+type memTable struct {
+	entities []Entity
+	deletes  []tombstone
+}
+
+func (m *memTable) empty() bool { return len(m.entities) == 0 && len(m.deletes) == 0 }
+
+// Collection is a named set of entities under one schema, managed LSM-style.
+type Collection struct {
+	Name   string
+	schema *Schema
+	cfg    Config
+	store  objstore.Store
+	log    *wal.Log
+	snaps  *snapTracker
+
+	mu       sync.Mutex // guards mem, nextSeg/nextSnap, snapshot installs
+	mem      *memTable
+	nextSeg  int64
+	nextSnap int64
+
+	indexWG    sync.WaitGroup
+	indexCh    chan *Segment
+	pendingIdx atomic.Int64
+	stopTimer  chan struct{}
+	closeOnce  sync.Once
+}
+
+// NewCollection creates a collection persisting segments to store.
+func NewCollection(name string, schema Schema, store objstore.Store, cfg Config) (*Collection, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: collection name required")
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if store == nil {
+		store = objstore.NewMemory()
+	}
+	cfg.defaults()
+	c := &Collection{
+		Name:      name,
+		schema:    &schema,
+		cfg:       cfg,
+		store:     store,
+		mem:       &memTable{},
+		indexCh:   make(chan *Segment, 64),
+		stopTimer: make(chan struct{}),
+	}
+	c.snaps = newSnapTracker(func(seg *Segment) {
+		// Background GC of obsolete segments (Sec. 5.2): drop the data blob
+		// and any persisted per-field indexes.
+		key := c.segmentKey(seg.ID)
+		_ = c.store.Delete(key)
+		for f := range schema.VectorFields {
+			_ = c.store.Delete(IndexKey(key, f))
+		}
+	})
+	c.snaps.install(&Snapshot{ID: c.allocSnapID(), Deleted: map[int64]int64{}})
+	c.log = wal.NewLog(c.applyRecord)
+	go c.flushTimer()
+	c.indexWG.Add(1)
+	go c.indexBuilder()
+	return c, nil
+}
+
+// Schema returns the collection schema.
+func (c *Collection) Schema() *Schema { return c.schema }
+
+func (c *Collection) segmentKey(id int64) string {
+	return fmt.Sprintf("col/%s/seg/%d", c.Name, id)
+}
+
+func (c *Collection) allocSnapID() int64 {
+	c.nextSnap++
+	return c.nextSnap
+}
+
+// Insert appends entities asynchronously: the operations are materialized
+// to the log and acknowledged; a background thread applies them (Sec. 5.1).
+// Call Flush to make them visible to queries.
+func (c *Collection) Insert(entities []Entity) error {
+	for i := range entities {
+		if err := c.schema.validateEntity(&entities[i]); err != nil {
+			return err
+		}
+	}
+	for i := range entities {
+		e := &entities[i]
+		if err := c.log.Append(&wal.Record{Type: wal.RecordInsert, ID: e.ID, Vectors: e.Vectors, Attrs: e.Attrs, Cats: e.Cats}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete tombstones entities by ID, asynchronously (out-of-place deletion,
+// Sec. 2.3; the vectors are physically removed at the next merge).
+func (c *Collection) Delete(ids []int64) error {
+	for _, id := range ids {
+		if err := c.log.Append(&wal.Record{Type: wal.RecordDelete, ID: id}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyRecord is the WAL consumer: it fills the MemTable and seals it when
+// the size threshold is reached.
+func (c *Collection) applyRecord(r *wal.Record) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch r.Type {
+	case wal.RecordInsert:
+		c.mem.entities = append(c.mem.entities, Entity{ID: r.ID, Vectors: r.Vectors, Attrs: r.Attrs, Cats: r.Cats})
+		if len(c.mem.entities) >= c.cfg.FlushRows {
+			c.flushLocked()
+		}
+	case wal.RecordDelete:
+		// Rows still in the MemTable are removed directly (they were
+		// inserted before this delete); flushed copies get a tombstone
+		// scoped to the segments existing now, so a later re-insert of the
+		// same ID stays visible.
+		kept := c.mem.entities[:0]
+		for i := range c.mem.entities {
+			if c.mem.entities[i].ID != r.ID {
+				kept = append(kept, c.mem.entities[i])
+			}
+		}
+		c.mem.entities = kept
+		c.mem.deletes = append(c.mem.deletes, tombstone{id: r.ID, seq: c.nextSeg})
+	}
+}
+
+func (c *Collection) flushTimer() {
+	if c.cfg.FlushInterval < 0 {
+		return
+	}
+	t := time.NewTicker(c.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopTimer:
+			return
+		case <-t.C:
+			c.mu.Lock()
+			if !c.mem.empty() {
+				c.flushLocked()
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Flush blocks until all pending writes are applied and visible: it drains
+// the log, seals the MemTable, and installs the new snapshot (Sec. 5.1).
+func (c *Collection) Flush() error {
+	c.log.Flush()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.mem.empty() {
+		return c.flushLocked()
+	}
+	return nil
+}
+
+// flushLocked seals the MemTable into a new immutable segment, merges the
+// tombstones into the view, installs the next snapshot, and triggers tiered
+// merging. Caller holds c.mu.
+func (c *Collection) flushLocked() error {
+	mem := c.mem
+	c.mem = &memTable{}
+
+	prev := c.snaps.acquire()
+	defer c.snaps.release(prev)
+
+	segments := append([]*Segment(nil), prev.Segments...)
+	if len(mem.entities) > 0 {
+		seg, err := c.buildSegment(mem.entities)
+		if err != nil {
+			return err
+		}
+		segments = append(segments, seg)
+		c.scheduleIndex(seg)
+	}
+
+	// Tombstones: carry forward old ones, add new ones; keep only those
+	// that still hide a physical row.
+	deleted := make(map[int64]int64, len(prev.Deleted)+len(mem.deletes))
+	next := &Snapshot{ID: c.allocSnapID(), Segments: segments, Deleted: deleted}
+	for id, seq := range prev.Deleted {
+		if next.tombstoneLive(id, seq) {
+			deleted[id] = seq
+		}
+	}
+	for _, t := range mem.deletes {
+		if cur, ok := deleted[t.id]; (!ok || t.seq > cur) && next.tombstoneLive(t.id, t.seq) {
+			deleted[t.id] = t.seq
+		}
+	}
+	c.snaps.install(next)
+	return c.mergeLocked()
+}
+
+// buildSegment materializes rows into an immutable segment and persists it.
+func (c *Collection) buildSegment(rows []Entity) (*Segment, error) {
+	c.nextSeg++
+	seg := &Segment{ID: c.nextSeg}
+	seg.IDs = make([]int64, len(rows))
+	for i := range rows {
+		seg.IDs[i] = rows[i].ID
+	}
+	for f, vf := range c.schema.VectorFields {
+		data := make([]float32, 0, len(rows)*vf.Dim)
+		for i := range rows {
+			data = append(data, rows[i].Vectors[f]...)
+		}
+		seg.Vectors = append(seg.Vectors, colstore.NewVectorColumn(vf.Dim, data))
+	}
+	for a := range c.schema.AttrFields {
+		raw := make([]int64, len(rows))
+		for i := range rows {
+			raw[i] = rows[i].Attrs[a]
+		}
+		seg.RawAttrs = append(seg.RawAttrs, raw)
+	}
+	for cf := range c.schema.CatFields {
+		raw := make([]string, len(rows))
+		for i := range rows {
+			raw[i] = rows[i].Cats[cf]
+		}
+		seg.RawCats = append(seg.RawCats, raw)
+	}
+	seg.buildAttrColumns()
+	blob, err := seg.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.store.Put(c.segmentKey(seg.ID), blob); err != nil {
+		return nil, fmt.Errorf("core: persist segment %d: %w", seg.ID, err)
+	}
+	return seg, nil
+}
+
+// scheduleIndex queues (or synchronously performs) index building for
+// segments that cross the size threshold.
+func (c *Collection) scheduleIndex(seg *Segment) {
+	if seg.Rows() < c.cfg.IndexRows {
+		return
+	}
+	if c.cfg.SyncIndex {
+		c.buildSegmentIndexes(seg)
+		return
+	}
+	c.pendingIdx.Add(1)
+	select {
+	case c.indexCh <- seg:
+	default:
+		// Queue full: build inline rather than dropping the request.
+		c.buildSegmentIndexes(seg)
+		c.pendingIdx.Add(-1)
+	}
+}
+
+func (c *Collection) indexBuilder() {
+	defer c.indexWG.Done()
+	for seg := range c.indexCh {
+		c.buildSegmentIndexes(seg)
+		c.pendingIdx.Add(-1)
+	}
+}
+
+func (c *Collection) buildSegmentIndexes(seg *Segment) {
+	for f := range c.schema.VectorFields {
+		if seg.Index(f) != nil {
+			continue
+		}
+		if c.schema.VectorFields[f].Metric.Binary() && c.cfg.IndexType != "FLAT" {
+			// Quantization/graph indexes do not apply to bit-packed binary
+			// fields; the exact word-wise scan serves them (Sec. 2.1).
+			continue
+		}
+		if err := seg.BuildIndex(c.schema, f, c.cfg.IndexType, c.cfg.IndexParams); err != nil {
+			// An index failure leaves the segment searchable by scan; the
+			// error is not fatal to the collection.
+			continue
+		}
+		c.persistIndex(seg, f)
+	}
+}
+
+// BuildIndex synchronously builds the named index type on every current
+// segment of a vector field, regardless of segment size ("users are allowed
+// to manually build indexes for segments of any size", Sec. 2.3).
+func (c *Collection) BuildIndex(fieldName, indexType string, params map[string]string) error {
+	f, err := c.schema.VectorFieldIndex(fieldName)
+	if err != nil {
+		return err
+	}
+	sn := c.snaps.acquire()
+	defer c.snaps.release(sn)
+	for _, seg := range sn.Segments {
+		if err := seg.BuildIndex(c.schema, f, indexType, params); err != nil {
+			return err
+		}
+		c.persistIndex(seg, f)
+	}
+	return nil
+}
+
+// WaitIndexed blocks until the async index builder has drained (tests and
+// benchmarks that need built indexes deterministically).
+func (c *Collection) WaitIndexed() {
+	for c.pendingIdx.Load() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// SearchOptions carries query-time knobs.
+type SearchOptions struct {
+	Field   string // vector field name; defaults to the first field
+	K       int
+	Nprobe  int
+	Ef      int
+	SearchL int
+	Filter  func(id int64) bool
+}
+
+// Params converts the options to index-level search parameters (without a
+// filter; callers attach the per-segment visibility filter).
+func (o *SearchOptions) Params() index.SearchParams {
+	return index.SearchParams{K: o.K, Nprobe: o.Nprobe, Ef: o.Ef, SearchL: o.SearchL}
+}
+
+// Search runs a top-k vector query over the current snapshot: each segment
+// is searched (index or scan) and per-segment results are merged — the
+// segment is the unit of searching (Sec. 2.3).
+func (c *Collection) Search(query []float32, opts SearchOptions) ([]topk.Result, error) {
+	sn := c.snaps.acquire()
+	defer c.snaps.release(sn)
+	return c.SearchSnapshot(sn, query, opts)
+}
+
+// SearchSnapshot is Search against an explicitly pinned snapshot.
+func (c *Collection) SearchSnapshot(sn *Snapshot, query []float32, opts SearchOptions) ([]topk.Result, error) {
+	f := 0
+	if opts.Field != "" {
+		var err error
+		if f, err = c.schema.VectorFieldIndex(opts.Field); err != nil {
+			return nil, err
+		}
+	}
+	if len(query) != c.schema.VectorFields[f].Dim {
+		return nil, fmt.Errorf("core: query dim %d, field %q wants %d", len(query), c.schema.VectorFields[f].Name, c.schema.VectorFields[f].Dim)
+	}
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("core: K must be positive")
+	}
+	p := opts.Params()
+	segs := sn.Segments
+	if len(segs) == 0 {
+		return nil, nil
+	}
+	results := make([][]topk.Result, len(segs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				sp := p
+				sp.Filter = sn.FilterFor(segs[i].ID, opts.Filter)
+				results[i] = segs[i].Search(c.schema, f, query, sp)
+			}
+		}()
+	}
+	for i := range segs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return topk.Merge(opts.K, results...), nil
+}
+
+// AcquireSnapshot pins the current snapshot for a multi-call read; pair
+// with ReleaseSnapshot.
+func (c *Collection) AcquireSnapshot() *Snapshot { return c.snaps.acquire() }
+
+// ReleaseSnapshot unpins a snapshot acquired with AcquireSnapshot.
+func (c *Collection) ReleaseSnapshot(sn *Snapshot) { c.snaps.release(sn) }
+
+// Get returns the visible entity with the given ID (the newest copy when a
+// delete-then-reinsert left an older tombstoned one behind).
+func (c *Collection) Get(id int64) (*Entity, bool) {
+	sn := c.snaps.acquire()
+	defer c.snaps.release(sn)
+	for i := len(sn.Segments) - 1; i >= 0; i-- {
+		seg := sn.Segments[i]
+		if sn.deletedCovers(id, seg.ID) {
+			continue
+		}
+		p, ok := seg.posOf(id)
+		if !ok {
+			continue
+		}
+		e := &Entity{ID: id}
+		for f := range c.schema.VectorFields {
+			v := seg.Vectors[f].Row(int(p))
+			e.Vectors = append(e.Vectors, append([]float32(nil), v...))
+		}
+		for a := range c.schema.AttrFields {
+			e.Attrs = append(e.Attrs, seg.RawAttrs[a][p])
+		}
+		for cf := range c.schema.CatFields {
+			e.Cats = append(e.Cats, seg.RawCats[cf][p])
+		}
+		return e, true
+	}
+	return nil, false
+}
+
+// Count returns the number of visible entities.
+func (c *Collection) Count() int {
+	sn := c.snaps.acquire()
+	defer c.snaps.release(sn)
+	return sn.LiveRows()
+}
+
+// Stats summarizes the collection's physical state.
+type Stats struct {
+	Segments      int
+	TotalRows     int
+	LiveRows      int
+	Tombstones    int
+	SegmentRows   []int
+	LiveSnapshots int
+}
+
+// Stats returns current physical statistics.
+func (c *Collection) Stats() Stats {
+	sn := c.snaps.acquire()
+	defer c.snaps.release(sn)
+	st := Stats{
+		Segments:      len(sn.Segments),
+		TotalRows:     sn.TotalRows(),
+		LiveRows:      sn.LiveRows(),
+		Tombstones:    len(sn.Deleted),
+		LiveSnapshots: c.snaps.liveSnapshots(),
+	}
+	for _, s := range sn.Segments {
+		st.SegmentRows = append(st.SegmentRows, s.Rows())
+	}
+	sort.Ints(st.SegmentRows)
+	return st
+}
+
+// Close flushes pending writes and stops background workers.
+func (c *Collection) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		err = c.Flush()
+		close(c.stopTimer)
+		c.log.Close()
+		close(c.indexCh)
+		c.indexWG.Wait()
+	})
+	return err
+}
+
+// Abandon stops background workers WITHOUT flushing — it simulates an
+// instance crash (Sec. 5.3): buffered writes die with the process and must
+// be recovered by replaying the write-ahead log from shared storage.
+func (c *Collection) Abandon() {
+	c.closeOnce.Do(func() {
+		close(c.stopTimer)
+		c.log.Close()
+		close(c.indexCh)
+		c.indexWG.Wait()
+	})
+}

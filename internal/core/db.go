@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"vectordb/internal/objstore"
+)
+
+// DB groups named collections over one object store.
+type DB struct {
+	store objstore.Store
+
+	mu          sync.RWMutex
+	collections map[string]*Collection
+}
+
+// NewDB creates a database over store (in-memory store when nil).
+func NewDB(store objstore.Store) *DB {
+	if store == nil {
+		store = objstore.NewMemory()
+	}
+	return &DB{store: store, collections: map[string]*Collection{}}
+}
+
+// Store exposes the underlying object store (shared storage in the
+// distributed deployment).
+func (db *DB) Store() objstore.Store { return db.store }
+
+// CreateCollection creates and registers a collection.
+func (db *DB) CreateCollection(name string, schema Schema, cfg Config) (*Collection, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.collections[name]; dup {
+		return nil, fmt.Errorf("core: collection %q already exists", name)
+	}
+	c, err := NewCollection(name, schema, db.store, cfg)
+	if err != nil {
+		return nil, err
+	}
+	db.collections[name] = c
+	return c, nil
+}
+
+// Collection returns a collection by name.
+func (db *DB) Collection(name string) (*Collection, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c, ok := db.collections[name]
+	if !ok {
+		return nil, fmt.Errorf("core: collection %q does not exist", name)
+	}
+	return c, nil
+}
+
+// DropCollection closes and removes a collection and its stored segments.
+func (db *DB) DropCollection(name string) error {
+	db.mu.Lock()
+	c, ok := db.collections[name]
+	delete(db.collections, name)
+	db.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: collection %q does not exist", name)
+	}
+	if err := c.Close(); err != nil {
+		return err
+	}
+	keys, err := db.store.List(fmt.Sprintf("col/%s/", name))
+	if err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if err := db.store.Delete(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ListCollections returns collection names, sorted.
+func (db *DB) ListCollections() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.collections))
+	for n := range db.collections {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close closes every collection.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var first error
+	for _, c := range db.collections {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	db.collections = map[string]*Collection{}
+	return first
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"vectordb/internal/index"
+	"vectordb/internal/topk"
+	"vectordb/internal/vec"
+)
+
+// Vector fusion (Sec. 4.2): for multi-vector entities, the µ vectors of
+// each entity are stored as one concatenated vector; a multi-vector query
+// with a decomposable similarity function becomes a single vector query by
+// applying the aggregation to the query's sub-vectors. This file implements
+// the fused storage view, the fused index, and the fused search.
+
+// FusedDim is the concatenated dimensionality of all vector fields.
+func (c *Collection) FusedDim() int {
+	d := 0
+	for _, f := range c.schema.VectorFields {
+		d += f.Dim
+	}
+	return d
+}
+
+// fusedMetric validates fusion applicability: every field must share one
+// decomposable metric (inner product always; L2 with equal weights).
+func (c *Collection) fusedMetric() (vec.Metric, error) {
+	if len(c.schema.VectorFields) < 2 {
+		return 0, fmt.Errorf("core: vector fusion needs ≥ 2 vector fields")
+	}
+	m := c.schema.VectorFields[0].Metric
+	for _, f := range c.schema.VectorFields[1:] {
+		if f.Metric != m {
+			return 0, fmt.Errorf("core: vector fusion needs one metric across fields, got %v and %v", m, f.Metric)
+		}
+	}
+	if !m.Decomposable() {
+		return 0, fmt.Errorf("core: metric %v is not decomposable; use iterative merging", m)
+	}
+	return m, nil
+}
+
+// FusedQueryVector folds per-field queries and weights into the single
+// aggregated query of the fusion algorithm: for IP the weights scale the
+// query sub-vectors ([w0·q0, w1·q1, ...]); for L2 only unit weights are
+// decomposable.
+func (c *Collection) FusedQueryVector(queries [][]float32, weights []float32) ([]float32, error) {
+	m, err := c.fusedMetric()
+	if err != nil {
+		return nil, err
+	}
+	if len(queries) != len(c.schema.VectorFields) {
+		return nil, fmt.Errorf("core: %d query vectors for %d fields", len(queries), len(c.schema.VectorFields))
+	}
+	if weights == nil {
+		weights = make([]float32, len(queries))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != len(queries) {
+		return nil, fmt.Errorf("core: %d weights for %d fields", len(weights), len(queries))
+	}
+	out := make([]float32, 0, c.FusedDim())
+	for i, q := range queries {
+		if len(q) != c.schema.VectorFields[i].Dim {
+			return nil, fmt.Errorf("core: query %d has dim %d, want %d", i, len(q), c.schema.VectorFields[i].Dim)
+		}
+		w := weights[i]
+		if m == vec.L2 && w != 1 {
+			return nil, fmt.Errorf("core: weighted L2 is not decomposable; use iterative merging")
+		}
+		for _, x := range q {
+			out = append(out, w*x)
+		}
+	}
+	return out, nil
+}
+
+// BuildFusedIndex builds, on every current segment, an index over the
+// concatenated vector fields.
+func (c *Collection) BuildFusedIndex(indexType string, params map[string]string) error {
+	m, err := c.fusedMetric()
+	if err != nil {
+		return err
+	}
+	sn := c.snaps.acquire()
+	defer c.snaps.release(sn)
+	dim := c.FusedDim()
+	for _, seg := range sn.Segments {
+		b, err := index.NewBuilder(indexType, m, dim, params)
+		if err != nil {
+			return err
+		}
+		idx, err := b.Build(seg.FusedData(), seg.IDs)
+		if err != nil {
+			return fmt.Errorf("core: fused index on segment %d: %w", seg.ID, err)
+		}
+		seg.SetFusedIndex(idx)
+	}
+	return nil
+}
+
+// SearchFused runs the vector-fusion multi-vector query: one top-k search
+// of the aggregated query against the concatenated vectors.
+func (c *Collection) SearchFused(queries [][]float32, weights []float32, opts SearchOptions) ([]topk.Result, error) {
+	fq, err := c.FusedQueryVector(queries, weights)
+	if err != nil {
+		return nil, err
+	}
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("core: K must be positive")
+	}
+	m, _ := c.fusedMetric()
+	sn := c.snaps.acquire()
+	defer c.snaps.release(sn)
+	p := opts.Params()
+	segs := sn.Segments
+	results := make([][]topk.Result, len(segs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				seg := segs[i]
+				p := p
+				p.Filter = sn.FilterFor(seg.ID, opts.Filter)
+				if idx := seg.FusedIndex(); idx != nil {
+					results[i] = idx.Search(fq, p)
+					continue
+				}
+				// Unindexed fused scan: aggregate per-field distances row by
+				// row (identical to scanning the concatenation).
+				dist := m.Dist()
+				h := topk.New(p.K)
+				for r := 0; r < seg.Rows(); r++ {
+					id := seg.IDs[r]
+					if p.Filter != nil && !p.Filter(id) {
+						continue
+					}
+					var d float32
+					off := 0
+					for f := range c.schema.VectorFields {
+						fd := c.schema.VectorFields[f].Dim
+						d += dist(fq[off:off+fd], seg.Vectors[f].Row(r))
+						off += fd
+					}
+					h.Push(id, d)
+				}
+				results[i] = h.Results()
+			}
+		}()
+	}
+	for i := range segs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return topk.Merge(opts.K, results...), nil
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"vectordb/internal/gpu"
+	"vectordb/internal/index"
+	"vectordb/internal/topk"
+)
+
+// GPUSearcher runs collection searches on a fleet of (simulated) GPU
+// devices using the segment-based scheduling of Sec. 3.3: the segment is
+// the unit of searching and scheduling, each segment-level search task is
+// served by exactly one device (sticky, so segment data is not duplicated
+// across devices), and new tasks go to the least-loaded device — so a GPU
+// installed at runtime immediately picks up the next task. Results are
+// computed exactly on the host; the devices' virtual clocks price the plan.
+type GPUSearcher struct {
+	col   *Collection
+	sched *gpu.Scheduler
+}
+
+// NewGPUSearcher wraps a collection with a device scheduler.
+func NewGPUSearcher(col *Collection, sched *gpu.Scheduler) (*GPUSearcher, error) {
+	if sched == nil || sched.Devices() == 0 {
+		return nil, fmt.Errorf("core: GPU search needs at least one device")
+	}
+	return &GPUSearcher{col: col, sched: sched}, nil
+}
+
+// Scheduler exposes the scheduler (elastic add/remove of devices).
+func (g *GPUSearcher) Scheduler() *gpu.Scheduler { return g.sched }
+
+// GPUSearchStats prices one search.
+type GPUSearchStats struct {
+	Segments      int
+	Makespan      time.Duration // max device busy time for this search
+	TransferBytes int64
+}
+
+// Search answers a top-k query: every segment's scan is assigned to a
+// device, the segment's vector data is made resident (transferring over
+// PCIe on a miss), the scan kernel is charged, and per-segment results are
+// merged on the host.
+func (g *GPUSearcher) Search(query []float32, opts SearchOptions) ([]topk.Result, GPUSearchStats, error) {
+	field := 0
+	var err error
+	if opts.Field != "" {
+		if field, err = g.col.schema.VectorFieldIndex(opts.Field); err != nil {
+			return nil, GPUSearchStats{}, err
+		}
+	}
+	if opts.K <= 0 {
+		return nil, GPUSearchStats{}, fmt.Errorf("core: K must be positive")
+	}
+	sn := g.col.snaps.acquire()
+	defer g.col.snaps.release(sn)
+
+	var stats GPUSearchStats
+	stats.Segments = len(sn.Segments)
+	start := map[int]time.Duration{}
+	lists := make([][]topk.Result, 0, len(sn.Segments))
+	dim := g.col.schema.VectorFields[field].Dim
+	for _, seg := range sn.Segments {
+		key := fmt.Sprintf("gpu/%s/seg/%d/f%d", g.col.Name, seg.ID, field)
+		dev, err := g.sched.Assign(key)
+		if err != nil {
+			return nil, stats, err
+		}
+		if _, tracked := start[dev.ID()]; !tracked {
+			start[dev.ID()] = dev.Clock()
+		}
+		bytes := int64(seg.Rows()) * int64(dim) * 4
+		if tb, err := dev.EnsureResident([]string{key}, []int64{bytes}); err == nil {
+			stats.TransferBytes += tb
+		}
+		dev.RunKernel(int64(seg.Rows()) * int64(dim))
+
+		sp := index.SearchParams{K: opts.K, Nprobe: opts.Nprobe, Ef: opts.Ef, SearchL: opts.SearchL}
+		sp.Filter = sn.FilterFor(seg.ID, opts.Filter)
+		lists = append(lists, seg.Search(g.col.schema, field, query, sp))
+	}
+	for id, s0 := range start {
+		if d, ok := g.sched.Device(id); ok {
+			if delta := d.Clock() - s0; delta > stats.Makespan {
+				stats.Makespan = delta
+			}
+		}
+	}
+	return topk.Merge(opts.K, lists...), stats, nil
+}

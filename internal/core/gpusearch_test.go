@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"vectordb/internal/gpu"
+)
+
+func TestGPUSearcherMatchesCPUResults(t *testing.T) {
+	c := newTestCollection(t, 8)
+	ents := mkEntities(200, 8, 70)
+	c.Insert(ents)
+	c.Flush()
+	sched := gpu.NewScheduler()
+	sched.AddDevice(gpu.NewDevice(0, gpu.Config{}))
+	sched.AddDevice(gpu.NewDevice(1, gpu.Config{}))
+	gs, err := NewGPUSearcher(c, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ents[11].Vectors[0]
+	got, stats, err := gs.Search(q, SearchOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Search(q, SearchOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: gpu %v vs cpu %v", i, got[i], want[i])
+		}
+	}
+	if stats.Segments == 0 || stats.Makespan <= 0 || stats.TransferBytes <= 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Warm second search: segments resident, no transfer.
+	_, stats2, err := gs.Search(q, SearchOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.TransferBytes != 0 {
+		t.Fatalf("warm search transferred %d bytes", stats2.TransferBytes)
+	}
+}
+
+func TestGPUSearcherSegmentStickiness(t *testing.T) {
+	c := newTestCollection(t, 4)
+	for b := 0; b < 3; b++ {
+		ents := mkEntities(64, 4, int64(80+b))
+		for i := range ents {
+			ents[i].ID = int64(b*64 + i + 1)
+		}
+		c.Insert(ents)
+		c.Flush()
+	}
+	sched := gpu.NewScheduler()
+	d0 := gpu.NewDevice(0, gpu.Config{})
+	d1 := gpu.NewDevice(1, gpu.Config{})
+	sched.AddDevice(d0)
+	sched.AddDevice(d1)
+	gs, err := NewGPUSearcher(c, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float32, 4)
+	if _, _, err := gs.Search(q, SearchOptions{K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Segment data must not be duplicated across devices ("each segment can
+	// only be served by a single GPU device").
+	if d0.ResidentBytes() > 0 && d1.ResidentBytes() > 0 {
+		total := d0.ResidentBytes() + d1.ResidentBytes()
+		sn := c.AcquireSnapshot()
+		var dataBytes int64
+		for _, s := range sn.Segments {
+			dataBytes += int64(s.Rows()) * 4 * 4
+		}
+		c.ReleaseSnapshot(sn)
+		if total != dataBytes {
+			t.Fatalf("resident %d bytes, segments hold %d (duplication?)", total, dataBytes)
+		}
+	}
+}
+
+func TestGPUSearcherErrors(t *testing.T) {
+	c := newTestCollection(t, 4)
+	if _, err := NewGPUSearcher(c, nil); err == nil {
+		t.Fatal("nil scheduler accepted")
+	}
+	if _, err := NewGPUSearcher(c, gpu.NewScheduler()); err == nil {
+		t.Fatal("empty scheduler accepted")
+	}
+	sched := gpu.NewScheduler()
+	sched.AddDevice(gpu.NewDevice(0, gpu.Config{}))
+	gs, _ := NewGPUSearcher(c, sched)
+	c.Insert(mkEntities(10, 4, 90))
+	c.Flush()
+	if _, _, err := gs.Search(make([]float32, 4), SearchOptions{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, _, err := gs.Search(make([]float32, 4), SearchOptions{K: 1, Field: "zz"}); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}

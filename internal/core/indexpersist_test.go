@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"vectordb/internal/index"
+	"vectordb/internal/objstore"
+	"vectordb/internal/vec"
+)
+
+func TestIndexBlobFraming(t *testing.T) {
+	name, blob, err := DecodeIndexBlob(EncodeIndexBlob("IVF_FLAT", []byte{1, 2, 3}))
+	if err != nil || name != "IVF_FLAT" || len(blob) != 3 || blob[2] != 3 {
+		t.Fatalf("round trip: %q %v %v", name, blob, err)
+	}
+	if _, _, err := DecodeIndexBlob([]byte{1}); err == nil {
+		t.Error("short blob accepted")
+	}
+	if _, _, err := DecodeIndexBlob([]byte{255, 255, 255, 255, 'x'}); err == nil {
+		t.Error("overrunning name accepted")
+	}
+}
+
+func TestBuildIndexPersistsAndReloads(t *testing.T) {
+	store := objstore.NewMemory()
+	cfg := testConfig()
+	cfg.FlushRows = 256 // keep the 200 rows in one segment
+	c, err := NewCollection("p", testSchema(8), store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Insert(mkEntities(200, 8, 50))
+	c.Flush()
+	if err := c.BuildIndex("v", "IVF_FLAT", map[string]string{"nlist": "8", "iter": "4"}); err != nil {
+		t.Fatal(err)
+	}
+	segKey := c.SegmentKeys()[0]
+	idx, ok := LoadSegmentIndex(store, segKey, 0, vec.L2, 8)
+	if !ok {
+		t.Fatal("index not persisted")
+	}
+	if idx.Name() != "IVF_FLAT" || idx.Size() != 200 {
+		t.Fatalf("reloaded index: %s size %d", idx.Name(), idx.Size())
+	}
+	// The reloaded index must answer queries identically to the live one.
+	sn := c.AcquireSnapshot()
+	defer c.ReleaseSnapshot(sn)
+	live := sn.Segments[0].Index(0)
+	q := mkEntities(1, 8, 51)[0].Vectors[0]
+	p := index.SearchParams{K: 5, Nprobe: 8}
+	a := live.Search(q, p)
+	b := idx.Search(q, p)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d: live %v vs reloaded %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHNSWPersistsAndReloads(t *testing.T) {
+	store := objstore.NewMemory()
+	cfg := testConfig()
+	cfg.FlushRows = 256
+	c, err := NewCollection("ph", testSchema(8), store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Insert(mkEntities(150, 8, 52))
+	c.Flush()
+	if err := c.BuildIndex("v", "HNSW", map[string]string{"m": "8", "ef_construction": "32"}); err != nil {
+		t.Fatal(err)
+	}
+	segKey := c.SegmentKeys()[0]
+	idx, ok := LoadSegmentIndex(store, segKey, 0, vec.L2, 8)
+	if !ok {
+		t.Fatal("HNSW index not persisted")
+	}
+	sn := c.AcquireSnapshot()
+	defer c.ReleaseSnapshot(sn)
+	live := sn.Segments[0].Index(0)
+	q := mkEntities(1, 8, 53)[0].Vectors[0]
+	p := index.SearchParams{K: 5, Ef: 64}
+	a := live.Search(q, p)
+	b := idx.Search(q, p)
+	if len(a) != len(b) {
+		t.Fatalf("result counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d: live %v vs reloaded %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGCDropsPersistedIndexes(t *testing.T) {
+	store := objstore.NewMemory()
+	cfg := testConfig()
+	cfg.IndexRows = 64 // auto-index every flushed segment
+	cfg.IndexParams = map[string]string{"nlist": "4", "iter": "2"}
+	c, err := NewCollection("gci", testSchema(8), store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for b := 0; b < 4; b++ {
+		ents := mkEntities(64, 8, int64(60+b))
+		for i := range ents {
+			ents[i].ID = int64(b*64 + i + 1)
+		}
+		c.Insert(ents)
+		c.Flush()
+	}
+	// Post-merge, only the merged segment's blobs (data + index) remain.
+	keys, err := store.List("col/gci/seg/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) > 2 {
+		t.Fatalf("stale blobs after merge GC: %v", keys)
+	}
+}
+
+func TestUnknownUnmarshalerRejected(t *testing.T) {
+	if _, err := index.Unmarshal("ANNOY", vec.L2, 4, nil); err == nil {
+		t.Fatal("ANNOY has no persistence but Unmarshal succeeded")
+	}
+}

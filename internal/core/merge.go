@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/bits"
+
+	"vectordb/internal/colstore"
+)
+
+// mergeLocked applies the tiered merge policy of Sec. 2.3 (as in Apache
+// Lucene): segments are grouped into size tiers; whenever a tier holds at
+// least MergeFactor segments and the merged result stays under
+// MaxSegmentRows, those segments are merged into one. Tombstoned rows are
+// physically dropped during the merge ("the obsoleted vectors are removed
+// during segment merge"), and fully compacted tombstones leave the
+// snapshot's deleted set. Caller holds c.mu.
+func (c *Collection) mergeLocked() error {
+	for {
+		sn := c.snaps.acquire()
+		group := c.pickMergeGroup(sn)
+		if group == nil {
+			c.snaps.release(sn)
+			return nil
+		}
+		merged, err := c.mergeSegments(group, sn)
+		if err != nil {
+			c.snaps.release(sn)
+			return err
+		}
+
+		inGroup := map[int64]bool{}
+		for _, s := range group {
+			inGroup[s.ID] = true
+		}
+		var segments []*Segment
+		for _, s := range sn.Segments {
+			if !inGroup[s.ID] {
+				segments = append(segments, s)
+			}
+		}
+		if merged != nil {
+			segments = append(segments, merged)
+		}
+
+		// Tombstones whose rows are now physically gone everywhere are
+		// resolved.
+		deleted := map[int64]int64{}
+		next := &Snapshot{ID: c.allocSnapID(), Segments: segments, Deleted: deleted}
+		for id, seq := range sn.Deleted {
+			if next.tombstoneLive(id, seq) {
+				deleted[id] = seq
+			}
+		}
+		c.snaps.release(sn)
+		c.snaps.install(next)
+		if merged != nil {
+			c.scheduleIndex(merged)
+		}
+	}
+}
+
+// tierOf buckets a segment by size: tier t covers [FlushRows·2^t,
+// FlushRows·2^(t+1)), so "approximately equal sizes" share a tier.
+func (c *Collection) tierOf(rows int) int {
+	if rows < c.cfg.FlushRows {
+		return 0
+	}
+	return bits.Len(uint(rows / c.cfg.FlushRows))
+}
+
+// pickMergeGroup returns the first tier with at least MergeFactor segments
+// whose combined size respects MaxSegmentRows, or nil.
+func (c *Collection) pickMergeGroup(sn *Snapshot) []*Segment {
+	tiers := map[int][]*Segment{}
+	for _, s := range sn.Segments {
+		if s.Rows() >= c.cfg.MaxSegmentRows {
+			continue // size limit reached; this segment stops merging
+		}
+		t := c.tierOf(s.Rows())
+		tiers[t] = append(tiers[t], s)
+	}
+	for t := 0; t <= 64; t++ {
+		group := tiers[t]
+		if len(group) < c.cfg.MergeFactor {
+			continue
+		}
+		group = group[:c.cfg.MergeFactor]
+		total := 0
+		for _, s := range group {
+			total += s.Rows()
+		}
+		if total > c.cfg.MaxSegmentRows {
+			continue
+		}
+		return group
+	}
+	return nil
+}
+
+// mergeSegments concatenates the group's live rows into one new segment.
+// Returns nil if every row was tombstoned.
+func (c *Collection) mergeSegments(group []*Segment, sn *Snapshot) (*Segment, error) {
+	var totalRows int
+	for _, s := range group {
+		totalRows += s.Rows()
+	}
+	c.nextSeg++
+	seg := &Segment{ID: c.nextSeg}
+	seg.IDs = make([]int64, 0, totalRows)
+	dims := make([]int, len(c.schema.VectorFields))
+	data := make([][]float32, len(c.schema.VectorFields))
+	for f, vf := range c.schema.VectorFields {
+		dims[f] = vf.Dim
+		data[f] = make([]float32, 0, totalRows*vf.Dim)
+	}
+	raw := make([][]int64, len(c.schema.AttrFields))
+	rawCats := make([][]string, len(c.schema.CatFields))
+	for _, s := range group {
+		for r := 0; r < s.Rows(); r++ {
+			id := s.IDs[r]
+			if sn.deletedCovers(id, s.ID) {
+				continue
+			}
+			seg.IDs = append(seg.IDs, id)
+			for f := range data {
+				data[f] = append(data[f], s.Vectors[f].Row(r)...)
+			}
+			for a := range raw {
+				raw[a] = append(raw[a], s.RawAttrs[a][r])
+			}
+			for cf := range rawCats {
+				rawCats[cf] = append(rawCats[cf], s.RawCats[cf][r])
+			}
+		}
+	}
+	if len(seg.IDs) == 0 {
+		return nil, nil
+	}
+	for f := range data {
+		seg.Vectors = append(seg.Vectors, colstore.NewVectorColumn(dims[f], data[f]))
+	}
+	seg.RawAttrs = raw
+	seg.RawCats = rawCats
+	seg.buildAttrColumns()
+	blob, err := seg.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.store.Put(c.segmentKey(seg.ID), blob); err != nil {
+		return nil, err
+	}
+	return seg, nil
+}

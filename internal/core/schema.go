@@ -1,0 +1,128 @@
+// Package core implements the single-node vector data management engine —
+// the paper's primary contribution assembled from the substrate packages:
+// LSM-based dynamic data management with snapshot isolation (Sec. 2.3, 5.2),
+// columnar entity storage (Sec. 2.4), asynchronous write-ahead logging
+// (Sec. 5.1), per-segment vector indexes with asynchronous builds
+// (Sec. 2.2/2.3), and the segment-granular search path that the advanced
+// query processing of Sec. 4 runs on.
+package core
+
+import (
+	"fmt"
+
+	"vectordb/internal/vec"
+)
+
+// VectorField declares one vector field of an entity (entities may carry
+// multiple vectors, Sec. 2.1).
+type VectorField struct {
+	Name   string
+	Dim    int
+	Metric vec.Metric
+}
+
+// Schema declares a collection's entity layout: one or more vector fields,
+// optional numerical attributes, and optional categorical (string)
+// attributes indexed with inverted lists (the Sec. 2.1 extension).
+type Schema struct {
+	VectorFields []VectorField
+	AttrFields   []string
+	CatFields    []string
+}
+
+// Validate checks structural invariants.
+func (s *Schema) Validate() error {
+	if len(s.VectorFields) == 0 {
+		return fmt.Errorf("core: schema needs at least one vector field")
+	}
+	seen := map[string]bool{}
+	for _, f := range s.VectorFields {
+		if f.Name == "" {
+			return fmt.Errorf("core: vector field with empty name")
+		}
+		if f.Dim <= 0 {
+			return fmt.Errorf("core: vector field %q has dim %d", f.Name, f.Dim)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("core: duplicate field name %q", f.Name)
+		}
+		seen[f.Name] = true
+	}
+	for _, a := range s.AttrFields {
+		if a == "" {
+			return fmt.Errorf("core: attribute field with empty name")
+		}
+		if seen[a] {
+			return fmt.Errorf("core: duplicate field name %q", a)
+		}
+		seen[a] = true
+	}
+	for _, c := range s.CatFields {
+		if c == "" {
+			return fmt.Errorf("core: categorical field with empty name")
+		}
+		if seen[c] {
+			return fmt.Errorf("core: duplicate field name %q", c)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
+// CatFieldIndex resolves a categorical field name to its position.
+func (s *Schema) CatFieldIndex(name string) (int, error) {
+	for i, c := range s.CatFields {
+		if c == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown categorical field %q", name)
+}
+
+// VectorFieldIndex resolves a vector field name to its position.
+func (s *Schema) VectorFieldIndex(name string) (int, error) {
+	for i, f := range s.VectorFields {
+		if f.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown vector field %q", name)
+}
+
+// AttrFieldIndex resolves an attribute field name to its position.
+func (s *Schema) AttrFieldIndex(name string) (int, error) {
+	for i, a := range s.AttrFields {
+		if a == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown attribute field %q", name)
+}
+
+// Entity is one row: an ID, one vector per schema vector field, and one
+// value per schema attribute field.
+type Entity struct {
+	ID      int64
+	Vectors [][]float32
+	Attrs   []int64
+	Cats    []string
+}
+
+// validateEntity checks e against the schema.
+func (s *Schema) validateEntity(e *Entity) error {
+	if len(e.Vectors) != len(s.VectorFields) {
+		return fmt.Errorf("core: entity %d has %d vectors, schema wants %d", e.ID, len(e.Vectors), len(s.VectorFields))
+	}
+	for i, v := range e.Vectors {
+		if len(v) != s.VectorFields[i].Dim {
+			return fmt.Errorf("core: entity %d field %q: dim %d, want %d", e.ID, s.VectorFields[i].Name, len(v), s.VectorFields[i].Dim)
+		}
+	}
+	if len(e.Attrs) != len(s.AttrFields) {
+		return fmt.Errorf("core: entity %d has %d attrs, schema wants %d", e.ID, len(e.Attrs), len(s.AttrFields))
+	}
+	if len(e.Cats) != len(s.CatFields) {
+		return fmt.Errorf("core: entity %d has %d categorical values, schema wants %d", e.ID, len(e.Cats), len(s.CatFields))
+	}
+	return nil
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"vectordb/internal/colstore"
+	"vectordb/internal/index"
+	"vectordb/internal/topk"
+)
+
+// Segment is an immutable on-disk/in-memory unit of data — "the basic unit
+// of searching, scheduling, and buffering" (Sec. 2.3). Both data and any
+// built index live in the segment. Data never changes after creation;
+// building an index produces a new Version of the same segment (Sec. 5.2).
+type Segment struct {
+	ID      int64
+	Version int
+	IDs     []int64
+	Vectors []*colstore.VectorColumn // one per schema vector field
+	// RawAttrs[i][r] is attribute field i of row r (aligned with IDs);
+	// Attrs[i] is the same data sorted by value with skip pointers
+	// (Sec. 2.4). RawAttrs answers by-ID lookups, Attrs answers ranges.
+	RawAttrs [][]int64
+	Attrs    []*colstore.AttributeColumn
+	// RawCats/Cats are the categorical analogues: row-aligned string values
+	// plus per-value inverted lists (the Sec. 2.1 extension).
+	RawCats [][]string
+	Cats    []*colstore.CategoricalColumn
+
+	idPosOnce sync.Once
+	idPos     map[int64]int32
+
+	indexMu sync.RWMutex
+	indexes []index.Index // per vector field; nil = unindexed (brute scan)
+	fused   index.Index   // optional index over concatenated vector fields
+}
+
+// Rows returns the segment's row count.
+func (s *Segment) Rows() int { return len(s.IDs) }
+
+// SizeBytes approximates the segment's memory footprint (data only).
+func (s *Segment) SizeBytes() int64 {
+	var b int64 = int64(len(s.IDs)) * 8
+	for _, v := range s.Vectors {
+		b += int64(len(v.Data)) * 4
+	}
+	for _, a := range s.Attrs {
+		b += int64(a.Len()) * 16
+	}
+	return b
+}
+
+func (s *Segment) posOf(id int64) (int32, bool) {
+	s.idPosOnce.Do(func() {
+		s.idPos = make(map[int64]int32, len(s.IDs))
+		for i, rid := range s.IDs {
+			s.idPos[rid] = int32(i)
+		}
+	})
+	p, ok := s.idPos[id]
+	return p, ok
+}
+
+// VectorByID returns the field vector of an entity, if present.
+func (s *Segment) VectorByID(field int, id int64) ([]float32, bool) {
+	p, ok := s.posOf(id)
+	if !ok {
+		return nil, false
+	}
+	return s.Vectors[field].Row(int(p)), true
+}
+
+// AttrByID returns the attribute value of an entity, if present.
+func (s *Segment) AttrByID(attr int, id int64) (int64, bool) {
+	p, ok := s.posOf(id)
+	if !ok {
+		return 0, false
+	}
+	return s.RawAttrs[attr][p], true
+}
+
+// buildAttrColumns derives the sorted attribute columns from RawAttrs and
+// the inverted categorical columns from RawCats.
+func (s *Segment) buildAttrColumns() {
+	s.Attrs = make([]*colstore.AttributeColumn, len(s.RawAttrs))
+	for i, raw := range s.RawAttrs {
+		s.Attrs[i] = colstore.BuildAttributeColumn(raw, s.IDs)
+	}
+	s.Cats = make([]*colstore.CategoricalColumn, len(s.RawCats))
+	for i, raw := range s.RawCats {
+		s.Cats[i] = colstore.BuildCategoricalColumn(raw, s.IDs)
+	}
+}
+
+// CatByID returns the categorical value of an entity, if present.
+func (s *Segment) CatByID(cat int, id int64) (string, bool) {
+	p, ok := s.posOf(id)
+	if !ok {
+		return "", false
+	}
+	return s.RawCats[cat][p], true
+}
+
+// SetIndex installs a built index for a vector field, bumping the version
+// (a new segment version is generated "upon ... building index", Sec. 5.2).
+func (s *Segment) SetIndex(field int, idx index.Index) {
+	s.indexMu.Lock()
+	if s.indexes == nil {
+		s.indexes = make([]index.Index, len(s.Vectors))
+	}
+	s.indexes[field] = idx
+	s.Version++
+	s.indexMu.Unlock()
+}
+
+// Index returns the field's index, if built.
+func (s *Segment) Index(field int) index.Index {
+	s.indexMu.RLock()
+	defer s.indexMu.RUnlock()
+	if s.indexes == nil {
+		return nil
+	}
+	return s.indexes[field]
+}
+
+// SetFusedIndex installs an index over the concatenation of all vector
+// fields (vector fusion, Sec. 4.2).
+func (s *Segment) SetFusedIndex(idx index.Index) {
+	s.indexMu.Lock()
+	s.fused = idx
+	s.Version++
+	s.indexMu.Unlock()
+}
+
+// FusedIndex returns the fused index, if built.
+func (s *Segment) FusedIndex() index.Index {
+	s.indexMu.RLock()
+	defer s.indexMu.RUnlock()
+	return s.fused
+}
+
+// FusedData materializes the row-major concatenation of all vector fields.
+func (s *Segment) FusedData() []float32 {
+	total := 0
+	for _, v := range s.Vectors {
+		total += v.Dim
+	}
+	out := make([]float32, 0, total*s.Rows())
+	for r := 0; r < s.Rows(); r++ {
+		for _, v := range s.Vectors {
+			out = append(out, v.Row(r)...)
+		}
+	}
+	return out
+}
+
+// Search runs a top-k query on one vector field of this segment, using the
+// built index when present and an exact scan otherwise (small segments are
+// searched without indexes, Sec. 2.3).
+func (s *Segment) Search(schema *Schema, field int, query []float32, p index.SearchParams) []topk.Result {
+	if idx := s.Index(field); idx != nil {
+		return idx.Search(query, p)
+	}
+	dist := schema.VectorFields[field].Metric.Dist()
+	col := s.Vectors[field]
+	h := topk.New(p.K)
+	for i, id := range s.IDs {
+		if p.Filter != nil && !p.Filter(id) {
+			continue
+		}
+		h.Push(id, dist(query, col.Row(i)))
+	}
+	return h.Results()
+}
+
+// BuildIndex builds (synchronously) an index of the named type over one
+// vector field.
+func (s *Segment) BuildIndex(schema *Schema, field int, indexType string, params map[string]string) error {
+	f := schema.VectorFields[field]
+	b, err := index.NewBuilder(indexType, f.Metric, f.Dim, params)
+	if err != nil {
+		return err
+	}
+	idx, err := b.Build(s.Vectors[field].Data, s.IDs)
+	if err != nil {
+		return fmt.Errorf("core: segment %d field %q: %w", s.ID, f.Name, err)
+	}
+	s.SetIndex(field, idx)
+	return nil
+}
+
+// Marshal serializes the segment's data (not its indexes) for the object
+// store: IDs, packed vector fields, raw attribute arrays (the sorted
+// columns with skip pointers are rebuilt on load).
+func (s *Segment) Marshal() ([]byte, error) {
+	packed, err := colstore.PackFields(s.Vectors)
+	if err != nil {
+		return nil, err
+	}
+	parts := [][]byte{colstore.MarshalIDs(s.IDs), packed}
+	for _, raw := range s.RawAttrs {
+		parts = append(parts, colstore.MarshalIDs(raw))
+	}
+	for _, raw := range s.RawCats {
+		parts = append(parts, colstore.MarshalStrings(raw))
+	}
+	var out []byte
+	header := make([]byte, 12)
+	binary.LittleEndian.PutUint64(header[0:], uint64(s.ID))
+	binary.LittleEndian.PutUint32(header[8:], uint32(len(parts)))
+	out = append(out, header...)
+	for _, p := range parts {
+		l := make([]byte, 4)
+		binary.LittleEndian.PutUint32(l, uint32(len(p)))
+		out = append(out, l...)
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// UnmarshalSegment reverses Segment.Marshal. nattrs and ncats must match
+// the schema the segment was written under.
+func UnmarshalSegment(data []byte, nattrs int, ncats ...int) (*Segment, error) {
+	nc := 0
+	if len(ncats) > 0 {
+		nc = ncats[0]
+	}
+	if len(data) < 12 {
+		return nil, fmt.Errorf("core: segment blob too short")
+	}
+	seg := &Segment{ID: int64(binary.LittleEndian.Uint64(data[0:]))}
+	nparts := int(binary.LittleEndian.Uint32(data[8:]))
+	if nparts != 2+nattrs+nc {
+		return nil, fmt.Errorf("core: segment blob has %d parts, want %d", nparts, 2+nattrs+nc)
+	}
+	off := 12
+	parts := make([][]byte, nparts)
+	for i := 0; i < nparts; i++ {
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("core: segment blob truncated")
+		}
+		l := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if off+l > len(data) {
+			return nil, fmt.Errorf("core: segment blob part %d overruns", i)
+		}
+		parts[i] = data[off : off+l]
+		off += l
+	}
+	var err error
+	if seg.IDs, err = colstore.UnmarshalIDs(parts[0]); err != nil {
+		return nil, err
+	}
+	if seg.Vectors, err = colstore.UnpackFields(parts[1]); err != nil {
+		return nil, err
+	}
+	for i := 0; i < nattrs; i++ {
+		raw, err := colstore.UnmarshalIDs(parts[2+i])
+		if err != nil {
+			return nil, err
+		}
+		seg.RawAttrs = append(seg.RawAttrs, raw)
+	}
+	for i := 0; i < nc; i++ {
+		raw, err := colstore.UnmarshalStrings(parts[2+nattrs+i])
+		if err != nil {
+			return nil, err
+		}
+		seg.RawCats = append(seg.RawCats, raw)
+	}
+	seg.buildAttrColumns()
+	return seg, nil
+}

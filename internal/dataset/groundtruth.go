@@ -1,0 +1,40 @@
+package dataset
+
+import (
+	"runtime"
+	"sync"
+
+	"vectordb/internal/topk"
+	"vectordb/internal/vec"
+)
+
+// GroundTruth computes the exact top-k neighbors of every query by parallel
+// brute force; it is the reference for recall (Sec. 7.1).
+func GroundTruth(d *Dataset, queries []float32, k int, metric vec.Metric) [][]topk.Result {
+	nq := len(queries) / d.Dim
+	out := make([][]topk.Result, nq)
+	dist := metric.Dist()
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for qi := range next {
+				q := queries[qi*d.Dim : (qi+1)*d.Dim]
+				h := topk.New(k)
+				for i := 0; i < d.N; i++ {
+					h.Push(int64(i), dist(q, d.Row(i)))
+				}
+				out[qi] = h.Results()
+			}
+		}()
+	}
+	for qi := 0; qi < nq; qi++ {
+		next <- qi
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny keeps the smoke tests fast; shape assertions use the benchmark
+// harness and EXPERIMENTS.md, not these tests.
+var tiny = Scale{N: 1500, NQ: 8, K: 10}
+
+func TestRegistryRunsEveryExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc := tiny
+			if name == "ablation-largek" {
+				sc.N = 5000
+			}
+			tab, err := Run(name, sc)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s: empty table", name)
+			}
+			if len(tab.Header) == 0 {
+				t.Fatalf("%s: missing header", name)
+			}
+			for i, r := range tab.Rows {
+				if len(r) != len(tab.Header) {
+					t.Fatalf("%s: row %d has %d cells for %d columns", name, i, len(r), len(tab.Header))
+				}
+			}
+		})
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", tiny); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tab := &Table{Name: "x", Title: "demo", Header: []string{"a", "b"}, Notes: []string{"n1"}}
+	tab.Add("v", 1.5)
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"demo", "a", "1.500", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fprint output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig13ShapeHolds(t *testing.T) {
+	// N must stay well above the device memory (cfg sizes it at N·dim/4
+	// bytes) for the transfer to dominate through batch 500, as in the
+	// paper's SIFT1B-vs-16GB setting.
+	tab, err := Run("fig13", Scale{N: 16000, NQ: 8, K: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pure GPU must be slower than pure CPU on every row; SQ8H never the
+	// slowest.
+	for _, r := range tab.Rows {
+		cpu, gpu, hyb := parseMS(t, r[1]), parseMS(t, r[2]), parseMS(t, r[3])
+		if gpu <= cpu {
+			t.Errorf("batch %s: gpu %v ≤ cpu %v", r[0], gpu, cpu)
+		}
+		if hyb > gpu {
+			t.Errorf("batch %s: sq8h %v slower than pure gpu %v", r[0], hyb, gpu)
+		}
+	}
+}
+
+func parseMS(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "ms"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}

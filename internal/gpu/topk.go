@@ -1,0 +1,78 @@
+package gpu
+
+import (
+	"sort"
+
+	"vectordb/internal/topk"
+)
+
+// TopKLargeK implements the round-by-round large-k retrieval of Sec. 3.3.
+// A real GPU kernel can only return MaxKernelK (1024) results per launch due
+// to shared-memory limits; for k up to 16384 Milvus runs multiple rounds:
+// each round takes the next MaxKernelK results, remembering the previous
+// round's worst distance dl and the IDs tied at dl, and filters out anything
+// already returned (distance < dl, or distance == dl with a recorded ID).
+//
+// ids/dists are the candidate pool computed by the scan kernel; the device
+// is charged one kernel pass over the remaining pool per round.
+func (d *Device) TopKLargeK(ids []int64, dists []float32, k int) []topk.Result {
+	if k <= 0 || len(ids) == 0 {
+		return nil
+	}
+	if k > len(ids) {
+		k = len(ids)
+	}
+	maxK := d.cfg.MaxKernelK
+	out := make([]topk.Result, 0, k)
+	var dl float32
+	tied := map[int64]struct{}{}
+	first := true
+	for len(out) < k {
+		need := k - len(out)
+		if need > maxK {
+			need = maxK
+		}
+		// One kernel launch: selection over the pool. Charge pool size.
+		d.RunKernel(int64(len(ids)))
+		h := topk.New(need)
+		for i, id := range ids {
+			dist := dists[i]
+			if !first {
+				if dist < dl {
+					continue // already returned in an earlier round
+				}
+				if dist == dl {
+					if _, dup := tied[id]; dup {
+						continue
+					}
+				}
+			}
+			h.Push(id, dist)
+		}
+		round := h.Results()
+		if len(round) == 0 {
+			break // pool exhausted
+		}
+		out = append(out, round...)
+		newDl := round[len(round)-1].Distance
+		if first || newDl != dl {
+			dl = newDl
+			tied = map[int64]struct{}{}
+		}
+		// Record every returned ID tied at the new dl so the next round can
+		// exclude them without excluding distinct vectors at equal distance.
+		for _, r := range out {
+			if r.Distance == dl {
+				tied[r.ID] = struct{}{}
+			}
+		}
+		first = false
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

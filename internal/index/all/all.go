@@ -1,0 +1,13 @@
+// Package all registers every built-in index type with the index registry,
+// in the manner of database/sql drivers. Import it for side effects:
+//
+//	import _ "vectordb/internal/index/all"
+package all
+
+import (
+	_ "vectordb/internal/index/annoy"
+	_ "vectordb/internal/index/flat"
+	_ "vectordb/internal/index/hnsw"
+	_ "vectordb/internal/index/ivf"
+	_ "vectordb/internal/index/nsg"
+)

@@ -1,0 +1,108 @@
+package annoy
+
+import (
+	"testing"
+
+	"vectordb/internal/dataset"
+	"vectordb/internal/index"
+	"vectordb/internal/metric"
+	"vectordb/internal/vec"
+)
+
+func buildForest(t *testing.T, d *dataset.Dataset, ntrees, leaf int) *Forest {
+	t.Helper()
+	b := &Builder{Metric: vec.L2, Dim: d.Dim, NTrees: ntrees, LeafSize: leaf}
+	idx, err := b.Build(d.Data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx.(*Forest)
+}
+
+func TestEveryTreeCoversAllItems(t *testing.T) {
+	d := dataset.DeepLike(700, 1)
+	f := buildForest(t, d, 4, 16)
+	if len(f.trees) != 4 {
+		t.Fatalf("%d trees", len(f.trees))
+	}
+	for ti, root := range f.trees {
+		count := 0
+		stack := []int32{root}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			nd := &f.nodes[n]
+			if nd.normal == nil {
+				count += len(nd.items)
+				continue
+			}
+			stack = append(stack, nd.left, nd.right)
+		}
+		if count != d.N {
+			t.Fatalf("tree %d covers %d/%d items", ti, count, d.N)
+		}
+	}
+}
+
+func TestMoreTreesImproveRecall(t *testing.T) {
+	d := dataset.DeepLike(2500, 2)
+	qs := dataset.Queries(d, 12, 3)
+	gt := dataset.GroundTruth(d, qs, 10, vec.L2)
+	small := buildForest(t, d, 2, 32)
+	big := buildForest(t, d, 16, 32)
+	budget := 300
+	rSmall := metric.MeanRecall(gt, index.SearchBatch(small, qs, index.SearchParams{K: 10, Ef: budget}))
+	rBig := metric.MeanRecall(gt, index.SearchBatch(big, qs, index.SearchParams{K: 10, Ef: budget}))
+	if rBig < rSmall-0.05 {
+		t.Fatalf("16 trees (%f) worse than 2 trees (%f) at equal budget", rBig, rSmall)
+	}
+	if big.MemoryBytes() <= small.MemoryBytes() {
+		t.Fatal("more trees did not cost more memory")
+	}
+}
+
+func TestBudgetImprovesRecall(t *testing.T) {
+	d := dataset.DeepLike(2000, 4)
+	qs := dataset.Queries(d, 10, 5)
+	gt := dataset.GroundTruth(d, qs, 10, vec.L2)
+	f := buildForest(t, d, 8, 32)
+	var last float64 = -1
+	for _, budget := range []int{50, 400, 2000} {
+		r := metric.MeanRecall(gt, index.SearchBatch(f, qs, index.SearchParams{K: 10, Ef: budget}))
+		if r < last-0.05 {
+			t.Fatalf("recall decreased with budget: %f -> %f", last, r)
+		}
+		last = r
+	}
+	if last < 0.9 {
+		t.Fatalf("recall at budget 2000 only %.3f", last)
+	}
+}
+
+func TestDuplicateDataDoesNotRecurseForever(t *testing.T) {
+	// All-identical vectors force the degenerate random split path and the
+	// depth cap.
+	data := make([]float32, 200*4)
+	for i := range data {
+		data[i] = 1
+	}
+	b := &Builder{Metric: vec.L2, Dim: 4, NTrees: 2, LeafSize: 4}
+	idx, err := b.Build(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := idx.Search([]float32{1, 1, 1, 1}, index.SearchParams{K: 5})
+	if len(res) != 5 {
+		t.Fatalf("%d results on duplicate data", len(res))
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := NewBuilderFromParams(vec.Tanimoto, 8, nil); err == nil {
+		t.Error("binary metric accepted")
+	}
+	b, err := NewBuilderFromParams(vec.L2, 8, map[string]string{"ntrees": "3", "leaf": "9"})
+	if err != nil || b.NTrees != 3 || b.LeafSize != 9 {
+		t.Errorf("params: %+v, %v", b, err)
+	}
+}

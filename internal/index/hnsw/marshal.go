@@ -1,0 +1,138 @@
+package hnsw
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"vectordb/internal/index"
+	"vectordb/internal/vec"
+)
+
+// Persistence for HNSW: vectors, IDs and the full layered adjacency
+// serialize into one blob stored with the segment (Sec. 2.3).
+
+func init() {
+	index.RegisterUnmarshaler("HNSW", func(metric vec.Metric, dim int, data []byte) (index.Index, error) {
+		return unmarshalHNSW(metric, dim, data)
+	})
+}
+
+const hnswMagic = uint32(0x484E5357) // "HNSW"
+
+// MarshalIndex implements index.Marshaler.
+func (h *HNSW) MarshalIndex() ([]byte, error) {
+	var buf []byte
+	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	u32(hnswMagic)
+	u32(uint32(h.m))
+	u32(uint32(h.efc))
+	u32(uint32(h.entry))
+	u32(uint32(h.maxLevel))
+	u32(uint32(len(h.ids)))
+	for _, id := range h.ids {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(id))
+	}
+	u32(uint32(len(h.data)))
+	for _, x := range h.data {
+		u32(math.Float32bits(x))
+	}
+	for _, levels := range h.links {
+		u32(uint32(len(levels)))
+		for _, nbrs := range levels {
+			u32(uint32(len(nbrs)))
+			for _, nb := range nbrs {
+				u32(uint32(nb))
+			}
+		}
+	}
+	return buf, nil
+}
+
+func unmarshalHNSW(metric vec.Metric, dim int, data []byte) (index.Index, error) {
+	off := 0
+	u32 := func() (uint32, error) {
+		if off+4 > len(data) {
+			return 0, fmt.Errorf("hnsw: truncated index blob at %d", off)
+		}
+		v := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		return v, nil
+	}
+	magic, err := u32()
+	if err != nil || magic != hnswMagic {
+		return nil, fmt.Errorf("hnsw: bad index blob magic")
+	}
+	h := &HNSW{metric: metric, dim: dim, dist: metric.Dist()}
+	rd := func(dst *int) error {
+		v, err := u32()
+		*dst = int(v)
+		return err
+	}
+	if err := firstErr(rd(&h.m), rd(&h.efc), rd(&h.entry), rd(&h.maxLevel)); err != nil {
+		return nil, err
+	}
+	h.mmax0 = 2 * h.m
+	h.ml = 1 / math.Log(float64(h.m))
+	var n int
+	if err := rd(&n); err != nil {
+		return nil, err
+	}
+	if off+8*n > len(data) {
+		return nil, fmt.Errorf("hnsw: truncated id section")
+	}
+	h.ids = make([]int64, n)
+	for i := range h.ids {
+		h.ids[i] = int64(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+	}
+	var nd int
+	if err := rd(&nd); err != nil {
+		return nil, err
+	}
+	if nd != n*dim || off+4*nd > len(data) {
+		return nil, fmt.Errorf("hnsw: vector section has %d floats, want %d", nd, n*dim)
+	}
+	h.data = make([]float32, nd)
+	for i := range h.data {
+		h.data[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+	}
+	h.links = make([][][]int32, n)
+	for node := 0; node < n; node++ {
+		var nl int
+		if err := rd(&nl); err != nil {
+			return nil, err
+		}
+		levels := make([][]int32, nl)
+		for l := 0; l < nl; l++ {
+			var deg int
+			if err := rd(&deg); err != nil {
+				return nil, err
+			}
+			if off+4*deg > len(data) {
+				return nil, fmt.Errorf("hnsw: truncated adjacency")
+			}
+			nbrs := make([]int32, deg)
+			for i := range nbrs {
+				nbrs[i] = int32(binary.LittleEndian.Uint32(data[off:]))
+				off += 4
+			}
+			levels[l] = nbrs
+		}
+		h.links[node] = levels
+	}
+	if h.entry >= n || (n > 0 && h.entry < 0) {
+		return nil, fmt.Errorf("hnsw: entry point %d out of range", h.entry)
+	}
+	return h, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

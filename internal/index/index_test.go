@@ -1,0 +1,88 @@
+package index_test
+
+import (
+	"testing"
+
+	"vectordb/internal/index"
+	_ "vectordb/internal/index/all"
+	"vectordb/internal/vec"
+)
+
+func TestRegistryListsAllBuiltins(t *testing.T) {
+	names := index.Names()
+	want := []string{"ANNOY", "FLAT", "HNSW", "IVF_FLAT", "IVF_PQ", "IVF_SQ8", "RNSG"}
+	if len(names) < len(want) {
+		t.Fatalf("Names() = %v, want at least %v", names, want)
+	}
+	set := map[string]bool{}
+	for _, n := range names {
+		set[n] = true
+	}
+	for _, w := range want {
+		if !set[w] {
+			t.Errorf("index %q not registered", w)
+		}
+	}
+}
+
+func TestNewBuilderUnknown(t *testing.T) {
+	if _, err := index.NewBuilder("NOPE", vec.L2, 8, nil); err == nil {
+		t.Fatal("unknown index accepted")
+	}
+}
+
+func TestNewBuilderBadDim(t *testing.T) {
+	if _, err := index.NewBuilder("FLAT", vec.L2, 0, nil); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+}
+
+func TestParamInt(t *testing.T) {
+	v, err := index.ParamInt(map[string]string{"x": "42"}, "x", 7)
+	if err != nil || v != 42 {
+		t.Fatalf("ParamInt = %d, %v", v, err)
+	}
+	v, err = index.ParamInt(nil, "x", 7)
+	if err != nil || v != 7 {
+		t.Fatalf("ParamInt default = %d, %v", v, err)
+	}
+	if _, err := index.ParamInt(map[string]string{"x": "abc"}, "x", 7); err == nil {
+		t.Fatal("bad int accepted")
+	}
+}
+
+func TestValidateBuildInput(t *testing.T) {
+	if _, err := index.ValidateBuildInput([]float32{1, 2, 3}, nil, 2); err == nil {
+		t.Error("ragged data accepted")
+	}
+	if _, err := index.ValidateBuildInput(nil, nil, 2); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := index.ValidateBuildInput([]float32{1, 2}, []int64{1, 2}, 2); err == nil {
+		t.Error("mismatched ids accepted")
+	}
+	n, err := index.ValidateBuildInput([]float32{1, 2, 3, 4}, []int64{7, 8}, 2)
+	if err != nil || n != 2 {
+		t.Errorf("valid input rejected: %d, %v", n, err)
+	}
+}
+
+func TestIDsOrDefault(t *testing.T) {
+	ids := index.IDsOrDefault(nil, 3)
+	if len(ids) != 3 || ids[0] != 0 || ids[2] != 2 {
+		t.Fatalf("identity ids = %v", ids)
+	}
+	custom := []int64{9, 8}
+	if got := index.IDsOrDefault(custom, 2); &got[0] != &custom[0] {
+		t.Fatal("custom ids were copied")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	index.Register("FLAT", nil)
+}

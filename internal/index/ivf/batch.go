@@ -1,0 +1,161 @@
+package ivf
+
+import (
+	"runtime"
+	"sync"
+
+	"vectordb/internal/index"
+	"vectordb/internal/quantizer"
+	"vectordb/internal/topk"
+	"vectordb/internal/vec"
+)
+
+// SearchBatch is the cache-aware multi-query path of Sec. 3.2.1 applied to
+// the inverted file: instead of each query streaming its probed buckets
+// independently, the batch is inverted into a bucket → queries plan, every
+// bucket is scanned once for all the queries that probe it, and — exactly
+// as the paper prescribes to avoid synchronization — results accumulate in
+// one heap per (worker, query) pair, merged at the end. A bucket's vectors
+// therefore pass through the CPU caches once per batch rather than once per
+// query, with no locks on the hot path.
+func (x *IVF) SearchBatch(queries []float32, p index.SearchParams) [][]topk.Result {
+	nq := len(queries) / x.dim
+	if nq == 0 {
+		return nil
+	}
+	// Step 1: probe order per query (itself a multi-query problem over the
+	// centroid table).
+	probes := make([][]int, nq)
+	for qi := 0; qi < nq; qi++ {
+		probes[qi] = x.ProbeOrder(queries[qi*x.dim:(qi+1)*x.dim], p.Nprobe)
+	}
+
+	// Invert to bucket → queries.
+	byBucket := make(map[int][]int32, x.nlist)
+	for qi, pr := range probes {
+		for _, b := range pr {
+			byBucket[b] = append(byBucket[b], int32(qi))
+		}
+	}
+	buckets := make([]int, 0, len(byBucket))
+	for b := range byBucket {
+		buckets = append(buckets, b)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(buckets) {
+		workers = len(buckets)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// One heap per (worker, query): lock-free accumulation (Fig. 3's
+	// H_{r,j} matrix), lazily allocated since a worker usually touches only
+	// a slice of the batch.
+	perWorker := make([][]*topk.Heap, workers)
+	// PQ amortization: one ADC table per query, built once up front.
+	var tabs []*quantizer.ADCTable
+	if x.fine == FinePQ {
+		tabs = make([]*quantizer.ADCTable, nq)
+		for qi := 0; qi < nq; qi++ {
+			tabs[qi] = x.pqTable(queries[qi*x.dim : (qi+1)*x.dim])
+		}
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			heaps := make([]*topk.Heap, nq)
+			perWorker[w] = heaps
+			heapFor := func(qi int32) *topk.Heap {
+				h := heaps[qi]
+				if h == nil {
+					h = topk.New(p.K)
+					heaps[qi] = h
+				}
+				return h
+			}
+			for b := range next {
+				x.scanBucketForQueries(queries, b, byBucket[b], p, heapFor, tabs)
+			}
+		}(w)
+	}
+	for _, b := range buckets {
+		next <- b
+	}
+	close(next)
+	wg.Wait()
+
+	// Merge the per-worker heaps of each query.
+	out := make([][]topk.Result, nq)
+	lists := make([][]topk.Result, 0, workers)
+	for qi := 0; qi < nq; qi++ {
+		lists = lists[:0]
+		for w := 0; w < workers; w++ {
+			if h := perWorker[w][qi]; h != nil {
+				lists = append(lists, h.Snapshot())
+			}
+		}
+		out[qi] = topk.Merge(p.K, lists...)
+	}
+	return out
+}
+
+// scanBucketForQueries streams one bucket once, comparing every vector
+// against every query that probes the bucket.
+func (x *IVF) scanBucketForQueries(queries []float32, bucket int, qis []int32, p index.SearchParams, heapFor func(int32) *topk.Heap, tabs []*quantizer.ADCTable) {
+	ids := x.ids[bucket]
+	if len(ids) == 0 {
+		return
+	}
+	switch x.fine {
+	case FineFlat:
+		dist := x.metric.Dist()
+		vecsB := x.vecs[bucket]
+		for i, id := range ids {
+			if p.Filter != nil && !p.Filter(id) {
+				continue
+			}
+			row := vecsB[i*x.dim : (i+1)*x.dim]
+			for _, qi := range qis {
+				heapFor(qi).Push(id, dist(queries[int(qi)*x.dim:(int(qi)+1)*x.dim], row))
+			}
+		}
+	case FineSQ8:
+		codes := x.codes[bucket]
+		cs := x.sq8.CodeSize()
+		ip := x.metric == vec.IP
+		for i, id := range ids {
+			if p.Filter != nil && !p.Filter(id) {
+				continue
+			}
+			code := codes[i*cs : (i+1)*cs]
+			for _, qi := range qis {
+				q := queries[int(qi)*x.dim : (int(qi)+1)*x.dim]
+				var d float32
+				if ip {
+					d = -x.sq8.Dot(q, code)
+				} else {
+					d = x.sq8.L2Squared(q, code)
+				}
+				heapFor(qi).Push(id, d)
+			}
+		}
+	case FinePQ:
+		codes := x.codes[bucket]
+		cs := x.pq.CodeSize()
+		for i, id := range ids {
+			if p.Filter != nil && !p.Filter(id) {
+				continue
+			}
+			code := codes[i*cs : (i+1)*cs]
+			for _, qi := range qis {
+				heapFor(qi).Push(id, tabs[qi].Distance(code))
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package ivf
+
+import (
+	"testing"
+
+	"vectordb/internal/dataset"
+	"vectordb/internal/index"
+	"vectordb/internal/vec"
+)
+
+func TestSearchBatchMatchesPerQuery(t *testing.T) {
+	d := dataset.DeepLike(1500, 11)
+	qs := dataset.Queries(d, 23, 12)
+	for _, fine := range []Fine{FineFlat, FineSQ8, FinePQ} {
+		x := buildIVF(t, fine, d, 16)
+		p := index.SearchParams{K: 10, Nprobe: 4}
+		batch := x.SearchBatch(qs, p)
+		if len(batch) != 23 {
+			t.Fatalf("%s: %d batch results", x.Name(), len(batch))
+		}
+		for qi := 0; qi < 23; qi++ {
+			single := x.Search(qs[qi*d.Dim:(qi+1)*d.Dim], p)
+			if len(single) != len(batch[qi]) {
+				t.Fatalf("%s query %d: %d vs %d results", x.Name(), qi, len(batch[qi]), len(single))
+			}
+			for i := range single {
+				if single[i] != batch[qi][i] {
+					t.Fatalf("%s query %d rank %d: %v vs %v", x.Name(), qi, i, batch[qi][i], single[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSearchBatchFilter(t *testing.T) {
+	d := dataset.DeepLike(600, 13)
+	x := buildIVF(t, FineFlat, d, 8)
+	qs := dataset.Queries(d, 4, 14)
+	p := index.SearchParams{K: 5, Nprobe: 8, Filter: func(id int64) bool { return id%3 == 0 }}
+	for _, res := range x.SearchBatch(qs, p) {
+		for _, r := range res {
+			if r.ID%3 != 0 {
+				t.Fatalf("filter violated: %d", r.ID)
+			}
+		}
+	}
+}
+
+func TestSearchBatchEmpty(t *testing.T) {
+	d := dataset.DeepLike(100, 15)
+	x := buildIVF(t, FineFlat, d, 4)
+	if got := x.SearchBatch(nil, index.SearchParams{K: 3}); got != nil {
+		t.Fatalf("empty batch returned %v", got)
+	}
+}
+
+func BenchmarkBatchVsPerQuery(b *testing.B) {
+	d := dataset.SIFTLike(20000, 16)
+	bld := &Builder{Fine: FineFlat, Metric: vec.L2, Dim: d.Dim, Nlist: 64, MaxIter: 4}
+	idx, err := bld.Build(d.Data, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := idx.(*IVF)
+	qs := dataset.Queries(d, 128, 17)
+	p := index.SearchParams{K: 50, Nprobe: 16}
+	b.Run("per-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for qi := 0; qi < 128; qi++ {
+				x.Search(qs[qi*d.Dim:(qi+1)*d.Dim], p)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			x.SearchBatch(qs, p)
+		}
+	})
+}

@@ -1,0 +1,374 @@
+// Package ivf implements the quantization-based index family of Sec. 3.1:
+// IVF_FLAT, IVF_SQ8 and IVF_PQ. All three share the same coarse quantizer —
+// a K-means codebook clustering vectors into nlist buckets — and differ only
+// in the fine quantizer used inside each bucket:
+//
+//	IVF_FLAT — original float vectors
+//	IVF_SQ8  — 1-byte-per-dimension scalar quantization (4× smaller)
+//	IVF_PQ   — product quantization (M bytes per vector)
+//
+// Query processing follows the paper's two steps: (1) rank bucket centroids
+// against the query and keep the nprobe closest; (2) scan each probed bucket
+// with the fine quantizer's distance. nprobe trades accuracy for speed.
+package ivf
+
+import (
+	"fmt"
+
+	"vectordb/internal/index"
+	"vectordb/internal/kmeans"
+	"vectordb/internal/quantizer"
+	"vectordb/internal/topk"
+	"vectordb/internal/vec"
+)
+
+// Fine identifies the fine quantizer.
+type Fine int
+
+const (
+	FineFlat Fine = iota
+	FineSQ8
+	FinePQ
+)
+
+func (f Fine) name() string {
+	switch f {
+	case FineFlat:
+		return "IVF_FLAT"
+	case FineSQ8:
+		return "IVF_SQ8"
+	case FinePQ:
+		return "IVF_PQ"
+	}
+	return "IVF_?"
+}
+
+func init() {
+	for _, f := range []Fine{FineFlat, FineSQ8, FinePQ} {
+		fine := f
+		index.Register(fine.name(), func(metric vec.Metric, dim int, params map[string]string) (index.Builder, error) {
+			return NewBuilderFromParams(fine, metric, dim, params)
+		})
+	}
+}
+
+// Builder builds IVF indexes.
+type Builder struct {
+	Fine    Fine
+	Metric  vec.Metric
+	Dim     int
+	Nlist   int // coarse buckets; 0 = auto (≈ n/64, clamped to [1, 4096])
+	Nprobe  int // default probe count; 0 = max(1, Nlist/16)
+	PQM     int // IVF_PQ: sub-quantizers; 0 = auto (largest divisor of dim ≤ dim/2 and ≤ 16)
+	PQKs    int // IVF_PQ: centroids per sub-space; 0 = 256
+	MaxIter int // K-means iterations
+	Seed    int64
+}
+
+// NewBuilderFromParams parses the registry string parameters
+// (nlist, nprobe, m, ks, iter, seed).
+func NewBuilderFromParams(fine Fine, metric vec.Metric, dim int, params map[string]string) (*Builder, error) {
+	b := &Builder{Fine: fine, Metric: metric, Dim: dim}
+	var err error
+	if b.Nlist, err = index.ParamInt(params, "nlist", 0); err != nil {
+		return nil, err
+	}
+	if b.Nprobe, err = index.ParamInt(params, "nprobe", 0); err != nil {
+		return nil, err
+	}
+	if b.PQM, err = index.ParamInt(params, "m", 0); err != nil {
+		return nil, err
+	}
+	if b.PQKs, err = index.ParamInt(params, "ks", 0); err != nil {
+		return nil, err
+	}
+	if b.MaxIter, err = index.ParamInt(params, "iter", 10); err != nil {
+		return nil, err
+	}
+	seed, err := index.ParamInt(params, "seed", 1)
+	if err != nil {
+		return nil, err
+	}
+	b.Seed = int64(seed)
+	if metric.Binary() {
+		return nil, fmt.Errorf("ivf: %s does not support binary metric %v", fine.name(), metric)
+	}
+	return b, nil
+}
+
+func autoNlist(n int) int {
+	nl := n / 64
+	if nl < 1 {
+		nl = 1
+	}
+	if nl > 4096 {
+		nl = 4096
+	}
+	return nl
+}
+
+func autoPQM(dim int) int {
+	for _, m := range []int{16, 8, 4, 2, 1} {
+		if m <= dim/2 && dim%m == 0 {
+			return m
+		}
+	}
+	return 1
+}
+
+// Build trains the coarse (and fine) quantizers and assigns every vector to
+// its bucket.
+func (b *Builder) Build(data []float32, ids []int64) (index.Index, error) {
+	n, err := index.ValidateBuildInput(data, ids, b.Dim)
+	if err != nil {
+		return nil, err
+	}
+	ids = index.IDsOrDefault(ids, n)
+	nlist := b.Nlist
+	if nlist <= 0 {
+		nlist = autoNlist(n)
+	}
+	if nlist > n {
+		nlist = n
+	}
+	iter := b.MaxIter
+	if iter <= 0 {
+		iter = 10
+	}
+	seed := b.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	coarse, err := kmeans.Train(data, b.Dim, kmeans.Config{K: nlist, MaxIter: iter, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("ivf: coarse quantizer: %w", err)
+	}
+
+	idx := &IVF{
+		fine:      b.Fine,
+		metric:    b.Metric,
+		dim:       b.Dim,
+		nlist:     nlist,
+		coarse:    coarse,
+		ids:       make([][]int64, nlist),
+		nprobeDef: b.Nprobe,
+		size:      n,
+	}
+	if idx.nprobeDef <= 0 {
+		idx.nprobeDef = nlist / 16
+		if idx.nprobeDef < 1 {
+			idx.nprobeDef = 1
+		}
+	}
+
+	switch b.Fine {
+	case FineFlat:
+		idx.vecs = make([][]float32, nlist)
+	case FineSQ8:
+		idx.sq8, err = quantizer.TrainSQ8(data, b.Dim)
+		if err != nil {
+			return nil, fmt.Errorf("ivf: sq8: %w", err)
+		}
+		idx.codes = make([][]uint8, nlist)
+	case FinePQ:
+		m := b.PQM
+		if m <= 0 {
+			m = autoPQM(b.Dim)
+		}
+		ks := b.PQKs
+		if ks <= 0 {
+			ks = 256
+		}
+		if ks > n {
+			ks = n
+		}
+		idx.pq, err = quantizer.TrainPQ(data, b.Dim, quantizer.PQConfig{M: m, Ks: ks, MaxIter: iter, Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("ivf: pq: %w", err)
+		}
+		idx.codes = make([][]uint8, nlist)
+	}
+
+	for i := 0; i < n; i++ {
+		row := data[i*b.Dim : (i+1)*b.Dim]
+		c, _ := coarse.Assign(row)
+		idx.ids[c] = append(idx.ids[c], ids[i])
+		switch b.Fine {
+		case FineFlat:
+			idx.vecs[c] = append(idx.vecs[c], row...)
+		case FineSQ8:
+			idx.codes[c] = append(idx.codes[c], idx.sq8.Encode(row, nil)...)
+		case FinePQ:
+			idx.codes[c] = append(idx.codes[c], idx.pq.Encode(row, nil)...)
+		}
+	}
+	return idx, nil
+}
+
+// IVF is a built inverted-file index.
+type IVF struct {
+	fine      Fine
+	metric    vec.Metric
+	dim       int
+	nlist     int
+	coarse    *kmeans.Result
+	ids       [][]int64
+	vecs      [][]float32 // FineFlat
+	codes     [][]uint8   // FineSQ8 / FinePQ
+	sq8       *quantizer.SQ8
+	pq        *quantizer.PQ
+	nprobeDef int
+	size      int
+}
+
+// Name implements index.Index.
+func (x *IVF) Name() string { return x.fine.name() }
+
+// Metric implements index.Index.
+func (x *IVF) Metric() vec.Metric { return x.metric }
+
+// Dim implements index.Index.
+func (x *IVF) Dim() int { return x.dim }
+
+// Size implements index.Index.
+func (x *IVF) Size() int { return x.size }
+
+// Nlist returns the number of coarse buckets.
+func (x *IVF) Nlist() int { return x.nlist }
+
+// MemoryBytes implements index.Index.
+func (x *IVF) MemoryBytes() int64 {
+	var b int64
+	b += int64(len(x.coarse.Centroids)) * 4
+	for _, l := range x.ids {
+		b += int64(len(l)) * 8
+	}
+	for _, v := range x.vecs {
+		b += int64(len(v)) * 4
+	}
+	for _, c := range x.codes {
+		b += int64(len(c))
+	}
+	return b
+}
+
+// CodeBytesPerVector returns the fine-quantized size of one vector, used by
+// the GPU cost model.
+func (x *IVF) CodeBytesPerVector() int {
+	switch x.fine {
+	case FineFlat:
+		return x.dim * 4
+	case FineSQ8:
+		return x.sq8.CodeSize()
+	case FinePQ:
+		return x.pq.CodeSize()
+	}
+	return 0
+}
+
+// ProbeOrder ranks bucket indices by centroid distance to query (step 1 of
+// Sec. 3.1) and returns the nprobe closest.
+func (x *IVF) ProbeOrder(query []float32, nprobe int) []int {
+	if nprobe <= 0 {
+		nprobe = x.nprobeDef
+	}
+	if nprobe > x.nlist {
+		nprobe = x.nlist
+	}
+	dist := x.metric.Dist()
+	h := topk.New(nprobe)
+	for c := 0; c < x.nlist; c++ {
+		h.Push(int64(c), dist(query, x.coarse.Centroid(c)))
+	}
+	rs := h.Results()
+	out := make([]int, len(rs))
+	for i, r := range rs {
+		out[i] = int(r.ID)
+	}
+	return out
+}
+
+// ScanBucket scans one bucket (step 2 of Sec. 3.1), pushing candidates that
+// pass filter into h.
+func (x *IVF) ScanBucket(query []float32, bucket int, filter func(int64) bool, h *topk.Heap) {
+	ids := x.ids[bucket]
+	switch x.fine {
+	case FineFlat:
+		dist := x.metric.Dist()
+		vecsB := x.vecs[bucket]
+		for i, id := range ids {
+			if filter != nil && !filter(id) {
+				continue
+			}
+			h.Push(id, dist(query, vecsB[i*x.dim:(i+1)*x.dim]))
+		}
+	case FineSQ8:
+		codes := x.codes[bucket]
+		cs := x.sq8.CodeSize()
+		ip := x.metric == vec.IP
+		for i, id := range ids {
+			if filter != nil && !filter(id) {
+				continue
+			}
+			code := codes[i*cs : (i+1)*cs]
+			var d float32
+			if ip {
+				d = -x.sq8.Dot(query, code)
+			} else {
+				d = x.sq8.L2Squared(query, code)
+			}
+			h.Push(id, d)
+		}
+	case FinePQ:
+		// Per-bucket table construction would dominate small buckets; the
+		// caller-side table is built once per query in Search. ScanBucket on
+		// PQ therefore builds it lazily here only when called directly.
+		tab := x.pqTable(query)
+		x.scanBucketPQ(tab, bucket, filter, h)
+	}
+}
+
+func (x *IVF) pqTable(query []float32) *quantizer.ADCTable {
+	if x.metric == vec.IP {
+		return x.pq.IPTable(query)
+	}
+	return x.pq.L2Table(query)
+}
+
+func (x *IVF) scanBucketPQ(tab *quantizer.ADCTable, bucket int, filter func(int64) bool, h *topk.Heap) {
+	ids := x.ids[bucket]
+	codes := x.codes[bucket]
+	cs := x.pq.CodeSize()
+	for i, id := range ids {
+		if filter != nil && !filter(id) {
+			continue
+		}
+		h.Push(id, tab.Distance(codes[i*cs:(i+1)*cs]))
+	}
+}
+
+// Search implements index.Index.
+func (x *IVF) Search(query []float32, p index.SearchParams) []topk.Result {
+	probes := x.ProbeOrder(query, p.Nprobe)
+	h := topk.New(p.K)
+	if x.fine == FinePQ {
+		tab := x.pqTable(query)
+		for _, b := range probes {
+			x.scanBucketPQ(tab, b, p.Filter, h)
+		}
+		return h.Results()
+	}
+	for _, b := range probes {
+		x.ScanBucket(query, b, p.Filter, h)
+	}
+	return h.Results()
+}
+
+// BucketIDs exposes the row IDs of a bucket (GPU scheduling, tests).
+func (x *IVF) BucketIDs(bucket int) []int64 { return x.ids[bucket] }
+
+// BucketLen returns the population of a bucket.
+func (x *IVF) BucketLen(bucket int) int { return len(x.ids[bucket]) }
+
+// Centroid exposes coarse centroid c (used by the SQ8H GPU step).
+func (x *IVF) Centroid(c int) []float32 { return x.coarse.Centroid(c) }

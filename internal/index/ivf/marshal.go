@@ -1,0 +1,213 @@
+package ivf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"vectordb/internal/index"
+	"vectordb/internal/kmeans"
+	"vectordb/internal/quantizer"
+	"vectordb/internal/vec"
+)
+
+// Persistence for the IVF family: the built index (coarse centroids, fine
+// quantizer state, bucket contents) serializes into one blob stored next to
+// its segment (Sec. 2.3), so a reader loads the index rather than
+// re-training it.
+
+func init() {
+	for _, f := range []Fine{FineFlat, FineSQ8, FinePQ} {
+		fine := f
+		index.RegisterUnmarshaler(fine.name(), func(metric vec.Metric, dim int, data []byte) (index.Index, error) {
+			return unmarshalIVF(fine, metric, dim, data)
+		})
+	}
+}
+
+const ivfMagic = uint32(0x49564631) // "IVF1"
+
+type blobWriter struct{ buf []byte }
+
+func (w *blobWriter) u32(v uint32)  { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *blobWriter) u64(v uint64)  { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *blobWriter) f32(v float32) { w.u32(math.Float32bits(v)) }
+func (w *blobWriter) floats(xs []float32) {
+	w.u32(uint32(len(xs)))
+	for _, x := range xs {
+		w.f32(x)
+	}
+}
+func (w *blobWriter) bytes(bs []byte) {
+	w.u32(uint32(len(bs)))
+	w.buf = append(w.buf, bs...)
+}
+func (w *blobWriter) ids(xs []int64) {
+	w.u32(uint32(len(xs)))
+	for _, x := range xs {
+		w.u64(uint64(x))
+	}
+}
+
+type blobReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *blobReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("ivf: truncated index blob at offset %d", r.off)
+	}
+}
+
+func (r *blobReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *blobReader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *blobReader) f32() float32 { return math.Float32frombits(r.u32()) }
+
+func (r *blobReader) floats() []float32 {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+4*n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = r.f32()
+	}
+	return out
+}
+
+func (r *blobReader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:r.off+n])
+	r.off += n
+	return out
+}
+
+func (r *blobReader) ids() []int64 {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+8*n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(r.u64())
+	}
+	return out
+}
+
+// MarshalIndex implements index.Marshaler.
+func (x *IVF) MarshalIndex() ([]byte, error) {
+	w := &blobWriter{}
+	w.u32(ivfMagic)
+	w.u32(uint32(x.fine))
+	w.u32(uint32(x.nlist))
+	w.u32(uint32(x.nprobeDef))
+	w.u32(uint32(x.size))
+	w.floats(x.coarse.Centroids)
+	switch x.fine {
+	case FineSQ8:
+		w.floats(x.sq8.Min)
+		w.floats(x.sq8.Step)
+	case FinePQ:
+		w.u32(uint32(x.pq.M))
+		w.u32(uint32(x.pq.Ks))
+		for _, cb := range x.pq.Codebooks {
+			w.floats(cb)
+		}
+	}
+	for b := 0; b < x.nlist; b++ {
+		w.ids(x.ids[b])
+		switch x.fine {
+		case FineFlat:
+			w.floats(x.vecs[b])
+		default:
+			w.bytes(x.codes[b])
+		}
+	}
+	return w.buf, nil
+}
+
+func unmarshalIVF(fine Fine, metric vec.Metric, dim int, data []byte) (index.Index, error) {
+	r := &blobReader{buf: data}
+	if r.u32() != ivfMagic {
+		return nil, fmt.Errorf("ivf: bad index blob magic")
+	}
+	if Fine(r.u32()) != fine {
+		return nil, fmt.Errorf("ivf: blob fine-quantizer mismatch")
+	}
+	x := &IVF{fine: fine, metric: metric, dim: dim}
+	x.nlist = int(r.u32())
+	x.nprobeDef = int(r.u32())
+	x.size = int(r.u32())
+	cents := r.floats()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(cents) != x.nlist*dim {
+		return nil, fmt.Errorf("ivf: centroid matrix has %d floats, want %d", len(cents), x.nlist*dim)
+	}
+	x.coarse = &kmeans.Result{K: x.nlist, Dim: dim, Centroids: cents}
+	switch fine {
+	case FineSQ8:
+		x.sq8 = &quantizer.SQ8{Dim: dim, Min: r.floats(), Step: r.floats()}
+		if r.err == nil && (len(x.sq8.Min) != dim || len(x.sq8.Step) != dim) {
+			return nil, fmt.Errorf("ivf: sq8 state has wrong dimensionality")
+		}
+	case FinePQ:
+		m := int(r.u32())
+		ks := int(r.u32())
+		if r.err != nil || m <= 0 || dim%m != 0 || ks <= 0 || ks > 256 {
+			return nil, fmt.Errorf("ivf: bad pq header (m=%d ks=%d)", m, ks)
+		}
+		pq := &quantizer.PQ{Dim: dim, M: m, SubDim: dim / m, Ks: ks}
+		for i := 0; i < m; i++ {
+			pq.Codebooks = append(pq.Codebooks, r.floats())
+		}
+		x.pq = pq
+	}
+	x.ids = make([][]int64, x.nlist)
+	if fine == FineFlat {
+		x.vecs = make([][]float32, x.nlist)
+	} else {
+		x.codes = make([][]uint8, x.nlist)
+	}
+	for b := 0; b < x.nlist; b++ {
+		x.ids[b] = r.ids()
+		switch fine {
+		case FineFlat:
+			x.vecs[b] = r.floats()
+		default:
+			x.codes[b] = r.bytes()
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return x, nil
+}

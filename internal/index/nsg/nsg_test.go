@@ -1,0 +1,108 @@
+package nsg
+
+import (
+	"testing"
+
+	"vectordb/internal/dataset"
+	"vectordb/internal/index"
+	"vectordb/internal/metric"
+	"vectordb/internal/vec"
+)
+
+func buildNSG(t *testing.T, d *dataset.Dataset) *NSG {
+	t.Helper()
+	b := &Builder{Metric: vec.L2, Dim: d.Dim, KNN: 16, R: 24, L: 48}
+	idx, err := b.Build(d.Data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx.(*NSG)
+}
+
+func TestEveryNodeReachableFromNavigator(t *testing.T) {
+	d := dataset.DeepLike(1200, 1)
+	g := buildNSG(t, d)
+	reached := map[int32]bool{int32(g.nav): true}
+	stack := []int32{int32(g.nav)}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range g.links[cur] {
+			if !reached[nb] {
+				reached[nb] = true
+				stack = append(stack, nb)
+			}
+		}
+	}
+	if len(reached) != d.N {
+		t.Fatalf("reachable %d/%d nodes", len(reached), d.N)
+	}
+}
+
+func TestNavigatorIsMedoid(t *testing.T) {
+	d := dataset.DeepLike(300, 2)
+	g := buildNSG(t, d)
+	// The navigating node must be the point closest to the dataset mean.
+	mean := make([]float32, d.Dim)
+	for i := 0; i < d.N; i++ {
+		for j, x := range d.Row(i) {
+			mean[j] += x
+		}
+	}
+	for j := range mean {
+		mean[j] /= float32(d.N)
+	}
+	navDist := vec.L2Squared(mean, g.vecAt(g.nav))
+	for i := 0; i < d.N; i++ {
+		if vec.L2Squared(mean, g.vecAt(i)) < navDist-1e-6 {
+			t.Fatalf("node %d closer to mean than navigator", i)
+		}
+	}
+}
+
+func TestSearchLImprovesRecall(t *testing.T) {
+	d := dataset.DeepLike(2500, 3)
+	qs := dataset.Queries(d, 12, 4)
+	gt := dataset.GroundTruth(d, qs, 10, vec.L2)
+	g := buildNSG(t, d)
+	var last float64 = -1
+	for _, l := range []int{16, 64, 200} {
+		got := index.SearchBatch(g, qs, index.SearchParams{K: 10, SearchL: l})
+		r := metric.MeanRecall(gt, got)
+		if r < last-0.03 {
+			t.Fatalf("recall decreased with SearchL: %f -> %f", last, r)
+		}
+		last = r
+	}
+	if last < 0.9 {
+		t.Fatalf("recall at L=200 only %.3f", last)
+	}
+}
+
+func TestDegreeBounded(t *testing.T) {
+	d := dataset.DeepLike(800, 5)
+	g := buildNSG(t, d)
+	over := 0
+	for _, nbrs := range g.links {
+		// ensureReachable may add a handful of extra edges past R.
+		if len(nbrs) > g.r+4 {
+			over++
+		}
+	}
+	if over > d.N/100 {
+		t.Fatalf("%d nodes far exceed the degree bound", over)
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := NewBuilderFromParams(vec.Jaccard, 8, nil); err == nil {
+		t.Error("binary metric accepted")
+	}
+	b, err := NewBuilderFromParams(vec.L2, 8, map[string]string{"knn": "9", "r": "11", "l": "33"})
+	if err != nil || b.KNN != 9 || b.R != 11 || b.L != 33 {
+		t.Errorf("params: %+v, %v", b, err)
+	}
+	if _, err := NewBuilderFromParams(vec.L2, 8, map[string]string{"r": "x"}); err == nil {
+		t.Error("bad r accepted")
+	}
+}

@@ -1,0 +1,163 @@
+package sq8h
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vectordb/internal/dataset"
+	"vectordb/internal/gpu"
+	"vectordb/internal/index"
+	"vectordb/internal/index/ivf"
+	"vectordb/internal/metric"
+	"vectordb/internal/vec"
+)
+
+func build(t testing.TB, d *dataset.Dataset, devCfg gpu.Config, threshold int) *SQ8H {
+	t.Helper()
+	return buildNlist(t, d, devCfg, threshold, 64)
+}
+
+func buildNlist(t testing.TB, d *dataset.Dataset, devCfg gpu.Config, threshold, nlist int) *SQ8H {
+	t.Helper()
+	dev := gpu.NewDevice(0, devCfg)
+	b, err := NewBuilder(vec.L2, d.Dim, ivf.Builder{Nlist: nlist, MaxIter: 4}, Config{Device: dev, Threshold: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := b.Build(d.Data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx.(*SQ8H)
+}
+
+func TestBuilderRequiresDevice(t *testing.T) {
+	if _, err := NewBuilder(vec.L2, 8, ivf.Builder{}, Config{}); err == nil {
+		t.Fatal("builder accepted nil device")
+	}
+}
+
+func TestResultsMatchIVFSQ8(t *testing.T) {
+	d := dataset.DeepLike(2000, 1)
+	x := build(t, d, gpu.Config{}, 256)
+	qs := dataset.Queries(d, 10, 2)
+	p := index.SearchParams{K: 10, Nprobe: 8}
+	hybrid, st := x.SearchBatch(qs, p)
+	if st.Plan != "hybrid" {
+		t.Fatalf("plan = %q, want hybrid for small batch", st.Plan)
+	}
+	// The hybrid plan must return exactly what the wrapped IVF_SQ8 returns.
+	for qi := 0; qi < 10; qi++ {
+		want := x.IVF().Search(qs[qi*d.Dim:(qi+1)*d.Dim], p)
+		got := hybrid[qi]
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d result %d: %v != %v", qi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAlgorithm1Routing(t *testing.T) {
+	d := dataset.DeepLike(1000, 3)
+	x := build(t, d, gpu.Config{}, 4)
+	p := index.SearchParams{K: 5, Nprobe: 4}
+	small := dataset.Queries(d, 3, 4)
+	_, st := x.SearchBatch(small, p)
+	if st.Plan != "hybrid" {
+		t.Fatalf("batch 3 < threshold 4: plan %q", st.Plan)
+	}
+	big := dataset.Queries(d, 4, 5)
+	_, st = x.SearchBatch(big, p)
+	if st.Plan != "pure-gpu" {
+		t.Fatalf("batch 4 ≥ threshold 4: plan %q", st.Plan)
+	}
+}
+
+func TestHybridAvoidsBucketTransfers(t *testing.T) {
+	d := dataset.DeepLike(2000, 6)
+	x := build(t, d, gpu.Config{}, 1000)
+	qs := dataset.Queries(d, 20, 7)
+	p := index.SearchParams{K: 10, Nprobe: 8}
+	_, st := x.PlanHybrid(qs, p)
+	// Hybrid transfers only centroids (once).
+	centroids := int64(x.IVF().Nlist()) * int64(d.Dim) * 4
+	if st.TransferBytes != centroids {
+		t.Fatalf("hybrid transferred %d bytes, want centroids only (%d)", st.TransferBytes, centroids)
+	}
+	_, st2 := x.PlanHybrid(qs, p)
+	if st2.TransferBytes != 0 {
+		t.Fatalf("second hybrid run re-transferred centroids: %d", st2.TransferBytes)
+	}
+	_, stGPU := x.PlanPureGPU(qs, p)
+	if stGPU.TransferBytes == 0 {
+		t.Fatal("pure GPU plan transferred nothing despite cold buckets")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	// The paper's Fig. 13: pure GPU slower than pure CPU (transfer bound),
+	// the gap narrowing with batch size; SQ8H (hybrid under threshold)
+	// faster than both. Centroids are resident setup state in SQ8H ("only
+	// stores the centroids in GPU memory"), so they are warmed once up
+	// front; buckets are evicted between batch sizes so pure GPU always
+	// pays the stream.
+	d := dataset.SIFTLike(5000, 8)
+	devCfg := gpu.Config{MemBytes: 8 << 20, PCIeBandwidth: 1e8, KernelThroughput: 3.2e11}
+	x := buildNlist(t, d, devCfg, 1<<30, 512) // never auto-route to pure GPU
+	p := index.SearchParams{K: 50, Nprobe: 16}
+
+	// Warm the centroids (one-time index load).
+	x.PlanHybrid(dataset.Queries(d, 1, 99), p)
+
+	gap := map[int]float64{}
+	for _, nq := range []int{8, 64} {
+		for b := 0; b < x.IVF().Nlist(); b++ {
+			x.cfg.Device.Evict(bucketKey(b))
+		}
+		qs := dataset.Queries(d, nq, int64(100+nq))
+		_, cpu := x.PlanPureCPU(qs, p)
+		_, hyb := x.PlanHybrid(qs, p)
+		_, gpuSt := x.PlanPureGPU(qs, p)
+		if gpuSt.Total() <= cpu.Total() {
+			t.Errorf("nq=%d: pure GPU (%v) not slower than pure CPU (%v)", nq, gpuSt.Total(), cpu.Total())
+		}
+		if hyb.Total() >= cpu.Total() {
+			t.Errorf("nq=%d: hybrid (%v) not faster than pure CPU (%v)", nq, hyb.Total(), cpu.Total())
+		}
+		gap[nq] = float64(gpuSt.Total()-cpu.Total()) / float64(cpu.Total())
+	}
+	if gap[64] >= gap[8] {
+		t.Errorf("relative CPU/GPU gap did not narrow with batch size: %v", gap)
+	}
+}
+
+func bucketKey(b int) string { return fmt.Sprintf("sq8h/bucket/%d", b) }
+
+func TestSearchSingleQuery(t *testing.T) {
+	d := dataset.DeepLike(1500, 9)
+	x := build(t, d, gpu.Config{}, 256)
+	qs := dataset.Queries(d, 5, 10)
+	gt := dataset.GroundTruth(d, qs, 10, vec.L2)
+	got := index.SearchBatch(x, qs, index.SearchParams{K: 10, Nprobe: 16})
+	if r := metric.MeanRecall(gt, got); r < 0.7 {
+		t.Fatalf("recall %.3f too low", r)
+	}
+	if x.Name() != "SQ8H" || x.Dim() != d.Dim || x.Size() != d.N {
+		t.Fatal("metadata wrong")
+	}
+	if x.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes not positive")
+	}
+}
+
+func TestStatsTotal(t *testing.T) {
+	s := Stats{GPUTime: time.Second, CPUTime: 2 * time.Second}
+	if s.Total() != 3*time.Second {
+		t.Fatalf("Total = %v", s.Total())
+	}
+}

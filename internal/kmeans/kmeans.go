@@ -1,0 +1,202 @@
+// Package kmeans implements the K-means clustering used to construct the
+// codebooks of quantization-based indexes (Sec. 3.1): the coarse quantizer
+// clusters vectors into K buckets, and the product quantizer runs K-means
+// independently in each sub-space.
+package kmeans
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"vectordb/internal/vec"
+)
+
+// Config controls a clustering run.
+type Config struct {
+	K        int   // number of centroids; required
+	MaxIter  int   // Lloyd iterations; default 16
+	Seed     int64 // RNG seed for k-means++ init; default 1
+	MinPoint int   // informational: training warns below MinPoint*K points
+	Threads  int   // worker goroutines; default GOMAXPROCS
+}
+
+func (c *Config) defaults() {
+	if c.MaxIter <= 0 {
+		c.MaxIter = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Threads <= 0 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Result holds trained centroids in a flat row-major matrix.
+type Result struct {
+	K         int
+	Dim       int
+	Centroids []float32 // K*Dim
+}
+
+// Centroid returns centroid i as a slice view.
+func (r *Result) Centroid(i int) []float32 { return r.Centroids[i*r.Dim : (i+1)*r.Dim] }
+
+// Assign returns the index of the centroid closest to v (the quantizer z(v)
+// of Sec. 3.1) and the squared distance to it.
+func (r *Result) Assign(v []float32) (int, float32) {
+	best, bestD := 0, float32(0)
+	for i := 0; i < r.K; i++ {
+		d := vec.L2Squared(v, r.Centroid(i))
+		if i == 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// Train clusters n vectors (flat row-major, n = len(data)/dim) into cfg.K
+// centroids with k-means++ initialization and Lloyd refinement.
+func Train(data []float32, dim int, cfg Config) (*Result, error) {
+	cfg.defaults()
+	if dim <= 0 {
+		return nil, fmt.Errorf("kmeans: dim must be positive, got %d", dim)
+	}
+	if len(data)%dim != 0 {
+		return nil, fmt.Errorf("kmeans: data length %d not a multiple of dim %d", len(data), dim)
+	}
+	n := len(data) / dim
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("kmeans: K must be positive, got %d", cfg.K)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("kmeans: no training vectors")
+	}
+	if n < cfg.K {
+		// Degenerate but legal: every point is its own centroid, remaining
+		// centroids duplicate existing points so Assign stays total.
+		res := &Result{K: cfg.K, Dim: dim, Centroids: make([]float32, cfg.K*dim)}
+		for i := 0; i < cfg.K; i++ {
+			copy(res.Centroids[i*dim:(i+1)*dim], data[(i%n)*dim:(i%n+1)*dim])
+		}
+		return res, nil
+	}
+
+	r := rand.New(rand.NewSource(cfg.Seed))
+	cents := initPlusPlus(data, dim, n, cfg.K, r)
+	res := &Result{K: cfg.K, Dim: dim, Centroids: cents}
+
+	assign := make([]int, n)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		changed := assignAll(data, dim, n, res, assign, cfg.Threads)
+		recompute(data, dim, n, res, assign, r)
+		if !changed {
+			break
+		}
+	}
+	return res, nil
+}
+
+// initPlusPlus seeds centroids with the k-means++ D² sampling scheme.
+func initPlusPlus(data []float32, dim, n, k int, r *rand.Rand) []float32 {
+	cents := make([]float32, k*dim)
+	first := r.Intn(n)
+	copy(cents[:dim], data[first*dim:(first+1)*dim])
+
+	d2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d2[i] = float64(vec.L2Squared(data[i*dim:(i+1)*dim], cents[:dim]))
+	}
+	for c := 1; c < k; c++ {
+		var sum float64
+		for _, d := range d2 {
+			sum += d
+		}
+		var pick int
+		if sum <= 0 {
+			pick = r.Intn(n)
+		} else {
+			target := r.Float64() * sum
+			for i, d := range d2 {
+				target -= d
+				if target <= 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		cent := cents[c*dim : (c+1)*dim]
+		copy(cent, data[pick*dim:(pick+1)*dim])
+		for i := 0; i < n; i++ {
+			d := float64(vec.L2Squared(data[i*dim:(i+1)*dim], cent))
+			if d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return cents
+}
+
+func assignAll(data []float32, dim, n int, res *Result, assign []int, threads int) bool {
+	if threads > n {
+		threads = n
+	}
+	var changed sync.Once
+	var anyChanged bool
+	var wg sync.WaitGroup
+	chunk := (n + threads - 1) / threads
+	for w := 0; w < threads; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			local := false
+			for i := lo; i < hi; i++ {
+				a, _ := res.Assign(data[i*dim : (i+1)*dim])
+				if assign[i] != a {
+					assign[i] = a
+					local = true
+				}
+			}
+			if local {
+				changed.Do(func() { anyChanged = true })
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return anyChanged
+}
+
+func recompute(data []float32, dim, n int, res *Result, assign []int, r *rand.Rand) {
+	counts := make([]int, res.K)
+	next := make([]float64, res.K*dim)
+	for i := 0; i < n; i++ {
+		c := assign[i]
+		counts[c]++
+		row := data[i*dim : (i+1)*dim]
+		acc := next[c*dim : (c+1)*dim]
+		for j, x := range row {
+			acc[j] += float64(x)
+		}
+	}
+	for c := 0; c < res.K; c++ {
+		if counts[c] == 0 {
+			// Empty cluster: reseed from a random point so K stays honest.
+			p := r.Intn(n)
+			copy(res.Centroids[c*dim:(c+1)*dim], data[p*dim:(p+1)*dim])
+			continue
+		}
+		inv := 1 / float64(counts[c])
+		for j := 0; j < dim; j++ {
+			res.Centroids[c*dim+j] = float32(next[c*dim+j] * inv)
+		}
+	}
+}

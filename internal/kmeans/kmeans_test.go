@@ -1,0 +1,142 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+
+	"vectordb/internal/vec"
+)
+
+// clusteredData produces k well-separated Gaussian blobs.
+func clusteredData(r *rand.Rand, k, perCluster, dim int, spread float64) ([]float32, [][]float32) {
+	centers := make([][]float32, k)
+	data := make([]float32, 0, k*perCluster*dim)
+	for c := 0; c < k; c++ {
+		center := make([]float32, dim)
+		for j := range center {
+			center[j] = float32(r.NormFloat64() * 50)
+		}
+		centers[c] = center
+		for i := 0; i < perCluster; i++ {
+			for j := 0; j < dim; j++ {
+				data = append(data, center[j]+float32(r.NormFloat64()*spread))
+			}
+		}
+	}
+	return data, centers
+}
+
+func TestTrainRecoversWellSeparatedClusters(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	dim := 8
+	data, centers := clusteredData(r, 4, 100, dim, 0.5)
+	res, err := Train(data, dim, Config{K: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every true center must have a trained centroid very close to it.
+	for _, c := range centers {
+		_, d := res.Assign(c)
+		if d > 5 {
+			t.Errorf("no centroid near true center (d=%v)", d)
+		}
+	}
+}
+
+func TestAssignConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	dim := 4
+	data, _ := clusteredData(r, 3, 50, dim, 1)
+	res, err := Train(data, dim, Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Assign must pick the genuinely nearest centroid.
+	for i := 0; i < 20; i++ {
+		v := data[i*dim : (i+1)*dim]
+		got, gotD := res.Assign(v)
+		for c := 0; c < res.K; c++ {
+			if d := vec.L2Squared(v, res.Centroid(c)); d < gotD {
+				t.Fatalf("Assign picked %d (d=%v) but %d has d=%v", got, gotD, c, d)
+			}
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train([]float32{1, 2, 3}, 2, Config{K: 1}); err == nil {
+		t.Error("ragged data accepted")
+	}
+	if _, err := Train([]float32{1, 2}, 0, Config{K: 1}); err == nil {
+		t.Error("zero dim accepted")
+	}
+	if _, err := Train([]float32{1, 2}, 2, Config{K: 0}); err == nil {
+		t.Error("zero K accepted")
+	}
+	if _, err := Train(nil, 2, Config{K: 1}); err == nil {
+		t.Error("empty data accepted")
+	}
+}
+
+func TestTrainFewerPointsThanK(t *testing.T) {
+	data := []float32{1, 1, 5, 5}
+	res, err := Train(data, 2, Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 4 {
+		t.Fatalf("K = %d, want 4", res.K)
+	}
+	// Assign must still be total and exact for the training points.
+	if c, d := res.Assign([]float32{1, 1}); d != 0 {
+		t.Errorf("Assign(point) = %d with d=%v, want d=0", c, d)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	dim := 6
+	data, _ := clusteredData(r, 5, 40, dim, 1)
+	a, err := Train(data, dim, Config{K: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(data, dim, Config{K: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Centroids {
+		if a.Centroids[i] != b.Centroids[i] {
+			t.Fatal("same seed produced different centroids")
+		}
+	}
+}
+
+func TestNoEmptyClustersOnDuplicateData(t *testing.T) {
+	// All points identical: reseeding keeps centroids defined (not NaN).
+	data := make([]float32, 32*4)
+	for i := range data {
+		data[i] = 7
+	}
+	res, err := Train(data, 4, Config{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range res.Centroids {
+		if x != 7 {
+			t.Fatalf("centroid drifted to %v on constant data", x)
+		}
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	dim := 32
+	data, _ := clusteredData(r, 16, 256, dim, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(data, dim, Config{K: 16, MaxIter: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Package metric implements the evaluation metrics of Sec. 7.1: recall
+// (|S∩S′|/|S| against brute-force ground truth) and query throughput.
+package metric
+
+import (
+	"time"
+
+	"vectordb/internal/topk"
+)
+
+// Recall returns |truth ∩ got| / |truth| for one query.
+func Recall(truth, got []topk.Result) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	set := make(map[int64]struct{}, len(truth))
+	for _, r := range truth {
+		set[r.ID] = struct{}{}
+	}
+	hit := 0
+	for _, r := range got {
+		if _, ok := set[r.ID]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// MeanRecall averages Recall over query batches.
+func MeanRecall(truth, got [][]topk.Result) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	var s float64
+	for i := range truth {
+		s += Recall(truth[i], got[i])
+	}
+	return s / float64(len(truth))
+}
+
+// Throughput runs fn once and reports queries/second for nq queries.
+func Throughput(nq int, fn func()) float64 {
+	start := time.Now()
+	fn()
+	el := time.Since(start)
+	if el <= 0 {
+		el = time.Nanosecond
+	}
+	return float64(nq) / el.Seconds()
+}
+
+// Timer measures wall-clock duration of fn.
+func Timer(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

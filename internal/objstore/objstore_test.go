@@ -1,0 +1,110 @@
+package objstore
+
+import (
+	"errors"
+	"testing"
+)
+
+func storesUnderTest(t *testing.T) map[string]Store {
+	fs, err := NewFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{
+		"memory": NewMemory(),
+		"fs":     fs,
+		"s3sim":  NewS3Sim(0),
+	}
+}
+
+func TestStoreContract(t *testing.T) {
+	for name, s := range storesUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
+			}
+			if err := s.Put("seg/1", []byte("hello")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("seg/2", []byte("world")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("other/3", []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Get("seg/1")
+			if err != nil || string(got) != "hello" {
+				t.Fatalf("Get = %q, %v", got, err)
+			}
+			keys, err := s.List("seg/")
+			if err != nil || len(keys) != 2 || keys[0] != "seg/1" || keys[1] != "seg/2" {
+				t.Fatalf("List = %v, %v", keys, err)
+			}
+			// Overwrite
+			if err := s.Put("seg/1", []byte("hello2")); err != nil {
+				t.Fatal(err)
+			}
+			got, _ = s.Get("seg/1")
+			if string(got) != "hello2" {
+				t.Fatalf("overwrite failed: %q", got)
+			}
+			// Delete idempotent
+			if err := s.Delete("seg/1"); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Delete("seg/1"); err != nil {
+				t.Fatalf("second delete: %v", err)
+			}
+			if _, err := s.Get("seg/1"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("deleted key still readable: %v", err)
+			}
+		})
+	}
+}
+
+func TestMemoryIsolation(t *testing.T) {
+	m := NewMemory()
+	data := []byte{1, 2, 3}
+	m.Put("k", data)
+	data[0] = 99 // caller mutation must not leak in
+	got, _ := m.Get("k")
+	if got[0] != 1 {
+		t.Fatal("Put did not copy")
+	}
+	got[1] = 99 // reader mutation must not leak back
+	got2, _ := m.Get("k")
+	if got2[1] != 2 {
+		t.Fatal("Get did not copy")
+	}
+}
+
+func TestS3SimFailureInjection(t *testing.T) {
+	s := NewS3Sim(0)
+	s.Put("k", []byte("v"))
+	s.FailNext(2)
+	if _, err := s.Get("k"); !IsInjected(err) {
+		t.Fatalf("expected injected failure, got %v", err)
+	}
+	if err := s.Put("k2", nil); !IsInjected(err) {
+		t.Fatalf("expected injected failure, got %v", err)
+	}
+	if _, err := s.Get("k"); err != nil {
+		t.Fatalf("failure persisted past budget: %v", err)
+	}
+	if s.Ops() != 4 {
+		t.Fatalf("Ops = %d, want 4", s.Ops())
+	}
+}
+
+func TestFSListSkipsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Put("a/b", []byte("1"))
+	keys, err := fs.List("")
+	if err != nil || len(keys) != 1 || keys[0] != "a/b" {
+		t.Fatalf("List = %v, %v", keys, err)
+	}
+}

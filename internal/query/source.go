@@ -1,0 +1,52 @@
+// Package query implements the advanced query processing of Sec. 4:
+// attribute filtering (strategies A through E, including the paper's new
+// partition-based strategy E) and multi-vector query processing (naive
+// per-field search, Fagin's NRA, iterative merging, and vector fusion
+// support). The algorithms are written against small interfaces so they run
+// identically over the LSM collection engine, over partitions, and over the
+// in-memory tables the experiment harness uses.
+package query
+
+import "vectordb/internal/topk"
+
+// RangeCond is the attribute constraint Cα: lo ≤ attr ≤ hi (Sec. 4.1).
+type RangeCond struct {
+	Attr   int
+	Lo, Hi int64
+}
+
+// VecCond is the vector constraint Cν: top-K most similar to Query on Field.
+type VecCond struct {
+	Field  int
+	Query  []float32
+	K      int
+	Nprobe int // passed through to the index
+}
+
+// Source is what the filtering strategies need from the data under search.
+type Source interface {
+	// TotalRows is the number of searchable entities.
+	TotalRows() int
+	// CountRange counts entities satisfying the attribute constraint
+	// (selectivity estimation for the cost-based strategy D).
+	CountRange(attr int, lo, hi int64) int
+	// RangeRows returns the IDs satisfying the attribute constraint,
+	// resolved through the sorted attribute column (strategy A).
+	RangeRows(attr int, lo, hi int64) []int64
+	// AttrValue returns an entity's attribute (strategy C verification).
+	AttrValue(attr int, id int64) (int64, bool)
+	// VectorQuery is normal top-k vector query processing, optionally
+	// restricted by a filter evaluated inside the scan (strategy B).
+	VectorQuery(field int, q []float32, k, nprobe int, filter func(int64) bool) []topk.Result
+	// DistanceByID computes the exact query↔entity distance (strategy A's
+	// full scan over the attribute-qualified candidates).
+	DistanceByID(field int, q []float32, id int64) (float32, bool)
+}
+
+// MultiSource is what multi-vector query processing needs: per-field vector
+// queries plus exact per-field distances for candidate scoring.
+type MultiSource interface {
+	Fields() int
+	FieldQuery(field int, q []float32, k int) []topk.Result
+	FieldDistance(field int, q []float32, id int64) (float32, bool)
+}

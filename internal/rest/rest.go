@@ -1,0 +1,327 @@
+// Package rest implements the RESTful application interface of Sec. 2.1: a
+// JSON/HTTP server over the core engine, mirrored by the Go SDK in the
+// public client package (the paper also ships Python/Java/C++ SDKs over the
+// same surface).
+package rest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"vectordb/internal/core"
+	"vectordb/internal/vec"
+)
+
+// Wire types -------------------------------------------------------------
+
+// VectorFieldJSON declares one vector field.
+type VectorFieldJSON struct {
+	Name   string `json:"name"`
+	Dim    int    `json:"dim"`
+	Metric string `json:"metric,omitempty"` // default "L2"
+}
+
+// CreateCollectionRequest is the body of POST /collections.
+type CreateCollectionRequest struct {
+	Name         string            `json:"name"`
+	VectorFields []VectorFieldJSON `json:"vector_fields"`
+	AttrFields   []string          `json:"attr_fields,omitempty"`
+	CatFields    []string          `json:"cat_fields,omitempty"`
+	IndexType    string            `json:"index_type,omitempty"`
+	IndexParams  map[string]string `json:"index_params,omitempty"`
+}
+
+// EntityJSON is one entity on the wire.
+type EntityJSON struct {
+	ID      int64       `json:"id"`
+	Vectors [][]float32 `json:"vectors"`
+	Attrs   []int64     `json:"attrs,omitempty"`
+	Cats    []string    `json:"cats,omitempty"`
+}
+
+// InsertRequest is the body of POST /collections/{name}/entities.
+type InsertRequest struct {
+	Entities []EntityJSON `json:"entities"`
+}
+
+// DeleteRequest is the body of POST /collections/{name}/delete.
+type DeleteRequest struct {
+	IDs []int64 `json:"ids"`
+}
+
+// FilterJSON is an attribute range constraint.
+type FilterJSON struct {
+	Attr string `json:"attr"`
+	Lo   int64  `json:"lo"`
+	Hi   int64  `json:"hi"`
+}
+
+// CatFilterJSON is a categorical IN constraint.
+type CatFilterJSON struct {
+	Attr   string   `json:"attr"`
+	Values []string `json:"values"`
+}
+
+// SearchRequest is the body of POST /collections/{name}/search.
+type SearchRequest struct {
+	Field     string         `json:"field,omitempty"`
+	Vector    []float32      `json:"vector,omitempty"`
+	Vectors   [][]float32    `json:"vectors,omitempty"` // multi-vector query
+	Weights   []float32      `json:"weights,omitempty"`
+	K         int            `json:"k"`
+	Nprobe    int            `json:"nprobe,omitempty"`
+	Ef        int            `json:"ef,omitempty"`
+	SearchL   int            `json:"search_l,omitempty"`
+	Filter    *FilterJSON    `json:"filter,omitempty"`
+	CatFilter *CatFilterJSON `json:"cat_filter,omitempty"`
+}
+
+// ResultJSON is one hit.
+type ResultJSON struct {
+	ID       int64   `json:"id"`
+	Distance float32 `json:"distance"`
+}
+
+// SearchResponse is the reply of the search endpoint.
+type SearchResponse struct {
+	Results []ResultJSON `json:"results"`
+}
+
+// IndexRequest is the body of POST /collections/{name}/index.
+type IndexRequest struct {
+	Field  string            `json:"field"`
+	Type   string            `json:"type"`
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// StatsResponse is the reply of GET /collections/{name}/stats.
+type StatsResponse struct {
+	Segments    int   `json:"segments"`
+	TotalRows   int   `json:"total_rows"`
+	LiveRows    int   `json:"live_rows"`
+	Tombstones  int   `json:"tombstones"`
+	SegmentRows []int `json:"segment_rows,omitempty"`
+}
+
+// ErrorResponse carries an error message.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server -----------------------------------------------------------------
+
+// Server serves the REST API over a core database.
+type Server struct {
+	db  *core.DB
+	mux *http.ServeMux
+}
+
+// NewServer wraps db (a fresh in-memory database when nil).
+func NewServer(db *core.DB) *Server {
+	if db == nil {
+		db = core.NewDB(nil)
+	}
+	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/collections", s.handleCollections)
+	s.mux.HandleFunc("/collections/", s.handleCollection)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleCollections(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.db.ListCollections())
+	case http.MethodPost:
+		var req CreateCollectionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		var schema core.Schema
+		for _, f := range req.VectorFields {
+			m := vec.L2
+			if f.Metric != "" {
+				var err error
+				if m, err = vec.ParseMetric(f.Metric); err != nil {
+					writeErr(w, http.StatusBadRequest, err)
+					return
+				}
+			}
+			schema.VectorFields = append(schema.VectorFields, core.VectorField{Name: f.Name, Dim: f.Dim, Metric: m})
+		}
+		schema.AttrFields = req.AttrFields
+		schema.CatFields = req.CatFields
+		cfg := core.Config{IndexType: req.IndexType, IndexParams: req.IndexParams}
+		if _, err := s.db.CreateCollection(req.Name, schema, cfg); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"name": req.Name})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("rest: method %s not allowed", r.Method))
+	}
+}
+
+// handleCollection routes /collections/{name}[/{action}].
+func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/collections/")
+	name, action, _ := strings.Cut(rest, "/")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: collection name required"))
+		return
+	}
+	if action == "" {
+		if r.Method == http.MethodDelete {
+			if err := s.db.DropCollection(name); err != nil {
+				writeErr(w, http.StatusNotFound, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
+			return
+		}
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("rest: method %s not allowed", r.Method))
+		return
+	}
+	col, err := s.db.Collection(name)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	switch action {
+	case "entities":
+		s.handleInsert(w, r, col)
+	case "delete":
+		s.handleDelete(w, r, col)
+	case "flush":
+		if err := col.Flush(); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"flushed": name})
+	case "search":
+		s.handleSearch(w, r, col)
+	case "index":
+		s.handleIndex(w, r, col)
+	case "stats":
+		st := col.Stats()
+		writeJSON(w, http.StatusOK, StatsResponse{
+			Segments: st.Segments, TotalRows: st.TotalRows, LiveRows: st.LiveRows,
+			Tombstones: st.Tombstones, SegmentRows: st.SegmentRows,
+		})
+	default:
+		writeErr(w, http.StatusNotFound, fmt.Errorf("rest: unknown action %q", action))
+	}
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request, col *core.Collection) {
+	var req InsertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	rows := make([]core.Entity, len(req.Entities))
+	for i, e := range req.Entities {
+		rows[i] = core.Entity{ID: e.ID, Vectors: e.Vectors, Attrs: e.Attrs, Cats: e.Cats}
+	}
+	if err := col.Insert(rows); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"inserted": len(rows)})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, col *core.Collection) {
+	var req DeleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := col.Delete(req.IDs); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"deleted": len(req.IDs)})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, col *core.Collection) {
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := core.SearchOptions{Field: req.Field, K: req.K, Nprobe: req.Nprobe, Ef: req.Ef, SearchL: req.SearchL}
+	var results []ResultJSON
+	switch {
+	case len(req.Vectors) > 0: // multi-vector query (Sec. 4.2)
+		rs, err := col.SearchMultiVector(req.Vectors, req.Weights, req.K)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		for _, x := range rs {
+			results = append(results, ResultJSON{ID: x.ID, Distance: x.Distance})
+		}
+	case req.CatFilter != nil: // categorical filtering (inverted lists)
+		rs, err := col.SearchCategorical(req.Vector, req.CatFilter.Attr, req.CatFilter.Values, opts)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		for _, x := range rs {
+			results = append(results, ResultJSON{ID: x.ID, Distance: x.Distance})
+		}
+	case req.Filter != nil: // attribute filtering (Sec. 4.1)
+		rs, err := col.SearchFiltered(req.Vector, req.Filter.Attr, req.Filter.Lo, req.Filter.Hi, opts)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		for _, x := range rs {
+			results = append(results, ResultJSON{ID: x.ID, Distance: x.Distance})
+		}
+	default:
+		rs, err := col.Search(req.Vector, opts)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		for _, x := range rs {
+			results = append(results, ResultJSON{ID: x.ID, Distance: x.Distance})
+		}
+	}
+	writeJSON(w, http.StatusOK, SearchResponse{Results: results})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request, col *core.Collection) {
+	var req IndexRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Field == "" {
+		req.Field = col.Schema().VectorFields[0].Name
+	}
+	if err := col.BuildIndex(req.Field, req.Type, req.Params); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"indexed": req.Field, "type": req.Type})
+}

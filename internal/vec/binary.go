@@ -1,0 +1,79 @@
+package vec
+
+import "math/bits"
+
+// BinaryVector is a packed bit vector (64 bits per word) used for Hamming,
+// Jaccard and Tanimoto metrics, e.g. chemical fingerprints (Sec. 6.2).
+type BinaryVector []uint64
+
+// NewBinaryVector returns a zeroed vector able to hold nbits bits.
+func NewBinaryVector(nbits int) BinaryVector {
+	return make(BinaryVector, (nbits+63)/64)
+}
+
+// SetBit sets bit i.
+func (v BinaryVector) SetBit(i int) { v[i/64] |= 1 << (uint(i) % 64) }
+
+// Bit reports bit i.
+func (v BinaryVector) Bit(i int) bool { return v[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// PopCount returns the number of set bits.
+func (v BinaryVector) PopCount() int {
+	n := 0
+	for _, w := range v {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// HammingDistance counts differing bits between a and b.
+func HammingDistance(a, b BinaryVector) int {
+	n := 0
+	for i := range a {
+		n += bits.OnesCount64(a[i] ^ b[i])
+	}
+	return n
+}
+
+// JaccardDistance is 1 - |a∧b|/|a∨b|. Two empty sets have distance 0.
+func JaccardDistance(a, b BinaryVector) float32 {
+	var inter, union int
+	for i := range a {
+		inter += bits.OnesCount64(a[i] & b[i])
+		union += bits.OnesCount64(a[i] | b[i])
+	}
+	if union == 0 {
+		return 0
+	}
+	return 1 - float32(inter)/float32(union)
+}
+
+// TanimotoDistance is 1 - |a∧b|/(|a|+|b|-|a∧b|). On binary data this equals
+// Jaccard; it is exposed under its cheminformatics name.
+func TanimotoDistance(a, b BinaryVector) float32 {
+	var inter, ca, cb int
+	for i := range a {
+		inter += bits.OnesCount64(a[i] & b[i])
+		ca += bits.OnesCount64(a[i])
+		cb += bits.OnesCount64(b[i])
+	}
+	den := ca + cb - inter
+	if den == 0 {
+		return 0
+	}
+	return 1 - float32(inter)/float32(den)
+}
+
+// BinaryDist returns the distance function for a binary metric.
+func (m Metric) BinaryDist() func(a, b BinaryVector) float32 {
+	switch m {
+	case Hamming:
+		return func(a, b BinaryVector) float32 { return float32(HammingDistance(a, b)) }
+	case Jaccard:
+		return JaccardDistance
+	case Tanimoto:
+		return TanimotoDistance
+	default:
+		panic("vec: " + m.String() + " is not a binary metric")
+	}
+}

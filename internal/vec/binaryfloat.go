@@ -1,0 +1,88 @@
+package vec
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Binary vectors travel through the engine bit-packed inside []float32
+// storage: each float32 carries one 32-bit word of the fingerprint
+// (bit-preserving — the words are never used arithmetically). This lets
+// Hamming/Jaccard/Tanimoto collections reuse the entire columnar/LSM/index
+// machinery built for float vectors; Metric.Dist dispatches to the
+// word-wise distances below for binary metrics.
+
+// WordsForBits returns the float32-word count that holds nbits bits.
+func WordsForBits(nbits int) int { return (nbits + 31) / 32 }
+
+// FloatsFromBinary packs a BinaryVector into float32 words of the given
+// word count.
+func FloatsFromBinary(v BinaryVector, words int) []float32 {
+	out := make([]float32, words)
+	for i := range out {
+		w64 := i / 2
+		var w32 uint32
+		if w64 < len(v) {
+			if i%2 == 0 {
+				w32 = uint32(v[w64])
+			} else {
+				w32 = uint32(v[w64] >> 32)
+			}
+		}
+		out[i] = math.Float32frombits(w32)
+	}
+	return out
+}
+
+// BinaryFromFloats reverses FloatsFromBinary.
+func BinaryFromFloats(f []float32) BinaryVector {
+	v := NewBinaryVector(len(f) * 32)
+	for i, x := range f {
+		w32 := uint64(math.Float32bits(x))
+		if i%2 == 0 {
+			v[i/2] |= w32
+		} else {
+			v[i/2] |= w32 << 32
+		}
+	}
+	return v
+}
+
+// hammingFloats counts differing bits of two packed vectors.
+func hammingFloats(a, b []float32) float32 {
+	n := 0
+	for i := range a {
+		n += bits.OnesCount32(math.Float32bits(a[i]) ^ math.Float32bits(b[i]))
+	}
+	return float32(n)
+}
+
+// jaccardFloats is 1 - |a∧b|/|a∨b| over packed vectors.
+func jaccardFloats(a, b []float32) float32 {
+	var inter, union int
+	for i := range a {
+		x, y := math.Float32bits(a[i]), math.Float32bits(b[i])
+		inter += bits.OnesCount32(x & y)
+		union += bits.OnesCount32(x | y)
+	}
+	if union == 0 {
+		return 0
+	}
+	return 1 - float32(inter)/float32(union)
+}
+
+// tanimotoFloats is 1 - |a∧b|/(|a|+|b|-|a∧b|) over packed vectors.
+func tanimotoFloats(a, b []float32) float32 {
+	var inter, ca, cb int
+	for i := range a {
+		x, y := math.Float32bits(a[i]), math.Float32bits(b[i])
+		inter += bits.OnesCount32(x & y)
+		ca += bits.OnesCount32(x)
+		cb += bits.OnesCount32(y)
+	}
+	den := ca + cb - inter
+	if den == 0 {
+		return 0
+	}
+	return 1 - float32(inter)/float32(den)
+}

@@ -1,0 +1,168 @@
+package vec
+
+// Kernel tiers. Each function computes over the common prefix handled by its
+// unroll width and finishes the tail with a scalar loop. Multiple independent
+// accumulators break the floating-point dependency chain, which is the scalar
+// analogue of wider SIMD registers: the 16-wide/4-accumulator kernel is the
+// stand-in for AVX512, the 8-wide/2-accumulator one for AVX/AVX2, the 4-wide
+// one for SSE.
+
+func l2Scalar(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func ipScalar(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func l2Unroll4(a, b []float32) float32 {
+	n := len(a)
+	var s float32
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+	}
+	for ; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func ipUnroll4(a, b []float32) float32 {
+	n := len(a)
+	var s float32
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s += a[i]*b[i] + a[i+1]*b[i+1] + a[i+2]*b[i+2] + a[i+3]*b[i+3]
+	}
+	for ; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func l2Unroll8(a, b []float32) float32 {
+	n := len(a)
+	var s0, s1 float32
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		x := (*[8]float32)(a[i : i+8])
+		y := (*[8]float32)(b[i : i+8])
+		d0 := x[0] - y[0]
+		d1 := x[1] - y[1]
+		d2 := x[2] - y[2]
+		d3 := x[3] - y[3]
+		s0 += d0*d0 + d1*d1 + d2*d2 + d3*d3
+		d4 := x[4] - y[4]
+		d5 := x[5] - y[5]
+		d6 := x[6] - y[6]
+		d7 := x[7] - y[7]
+		s1 += d4*d4 + d5*d5 + d6*d6 + d7*d7
+	}
+	s := s0 + s1
+	for ; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func ipUnroll8(a, b []float32) float32 {
+	n := len(a)
+	var s0, s1 float32
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		x := (*[8]float32)(a[i : i+8])
+		y := (*[8]float32)(b[i : i+8])
+		s0 += x[0]*y[0] + x[1]*y[1] + x[2]*y[2] + x[3]*y[3]
+		s1 += x[4]*y[4] + x[5]*y[5] + x[6]*y[6] + x[7]*y[7]
+	}
+	s := s0 + s1
+	for ; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func l2Unroll16(a, b []float32) float32 {
+	n := len(a)
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+16 <= n; i += 16 {
+		x := (*[16]float32)(a[i : i+16])
+		y := (*[16]float32)(b[i : i+16])
+		d0 := x[0] - y[0]
+		d1 := x[1] - y[1]
+		d2 := x[2] - y[2]
+		d3 := x[3] - y[3]
+		s0 += d0*d0 + d1*d1 + d2*d2 + d3*d3
+		d4 := x[4] - y[4]
+		d5 := x[5] - y[5]
+		d6 := x[6] - y[6]
+		d7 := x[7] - y[7]
+		s1 += d4*d4 + d5*d5 + d6*d6 + d7*d7
+		d8 := x[8] - y[8]
+		d9 := x[9] - y[9]
+		d10 := x[10] - y[10]
+		d11 := x[11] - y[11]
+		s2 += d8*d8 + d9*d9 + d10*d10 + d11*d11
+		d12 := x[12] - y[12]
+		d13 := x[13] - y[13]
+		d14 := x[14] - y[14]
+		d15 := x[15] - y[15]
+		s3 += d12*d12 + d13*d13 + d14*d14 + d15*d15
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func ipUnroll16(a, b []float32) float32 {
+	n := len(a)
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+16 <= n; i += 16 {
+		x := (*[16]float32)(a[i : i+16])
+		y := (*[16]float32)(b[i : i+16])
+		s0 += x[0]*y[0] + x[1]*y[1] + x[2]*y[2] + x[3]*y[3]
+		s1 += x[4]*y[4] + x[5]*y[5] + x[6]*y[6] + x[7]*y[7]
+		s2 += x[8]*y[8] + x[9]*y[9] + x[10]*y[10] + x[11]*y[11]
+		s3 += x[12]*y[12] + x[13]*y[13] + x[14]*y[14] + x[15]*y[15]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func l2BatchGeneric(q, data []float32, dim int, out []float32) {
+	n := len(data) / dim
+	for i := 0; i < n; i++ {
+		out[i] = active.l2(q, data[i*dim:(i+1)*dim])
+	}
+}
+
+func ipBatchGeneric(q, data []float32, dim int, out []float32) {
+	n := len(data) / dim
+	for i := 0; i < n; i++ {
+		out[i] = active.ip(q, data[i*dim:(i+1)*dim])
+	}
+}

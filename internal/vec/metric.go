@@ -1,0 +1,97 @@
+package vec
+
+import "fmt"
+
+// Metric names a similarity function supported by vectordb (Sec. 2.1 lists
+// Euclidean distance, inner product, cosine similarity, Hamming distance and
+// Jaccard distance; Tanimoto is added for the chemical-structure application
+// of Sec. 6.2).
+type Metric int
+
+const (
+	// L2 is squared Euclidean distance (monotone in true Euclidean distance,
+	// so top-k order is identical and the sqrt is skipped).
+	L2 Metric = iota
+	// IP is inner-product similarity; internally converted to a distance by
+	// negation so that "smaller is better" holds for every metric.
+	IP
+	// Cosine is 1 - cosine similarity.
+	Cosine
+	// Hamming counts differing bits of binary vectors.
+	Hamming
+	// Jaccard is 1 - |a∧b|/|a∨b| over binary vectors.
+	Jaccard
+	// Tanimoto is the bit-fingerprint distance used in cheminformatics:
+	// 1 - |a∧b| / (|a| + |b| - |a∧b|). For binary data it coincides with
+	// Jaccard but is kept distinct because applications name it explicitly.
+	Tanimoto
+)
+
+// String returns the canonical metric name used by the REST API.
+func (m Metric) String() string {
+	switch m {
+	case L2:
+		return "L2"
+	case IP:
+		return "IP"
+	case Cosine:
+		return "COSINE"
+	case Hamming:
+		return "HAMMING"
+	case Jaccard:
+		return "JACCARD"
+	case Tanimoto:
+		return "TANIMOTO"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// ParseMetric converts a canonical metric name to a Metric.
+func ParseMetric(s string) (Metric, error) {
+	for _, m := range []Metric{L2, IP, Cosine, Hamming, Jaccard, Tanimoto} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("vec: unknown metric %q", s)
+}
+
+// Binary reports whether the metric operates on binary vectors.
+func (m Metric) Binary() bool {
+	return m == Hamming || m == Jaccard || m == Tanimoto
+}
+
+// DistFunc is a float-vector distance where smaller means more similar.
+type DistFunc func(a, b []float32) float32
+
+// Dist returns the DistFunc for the metric. Binary metrics operate on
+// bit-packed float words (see FloatsFromBinary), so every metric yields a
+// distance over []float32 storage and the full engine applies uniformly.
+func (m Metric) Dist() DistFunc {
+	switch m {
+	case L2:
+		return L2Squared
+	case IP:
+		return NegDot
+	case Cosine:
+		return CosineDistance
+	case Hamming:
+		return hammingFloats
+	case Jaccard:
+		return jaccardFloats
+	case Tanimoto:
+		return tanimotoFloats
+	default:
+		panic("vec: metric " + m.String() + " has no distance function")
+	}
+}
+
+// NegDot is inner product negated into a distance (smaller = more similar).
+func NegDot(a, b []float32) float32 { return -Dot(a, b) }
+
+// Decomposable reports whether the metric's distance over a concatenation of
+// sub-vectors equals the sum of per-sub-vector distances. Inner product is;
+// so is L2 (squared), which the vector-fusion path exploits; cosine is not
+// unless the data is normalized (in which case it reduces to IP).
+func (m Metric) Decomposable() bool { return m == IP || m == L2 }

@@ -1,0 +1,340 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	if math.Abs(a-b) <= eps {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return den > 0 && math.Abs(a-b)/den <= eps
+}
+
+func refL2(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+func refDot(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+func randVec(r *rand.Rand, dim int) []float32 {
+	v := make([]float32, dim)
+	for i := range v {
+		v[i] = float32(r.NormFloat64())
+	}
+	return v
+}
+
+func TestKernelTiersAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	levels := []Level{LevelScalar, LevelSSE, LevelAVX, LevelAVX2, LevelAVX512}
+	for _, dim := range []int{1, 2, 3, 4, 7, 8, 15, 16, 17, 31, 32, 96, 128, 129} {
+		a, b := randVec(r, dim), randVec(r, dim)
+		wantL2 := refL2(a, b)
+		wantIP := refDot(a, b)
+		for _, l := range levels {
+			gotL2 := float64(L2SquaredAt(l, a, b))
+			gotIP := float64(DotAt(l, a, b))
+			if !almostEqual(gotL2, wantL2, 1e-4) {
+				t.Errorf("dim %d level %v: L2 = %v, want %v", dim, l, gotL2, wantL2)
+			}
+			if !almostEqual(gotIP, wantIP, 1e-4) {
+				t.Errorf("dim %d level %v: IP = %v, want %v", dim, l, gotIP, wantIP)
+			}
+		}
+	}
+}
+
+func TestSetLevelHooks(t *testing.T) {
+	defer SetLevel(DetectLevel())
+	for _, l := range []Level{LevelScalar, LevelSSE, LevelAVX, LevelAVX2, LevelAVX512} {
+		SetLevel(l)
+		if CurrentLevel() != l {
+			t.Fatalf("CurrentLevel = %v, want %v", CurrentLevel(), l)
+		}
+		a := []float32{1, 2, 3, 4, 5}
+		b := []float32{5, 4, 3, 2, 1}
+		if got := L2Squared(a, b); !almostEqual(float64(got), 40, 1e-5) {
+			t.Fatalf("level %v: L2Squared = %v, want 40", l, got)
+		}
+		if got := Dot(a, b); !almostEqual(float64(got), 35, 1e-5) {
+			t.Fatalf("level %v: Dot = %v, want 35", l, got)
+		}
+	}
+}
+
+func TestSetLevelOutOfRangeFallsBackToScalar(t *testing.T) {
+	defer SetLevel(DetectLevel())
+	SetLevel(Level(99))
+	if CurrentLevel() != LevelScalar {
+		t.Fatalf("CurrentLevel = %v, want scalar", CurrentLevel())
+	}
+}
+
+func TestParseLevelRoundTrip(t *testing.T) {
+	for _, l := range []Level{LevelScalar, LevelSSE, LevelAVX, LevelAVX2, LevelAVX512} {
+		got, err := ParseLevel(l.String())
+		if err != nil || got != l {
+			t.Errorf("ParseLevel(%q) = %v, %v", l.String(), got, err)
+		}
+	}
+	if _, err := ParseLevel("mmx"); err == nil {
+		t.Error("ParseLevel(mmx) succeeded, want error")
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	L2Squared([]float32{1, 2}, []float32{1})
+}
+
+func TestBatchMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	dim, n := 24, 57
+	data := randVec(r, dim*n)
+	q := randVec(r, dim)
+	outL2 := make([]float32, n)
+	outIP := make([]float32, n)
+	L2SquaredBatch(q, data, dim, outL2)
+	DotBatch(q, data, dim, outIP)
+	for i := 0; i < n; i++ {
+		row := data[i*dim : (i+1)*dim]
+		if !almostEqual(float64(outL2[i]), refL2(q, row), 1e-4) {
+			t.Errorf("row %d: batch L2 = %v, want %v", i, outL2[i], refL2(q, row))
+		}
+		if !almostEqual(float64(outIP[i]), refDot(q, row), 1e-4) {
+			t.Errorf("row %d: batch IP = %v, want %v", i, outIP[i], refDot(q, row))
+		}
+	}
+}
+
+func TestNormAndNormalize(t *testing.T) {
+	v := []float32{3, 4}
+	if got := Norm(v); !almostEqual(float64(got), 5, 1e-6) {
+		t.Fatalf("Norm = %v, want 5", got)
+	}
+	Normalize(v)
+	if got := Norm(v); !almostEqual(float64(got), 1, 1e-6) {
+		t.Fatalf("Norm after Normalize = %v, want 1", got)
+	}
+	z := []float32{0, 0, 0}
+	Normalize(z) // must not NaN
+	for _, x := range z {
+		if x != 0 {
+			t.Fatal("Normalize(zero) mutated the vector")
+		}
+	}
+}
+
+func TestCosineDistance(t *testing.T) {
+	a := []float32{1, 0}
+	b := []float32{0, 1}
+	if got := CosineDistance(a, b); !almostEqual(float64(got), 1, 1e-6) {
+		t.Errorf("orthogonal cosine distance = %v, want 1", got)
+	}
+	if got := CosineDistance(a, a); !almostEqual(float64(got), 0, 1e-6) {
+		t.Errorf("self cosine distance = %v, want 0", got)
+	}
+	if got := CosineDistance(a, []float32{0, 0}); got != 1 {
+		t.Errorf("zero-vector cosine distance = %v, want 1", got)
+	}
+}
+
+func TestMetricStringsAndParse(t *testing.T) {
+	for _, m := range []Metric{L2, IP, Cosine, Hamming, Jaccard, Tanimoto} {
+		got, err := ParseMetric(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMetric(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseMetric("MANHATTAN"); err == nil {
+		t.Error("ParseMetric(MANHATTAN) succeeded, want error")
+	}
+}
+
+func TestMetricDistSmallerIsBetter(t *testing.T) {
+	q := []float32{1, 1}
+	near := []float32{1, 0.9}
+	far := []float32{-1, -1}
+	for _, m := range []Metric{L2, IP, Cosine} {
+		d := m.Dist()
+		if !(d(q, near) < d(q, far)) {
+			t.Errorf("%v: near %v !< far %v", m, d(q, near), d(q, far))
+		}
+	}
+}
+
+func TestBinaryDistances(t *testing.T) {
+	a := NewBinaryVector(128)
+	b := NewBinaryVector(128)
+	a.SetBit(0)
+	a.SetBit(5)
+	a.SetBit(127)
+	b.SetBit(5)
+	b.SetBit(64)
+	if got := HammingDistance(a, b); got != 3 {
+		t.Errorf("Hamming = %d, want 3", got)
+	}
+	// |a∧b|=1 |a∨b|=4 → Jaccard = 0.75
+	if got := JaccardDistance(a, b); !almostEqual(float64(got), 0.75, 1e-6) {
+		t.Errorf("Jaccard = %v, want 0.75", got)
+	}
+	// Tanimoto: 1 - 1/(3+2-1) = 0.75
+	if got := TanimotoDistance(a, b); !almostEqual(float64(got), 0.75, 1e-6) {
+		t.Errorf("Tanimoto = %v, want 0.75", got)
+	}
+	if got := a.PopCount(); got != 3 {
+		t.Errorf("PopCount = %d, want 3", got)
+	}
+	if !a.Bit(127) || a.Bit(126) {
+		t.Error("Bit accessor wrong")
+	}
+}
+
+func TestBinaryEmptyVectors(t *testing.T) {
+	a := NewBinaryVector(64)
+	b := NewBinaryVector(64)
+	if got := JaccardDistance(a, b); got != 0 {
+		t.Errorf("Jaccard(empty, empty) = %v, want 0", got)
+	}
+	if got := TanimotoDistance(a, b); got != 0 {
+		t.Errorf("Tanimoto(empty, empty) = %v, want 0", got)
+	}
+}
+
+func TestMetricBinaryClassification(t *testing.T) {
+	for _, m := range []Metric{Hamming, Jaccard, Tanimoto} {
+		if !m.Binary() {
+			t.Errorf("%v.Binary() = false", m)
+		}
+	}
+	for _, m := range []Metric{L2, IP, Cosine} {
+		if m.Binary() {
+			t.Errorf("%v.Binary() = true", m)
+		}
+	}
+}
+
+func TestBinaryMetricDistOverPackedFloats(t *testing.T) {
+	// Binary metrics now provide distances over bit-packed float words,
+	// matching the BinaryVector distances exactly.
+	a := NewBinaryVector(64)
+	b := NewBinaryVector(64)
+	a.SetBit(0)
+	a.SetBit(5)
+	a.SetBit(40)
+	b.SetBit(5)
+	b.SetBit(63)
+	fa := FloatsFromBinary(a, WordsForBits(64))
+	fb := FloatsFromBinary(b, WordsForBits(64))
+	if got := Hamming.Dist()(fa, fb); got != float32(HammingDistance(a, b)) {
+		t.Fatalf("Hamming over floats = %v, want %v", got, HammingDistance(a, b))
+	}
+	if got, want := Jaccard.Dist()(fa, fb), JaccardDistance(a, b); got != want {
+		t.Fatalf("Jaccard over floats = %v, want %v", got, want)
+	}
+	if got, want := Tanimoto.Dist()(fa, fb), TanimotoDistance(a, b); got != want {
+		t.Fatalf("Tanimoto over floats = %v, want %v", got, want)
+	}
+}
+
+func TestBinaryFloatPackRoundTrip(t *testing.T) {
+	v := NewBinaryVector(96)
+	for _, i := range []int{0, 31, 32, 63, 64, 95} {
+		v.SetBit(i)
+	}
+	back := BinaryFromFloats(FloatsFromBinary(v, WordsForBits(96)))
+	for i := 0; i < 96; i++ {
+		if v.Bit(i) != back.Bit(i) {
+			t.Fatalf("bit %d lost in round trip", i)
+		}
+	}
+}
+
+// Property: for any vectors, Jaccard and Tanimoto agree on binary data and
+// both lie in [0, 1]; Hamming is symmetric and zero iff equal.
+func TestBinaryDistanceProperties(t *testing.T) {
+	f := func(aw, bw [4]uint64) bool {
+		a := BinaryVector(aw[:])
+		b := BinaryVector(bw[:])
+		j, tn := JaccardDistance(a, b), TanimotoDistance(a, b)
+		if j < 0 || j > 1 || tn < 0 || tn > 1 {
+			return false
+		}
+		if !almostEqual(float64(j), float64(tn), 1e-6) {
+			return false
+		}
+		if HammingDistance(a, b) != HammingDistance(b, a) {
+			return false
+		}
+		if HammingDistance(a, a) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: L2Squared satisfies the parallelogram-ish identity with Dot:
+// |a-b|² = |a|² + |b|² - 2⟨a,b⟩.
+func TestL2DotIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		dim := 1 + rr.Intn(64)
+		a, b := randVec(r, dim), randVec(r, dim)
+		lhs := float64(L2Squared(a, b))
+		rhs := refDot(a, a) + refDot(b, b) - 2*refDot(a, b)
+		return almostEqual(lhs, rhs, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSqrt32(t *testing.T) {
+	for _, x := range []float32{0, 1, 2, 4, 100, 12345.678} {
+		want := float32(math.Sqrt(float64(x)))
+		if got := sqrt32(x); !almostEqual(float64(got), float64(want), 1e-6) {
+			t.Errorf("sqrt32(%v) = %v, want %v", x, got, want)
+		}
+	}
+	if got := sqrt32(-1); got != 0 {
+		t.Errorf("sqrt32(-1) = %v, want 0", got)
+	}
+}
+
+func BenchmarkL2Tiers(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	x, y := randVec(r, 128), randVec(r, 128)
+	for _, l := range []Level{LevelScalar, LevelSSE, LevelAVX2, LevelAVX512} {
+		b.Run(l.String(), func(b *testing.B) {
+			var s float32
+			for i := 0; i < b.N; i++ {
+				s += L2SquaredAt(l, x, y)
+			}
+			_ = s
+		})
+	}
+}

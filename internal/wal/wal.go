@@ -1,0 +1,241 @@
+// Package wal implements the write-ahead log of Sec. 5.1/5.3: heavy write
+// requests are first materialized as log records and acknowledged, then a
+// background thread consumes them ("users may not immediately see the
+// inserted data"), and Flush blocks until all pending operations are
+// applied. In the distributed deployment the writer ships these logs —
+// rather than data — to shared storage, Aurora-style.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sync"
+)
+
+// RecordType tags a log record.
+type RecordType uint8
+
+const (
+	// RecordInsert carries one entity (ID, vectors per field, attrs).
+	RecordInsert RecordType = 1
+	// RecordDelete carries one entity ID.
+	RecordDelete RecordType = 2
+)
+
+// Record is one logical operation.
+type Record struct {
+	Type    RecordType
+	ID      int64
+	Vectors [][]float32 // per vector field; nil for deletes
+	Attrs   []int64     // per attribute field; nil for deletes
+	Cats    []string    // per categorical field; nil for deletes
+}
+
+// Marshal encodes the record with a CRC32 trailer.
+func (r *Record) Marshal() []byte {
+	size := 1 + 8 + 2
+	for _, v := range r.Vectors {
+		size += 4 + 4*len(v)
+	}
+	size += 2 + 8*len(r.Attrs)
+	size += 2
+	for _, c := range r.Cats {
+		size += 4 + len(c)
+	}
+	buf := make([]byte, 0, size+4)
+	buf = append(buf, byte(r.Type))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.ID))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Vectors)))
+	for _, v := range r.Vectors {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+		for _, x := range v {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(x))
+		}
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Attrs)))
+	for _, a := range r.Attrs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(a))
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Cats)))
+	for _, c := range r.Cats {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c)))
+		buf = append(buf, c...)
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// Unmarshal decodes a record, verifying the CRC.
+func Unmarshal(data []byte) (*Record, error) {
+	if len(data) < 15 {
+		return nil, fmt.Errorf("wal: record too short (%d bytes)", len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("wal: CRC mismatch")
+	}
+	r := &Record{Type: RecordType(body[0])}
+	if r.Type != RecordInsert && r.Type != RecordDelete {
+		return nil, fmt.Errorf("wal: unknown record type %d", body[0])
+	}
+	r.ID = int64(binary.LittleEndian.Uint64(body[1:]))
+	off := 9
+	nv := int(binary.LittleEndian.Uint16(body[off:]))
+	off += 2
+	r.Vectors = make([][]float32, nv)
+	for i := 0; i < nv; i++ {
+		if off+4 > len(body) {
+			return nil, fmt.Errorf("wal: truncated vector header")
+		}
+		l := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		if off+4*l > len(body) {
+			return nil, fmt.Errorf("wal: truncated vector body")
+		}
+		v := make([]float32, l)
+		for j := range v {
+			v[j] = math.Float32frombits(binary.LittleEndian.Uint32(body[off:]))
+			off += 4
+		}
+		r.Vectors[i] = v
+	}
+	if off+2 > len(body) {
+		return nil, fmt.Errorf("wal: truncated attr header")
+	}
+	na := int(binary.LittleEndian.Uint16(body[off:]))
+	off += 2
+	if off+8*na > len(body) {
+		return nil, fmt.Errorf("wal: attr section overruns")
+	}
+	r.Attrs = make([]int64, na)
+	for i := range r.Attrs {
+		r.Attrs[i] = int64(binary.LittleEndian.Uint64(body[off:]))
+		off += 8
+	}
+	if off+2 > len(body) {
+		return nil, fmt.Errorf("wal: truncated cat header")
+	}
+	nc := int(binary.LittleEndian.Uint16(body[off:]))
+	off += 2
+	r.Cats = make([]string, nc)
+	for i := 0; i < nc; i++ {
+		if off+4 > len(body) {
+			return nil, fmt.Errorf("wal: truncated cat length")
+		}
+		l := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		if off+l > len(body) {
+			return nil, fmt.Errorf("wal: cat value overruns")
+		}
+		r.Cats[i] = string(body[off : off+l])
+		off += l
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("wal: %d trailing bytes", len(body)-off)
+	}
+	if len(r.Vectors) == 0 {
+		r.Vectors = nil
+	}
+	if len(r.Attrs) == 0 {
+		r.Attrs = nil
+	}
+	if len(r.Cats) == 0 {
+		r.Cats = nil
+	}
+	return r, nil
+}
+
+// Log is an asynchronous write-ahead log: Append materializes the record
+// and returns immediately; a background goroutine applies records in order;
+// Flush blocks until everything appended so far has been applied.
+type Log struct {
+	apply func(*Record)
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*Record
+	records []*Record // durable tail for Replay
+	applied int64
+	enq     int64
+	closed  bool
+}
+
+// NewLog starts a log whose records are consumed by apply.
+func NewLog(apply func(*Record)) *Log {
+	l := &Log{apply: apply}
+	l.cond = sync.NewCond(&l.mu)
+	go l.run()
+	return l
+}
+
+// Append durably records r and queues it for asynchronous application.
+func (l *Log) Append(r *Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	l.records = append(l.records, r)
+	l.queue = append(l.queue, r)
+	l.enq++
+	l.cond.Broadcast()
+	return nil
+}
+
+func (l *Log) run() {
+	l.mu.Lock()
+	for {
+		for len(l.queue) == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		if len(l.queue) == 0 && l.closed {
+			l.mu.Unlock()
+			return
+		}
+		r := l.queue[0]
+		l.queue = l.queue[1:]
+		l.mu.Unlock()
+		l.apply(r)
+		l.mu.Lock()
+		l.applied++
+		l.cond.Broadcast()
+	}
+}
+
+// Flush blocks until every record appended before the call is applied —
+// the flush() API of Sec. 5.1.
+func (l *Log) Flush() {
+	l.mu.Lock()
+	target := l.enq
+	for l.applied < target {
+		l.cond.Wait()
+	}
+	l.mu.Unlock()
+}
+
+// Pending reports queued-but-unapplied records.
+func (l *Log) Pending() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.queue)
+}
+
+// Records returns a copy of all appended records (the durable log tail that
+// a restarted writer replays for atomicity, Sec. 5.3).
+func (l *Log) Records() []*Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*Record(nil), l.records...)
+}
+
+// Close stops the background applier after draining the queue.
+func (l *Log) Close() {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	for len(l.queue) > 0 {
+		l.cond.Wait()
+	}
+	l.mu.Unlock()
+}
