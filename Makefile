@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench experiments examples clean
+.PHONY: all build test race vet bench ci stress experiments examples clean
 
 all: build test
 
@@ -17,6 +17,17 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# ci is the gate every change must pass: vet, build, the full test suite,
+# and the race detector over internal/ — which includes the seeded
+# concurrency stress harness (internal/stress) with fault injection.
+ci: vet build test
+	$(GO) test -race ./internal/...
+
+# stress runs the full randomized stress/fault harness alone, race-enabled.
+# Reproduce a failure with: go test -race ./internal/stress -seed <n>
+stress:
+	$(GO) test -race -v ./internal/stress
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

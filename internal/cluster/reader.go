@@ -44,7 +44,11 @@ type Reader struct {
 	store objstore.Store
 	cfg   ReaderConfig
 
-	mu        sync.Mutex
+	// mu is an RWMutex: the hot query path only reads (liveness check,
+	// manifest lookup, pool pointer), so concurrent searches proceed
+	// without contending; Crash/Restart/manifest refresh take the write
+	// lock.
+	mu        sync.RWMutex
 	alive     bool
 	pool      *bufferpool.Pool
 	manifests map[string]*readerManifest
@@ -66,8 +70,8 @@ func NewReader(id string, store objstore.Store, cfg ReaderConfig) *Reader {
 
 // Alive reports whether the instance is up.
 func (r *Reader) Alive() bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.alive
 }
 
@@ -90,9 +94,9 @@ func (r *Reader) Restart() {
 
 // CacheStats reports buffer pool hits and misses.
 func (r *Reader) CacheStats() (hits, misses int64) {
-	r.mu.Lock()
+	r.mu.RLock()
 	pool := r.pool
-	r.mu.Unlock()
+	r.mu.RUnlock()
 	return pool.Stats()
 }
 
@@ -107,9 +111,9 @@ func (r *Reader) loadSegment(key string) (any, int64, error) {
 			break
 		}
 	}
-	r.mu.Lock()
+	r.mu.RLock()
 	rm := r.manifests[collection]
-	r.mu.Unlock()
+	r.mu.RUnlock()
 	if rm == nil {
 		return nil, 0, fmt.Errorf("cluster: reader %s has no manifest for %q", r.ID, collection)
 	}
@@ -139,9 +143,9 @@ func (r *Reader) loadSegment(key string) (any, int64, error) {
 // refreshManifest ensures the reader has the manifest at version (readers
 // poll shared storage when the coordinator's version moves).
 func (r *Reader) refreshManifest(collection string, version int64) (*readerManifest, error) {
-	r.mu.Lock()
+	r.mu.RLock()
 	rm := r.manifests[collection]
-	r.mu.Unlock()
+	r.mu.RUnlock()
 	if rm != nil && rm.version >= version {
 		return rm, nil
 	}
@@ -178,10 +182,10 @@ type RangeFilter struct {
 // reflect (snapshot consistency across the fleet). rf, when non-nil, is an
 // attribute constraint evaluated shard-locally.
 func (r *Reader) SearchOwned(collection string, version int64, ring *Ring, query []float32, opts core.SearchOptions, rf ...*RangeFilter) ([]topk.Result, error) {
-	r.mu.Lock()
+	r.mu.RLock()
 	alive := r.alive
 	pool := r.pool
-	r.mu.Unlock()
+	r.mu.RUnlock()
 	if !alive {
 		return nil, fmt.Errorf("%w: reader %s", ErrReaderDown, r.ID)
 	}

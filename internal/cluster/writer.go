@@ -1,7 +1,7 @@
 package cluster
 
 import (
-	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -21,7 +21,11 @@ type Writer struct {
 	store objstore.Store
 	coord *Coordinator
 
-	mu    sync.Mutex
+	// mu is an RWMutex so that read-side lookups (Collection, which serves
+	// the standalone search path) never serialize behind ship+apply of a
+	// write batch; mutations of the collection map and per-collection WAL
+	// sequence take the write lock.
+	mu    sync.RWMutex
 	alive bool
 	cols  map[string]*writerCollection
 	cfg   core.Config
@@ -67,43 +71,10 @@ func (w *Writer) CreateCollection(name string, schema core.Schema) error {
 	return w.publishLocked(name)
 }
 
-// marshalBatch encodes a WAL batch blob: length-prefixed records.
-func marshalBatch(records []*wal.Record) []byte {
-	var out []byte
-	for _, r := range records {
-		b := r.Marshal()
-		out = binary.LittleEndian.AppendUint32(out, uint32(len(b)))
-		out = append(out, b...)
-	}
-	return out
-}
-
-func unmarshalBatch(blob []byte) ([]*wal.Record, error) {
-	var out []*wal.Record
-	off := 0
-	for off < len(blob) {
-		if off+4 > len(blob) {
-			return nil, fmt.Errorf("cluster: truncated wal batch")
-		}
-		l := int(binary.LittleEndian.Uint32(blob[off:]))
-		off += 4
-		if off+l > len(blob) {
-			return nil, fmt.Errorf("cluster: wal batch record overruns")
-		}
-		r, err := wal.Unmarshal(blob[off : off+l])
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-		off += l
-	}
-	return out, nil
-}
-
 // ship durably writes a WAL batch to shared storage and returns its seq.
 func (w *Writer) ship(collection string, wc *writerCollection, records []*wal.Record) error {
 	wc.seq++
-	if err := w.store.Put(walKey(collection, wc.seq), marshalBatch(records)); err != nil {
+	if err := w.store.Put(walKey(collection, wc.seq), wal.MarshalBatch(records)); err != nil {
 		wc.seq--
 		return fmt.Errorf("cluster: ship wal: %w", err)
 	}
@@ -189,10 +160,11 @@ func (w *Writer) publishLocked(collection string) error {
 }
 
 // Collection exposes the writer's local collection (same-process reads in
-// the standalone deployment).
+// the standalone deployment). Read lock only: searches must not serialize
+// behind in-flight write batches.
 func (w *Writer) Collection(name string) (*core.Collection, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	wc, err := w.get(name)
 	if err != nil {
 		return nil, err
@@ -255,9 +227,14 @@ func (w *Writer) Restart() error {
 			if err != nil {
 				return err
 			}
-			records, err := unmarshalBatch(blob)
+			records, err := wal.ReplayBatch(blob)
 			if err != nil {
-				return err
+				if !errors.Is(err, wal.ErrTorn) {
+					return err
+				}
+				// A torn tail means the shipping Put died mid-write, so the
+				// batch was never acknowledged; replay the clean prefix
+				// (at-least-once for durably written records) and move on.
 			}
 			for _, r := range records {
 				switch r.Type {

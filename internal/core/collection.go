@@ -90,10 +90,15 @@ type Collection struct {
 	log    *wal.Log
 	snaps  *snapTracker
 
-	mu       sync.Mutex // guards mem, nextSeg/nextSnap, snapshot installs
+	mu       sync.Mutex // guards mem, nextSeg/nextSnap, flushErr, snapshot installs
 	mem      *memTable
 	nextSeg  int64
 	nextSnap int64
+	// flushErr is the last background flush failure (e.g. the object store
+	// refused a segment write). The affected rows stay buffered in the
+	// MemTable and are retried by the next flush; Flush surfaces the error
+	// so acknowledged writes are never silently dropped.
+	flushErr error
 
 	indexWG    sync.WaitGroup
 	indexCh    chan *Segment
@@ -230,6 +235,8 @@ func (c *Collection) flushTimer() {
 
 // Flush blocks until all pending writes are applied and visible: it drains
 // the log, seals the MemTable, and installs the new snapshot (Sec. 5.1).
+// It also reports any earlier background flush failure; the affected rows
+// are still buffered, so a successful retry clears the error.
 func (c *Collection) Flush() error {
 	c.log.Flush()
 	c.mu.Lock()
@@ -237,12 +244,14 @@ func (c *Collection) Flush() error {
 	if !c.mem.empty() {
 		return c.flushLocked()
 	}
-	return nil
+	return c.flushErr
 }
 
 // flushLocked seals the MemTable into a new immutable segment, merges the
 // tombstones into the view, installs the next snapshot, and triggers tiered
-// merging. Caller holds c.mu.
+// merging. On a segment-build failure the sealed rows are restored to the
+// MemTable (nothing acknowledged is ever dropped) and the error is kept for
+// Flush to report. Caller holds c.mu.
 func (c *Collection) flushLocked() error {
 	mem := c.mem
 	c.mem = &memTable{}
@@ -251,13 +260,20 @@ func (c *Collection) flushLocked() error {
 	defer c.snaps.release(prev)
 
 	segments := append([]*Segment(nil), prev.Segments...)
+	var newSeg *Segment
 	if len(mem.entities) > 0 {
 		seg, err := c.buildSegment(mem.entities)
 		if err != nil {
+			// Put the sealed rows back in front of anything applied since
+			// (nothing can be: we hold c.mu) and retry at the next flush.
+			mem.entities = append(mem.entities, c.mem.entities...)
+			mem.deletes = append(mem.deletes, c.mem.deletes...)
+			c.mem = mem
+			c.flushErr = err
 			return err
 		}
 		segments = append(segments, seg)
-		c.scheduleIndex(seg)
+		newSeg = seg
 	}
 
 	// Tombstones: carry forward old ones, add new ones; keep only those
@@ -275,6 +291,12 @@ func (c *Collection) flushLocked() error {
 		}
 	}
 	c.snaps.install(next)
+	// Schedule only after install: the index builder drops segments that are
+	// no longer live, and the new segment becomes live with the snapshot.
+	if newSeg != nil {
+		c.scheduleIndex(newSeg)
+	}
+	c.flushErr = nil
 	return c.mergeLocked()
 }
 
@@ -347,6 +369,11 @@ func (c *Collection) indexBuilder() {
 }
 
 func (c *Collection) buildSegmentIndexes(seg *Segment) {
+	// The segment may have been merged away (and GC'd) between scheduling
+	// and this build — skip dead segments rather than indexing garbage.
+	if !c.snaps.segmentLive(seg.ID) {
+		return
+	}
 	for f := range c.schema.VectorFields {
 		if seg.Index(f) != nil {
 			continue

@@ -52,7 +52,14 @@ func (c *Collection) persistIndex(seg *Segment, field int) {
 	if err != nil {
 		return
 	}
-	_ = c.store.Put(IndexKey(c.segmentKey(seg.ID), field), EncodeIndexBlob(idx.Name(), blob))
+	key := IndexKey(c.segmentKey(seg.ID), field)
+	_ = c.store.Put(key, EncodeIndexBlob(idx.Name(), blob))
+	// The async builder races with segment GC: if the segment died while we
+	// were persisting, the GC's delete of this key may already have run, and
+	// our Put would resurrect an orphan blob. Re-check and clean up.
+	if !c.snaps.segmentLive(seg.ID) {
+		_ = c.store.Delete(key)
+	}
 }
 
 // LoadSegmentIndex fetches and reconstructs a persisted per-field index

@@ -169,6 +169,16 @@ func (t *snapTracker) gc(dead []*Segment) {
 	}
 }
 
+// segmentLive reports whether a segment is still referenced by any live
+// snapshot. The async index builder consults it so it neither burns CPU
+// building indexes for merged-away segments nor re-persists index blobs
+// that the GC already deleted.
+func (t *snapTracker) segmentLive(id int64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.segRefs[id] > 0
+}
+
 // liveSnapshots reports how many snapshots are alive (tests, stats).
 func (t *snapTracker) liveSnapshots() int {
 	t.mu.Lock()

@@ -2,12 +2,15 @@ package index_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
+	"vectordb/internal/core"
 	"vectordb/internal/dataset"
 	"vectordb/internal/index"
 	_ "vectordb/internal/index/all"
 	"vectordb/internal/metric"
+	"vectordb/internal/objstore"
 	"vectordb/internal/topk"
 	"vectordb/internal/vec"
 )
@@ -226,6 +229,129 @@ func BenchmarkIndexSearch(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sink = idx.Search(q, index.SearchParams{K: 50, Nprobe: 8, Ef: 64})
+			}
+		})
+	}
+}
+
+// TestConcurrentInsertSearch exercises every registered index type under
+// concurrency, two ways. First, a shared immutable index takes parallel
+// searches from several goroutines — Search must be safe without external
+// synchronization (each search uses only local scratch). Second, a
+// Collection configured to auto-build that index type runs concurrent
+// inserters, flushers and searchers, so queries race against segment
+// creation, merges and index swaps; results must stay well-formed
+// throughout, and every acknowledged row must be present at the end.
+func TestConcurrentInsertSearch(t *testing.T) {
+	d := dataset.DeepLike(800, 21)
+	qs := dataset.Queries(d, 8, 22)
+	const k = 10
+	shared := buildAll(t, d, nil, vec.L2)
+	for _, name := range index.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			idx := shared[name]
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 50; i++ {
+						q := qs[(i+g)%8*d.Dim : ((i+g)%8+1)*d.Dim]
+						res := idx.Search(q, searchParams(k))
+						if len(res) == 0 || len(res) > k {
+							t.Errorf("%s: bad result count %d", name, len(res))
+							return
+						}
+						for j := 1; j < len(res); j++ {
+							if res[j].Distance < res[j-1].Distance {
+								t.Errorf("%s: unsorted results under concurrency", name)
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+
+			// LSM path: concurrent insert + flush + search while this index
+			// type is being auto-built on freshly sealed segments.
+			col, err := core.NewCollection("conc", core.Schema{
+				VectorFields: []core.VectorField{{Name: "v", Dim: d.Dim, Metric: vec.L2}},
+			}, objstore.NewMemory(), core.Config{
+				FlushRows:     32,
+				FlushInterval: -1,
+				IndexRows:     64,
+				IndexType:     name,
+				IndexParams:   map[string]string{"iter": "4", "nlist": "8"},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer col.Close()
+			done := make(chan struct{})
+			var writers, searchers sync.WaitGroup
+			const perWriter = 300
+			for w := 0; w < 2; w++ {
+				writers.Add(1)
+				go func(w int) {
+					defer writers.Done()
+					for i := 0; i < perWriter; i += 4 {
+						ents := make([]core.Entity, 4)
+						for j := range ents {
+							row := (w*perWriter + i + j) % d.N
+							ents[j] = core.Entity{
+								ID:      int64(w+1)<<32 | int64(i+j+1),
+								Vectors: [][]float32{append([]float32(nil), d.Row(row)...)},
+							}
+						}
+						if err := col.Insert(ents); err != nil {
+							t.Errorf("%s: insert: %v", name, err)
+							return
+						}
+						if i%64 == 0 {
+							if err := col.Flush(); err != nil {
+								t.Errorf("%s: flush: %v", name, err)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			for s := 0; s < 2; s++ {
+				searchers.Add(1)
+				go func(s int) {
+					defer searchers.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						res, err := col.Search(qs[(i+s)%8*d.Dim:((i+s)%8+1)*d.Dim], core.SearchOptions{K: k, Nprobe: 8, Ef: 64, SearchL: 64})
+						if err != nil {
+							t.Errorf("%s: concurrent search: %v", name, err)
+							return
+						}
+						for j := 1; j < len(res); j++ {
+							if res[j].Distance < res[j-1].Distance {
+								t.Errorf("%s: unsorted results from collection", name)
+								return
+							}
+						}
+					}
+				}(s)
+			}
+			// Join writers, stop searchers, then verify nothing was lost.
+			writers.Wait()
+			close(done)
+			searchers.Wait()
+			if err := col.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			col.WaitIndexed()
+			if got := col.Count(); got != 2*perWriter {
+				t.Fatalf("%s: Count=%d after concurrent run, want %d", name, got, 2*perWriter)
 			}
 		})
 	}

@@ -72,13 +72,19 @@ func unmarshalHNSW(metric vec.Metric, dim int, data []byte) (index.Index, error)
 	if err := firstErr(rd(&h.m), rd(&h.efc), rd(&h.entry), rd(&h.maxLevel)); err != nil {
 		return nil, err
 	}
+	if h.m < 2 || h.m > 1<<20 {
+		return nil, fmt.Errorf("hnsw: blob m=%d out of range", h.m)
+	}
+	if h.maxLevel < 0 || h.maxLevel > 1<<20 {
+		return nil, fmt.Errorf("hnsw: blob maxLevel=%d out of range", h.maxLevel)
+	}
 	h.mmax0 = 2 * h.m
 	h.ml = 1 / math.Log(float64(h.m))
 	var n int
 	if err := rd(&n); err != nil {
 		return nil, err
 	}
-	if off+8*n > len(data) {
+	if n < 0 || off+8*n > len(data) {
 		return nil, fmt.Errorf("hnsw: truncated id section")
 	}
 	h.ids = make([]int64, n)
@@ -104,13 +110,19 @@ func unmarshalHNSW(metric vec.Metric, dim int, data []byte) (index.Index, error)
 		if err := rd(&nl); err != nil {
 			return nil, err
 		}
+		// Each level needs at least a 4-byte degree word, so nl is bounded
+		// by the remaining bytes; anything larger is corruption (and would
+		// otherwise drive a huge allocation).
+		if nl < 0 || off+4*nl > len(data) {
+			return nil, fmt.Errorf("hnsw: node %d claims %d levels, blob too short", node, nl)
+		}
 		levels := make([][]int32, nl)
 		for l := 0; l < nl; l++ {
 			var deg int
 			if err := rd(&deg); err != nil {
 				return nil, err
 			}
-			if off+4*deg > len(data) {
+			if deg < 0 || off+4*deg > len(data) {
 				return nil, fmt.Errorf("hnsw: truncated adjacency")
 			}
 			nbrs := make([]int32, deg)
@@ -122,8 +134,28 @@ func unmarshalHNSW(metric vec.Metric, dim int, data []byte) (index.Index, error)
 		}
 		h.links[node] = levels
 	}
-	if h.entry >= n || (n > 0 && h.entry < 0) {
+	if h.entry < 0 || h.entry >= n {
 		return nil, fmt.Errorf("hnsw: entry point %d out of range", h.entry)
+	}
+	// greedyClosest descends levels maxLevel..1 starting from the entry, so
+	// the entry must participate in every one of them.
+	if h.maxLevel >= len(h.links[h.entry]) {
+		return nil, fmt.Errorf("hnsw: maxLevel %d exceeds entry's %d levels", h.maxLevel, len(h.links[h.entry]))
+	}
+	// Every edge must point inside the graph, and a neighbor reached at
+	// level l must itself have links at level l — search navigates through
+	// it there. A corrupted blob violating either would panic at query time.
+	for node := range h.links {
+		for l, nbrs := range h.links[node] {
+			for _, nb := range nbrs {
+				if nb < 0 || int(nb) >= n {
+					return nil, fmt.Errorf("hnsw: node %d level %d neighbor %d out of range [0,%d)", node, l, nb, n)
+				}
+				if l > 0 && len(h.links[nb]) <= l {
+					return nil, fmt.Errorf("hnsw: node %d links to %d at level %d, but that node has only %d levels", node, nb, l, len(h.links[nb]))
+				}
+			}
+		}
 	}
 	return h, nil
 }

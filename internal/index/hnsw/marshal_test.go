@@ -1,0 +1,78 @@
+package hnsw
+
+import (
+	"testing"
+
+	"vectordb/internal/dataset"
+	"vectordb/internal/index"
+	"vectordb/internal/vec"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	d := dataset.DeepLike(200, 31)
+	h := buildHNSW(t, d, 8, 64)
+	blob, err := h.MarshalIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := unmarshalHNSW(vec.L2, d.Dim, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := dataset.Queries(d, 5, 32)
+	p := index.SearchParams{K: 10, Ef: 64}
+	for qi := 0; qi < 5; qi++ {
+		q := qs[qi*d.Dim : (qi+1)*d.Dim]
+		want, have := h.Search(q, p), got.Search(q, p)
+		if len(want) != len(have) {
+			t.Fatalf("query %d: %d results after round-trip, want %d", qi, len(have), len(want))
+		}
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("query %d rank %d: %v after round-trip, want %v", qi, i, have[i], want[i])
+			}
+		}
+	}
+}
+
+// TestUnmarshalCorruptedBlob is the hostile-input contract: any truncation
+// and any bit flip of a valid blob must either produce a decode error or an
+// index that still searches without panicking. Graph indexes are the
+// dangerous case — a corrupted neighbor ID or level count turns into an
+// out-of-bounds access at query time if validation misses it.
+func TestUnmarshalCorruptedBlob(t *testing.T) {
+	d := dataset.DeepLike(80, 33)
+	h := buildHNSW(t, d, 6, 48)
+	blob, err := h.MarshalIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := dataset.Queries(d, 1, 34)
+	try := func(what string, off int, data []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s at offset %d: panic: %v", what, off, r)
+			}
+		}()
+		idx, err := unmarshalHNSW(vec.L2, d.Dim, data)
+		if err != nil {
+			return // rejected: the acceptable outcome
+		}
+		// Accepted: the index must be internally consistent enough to search.
+		idx.Search(q, index.SearchParams{K: 5, Ef: 32})
+	}
+	for cut := 0; cut < len(blob); cut++ {
+		try("truncation", cut, blob[:cut])
+	}
+	if _, err := unmarshalHNSW(vec.L2, d.Dim, nil); err == nil {
+		t.Fatal("empty blob accepted")
+	}
+	mut := make([]byte, len(blob))
+	for off := 0; off < len(blob); off++ {
+		for _, bit := range []byte{0x01, 0x80} {
+			copy(mut, blob)
+			mut[off] ^= bit
+			try("bit flip", off, mut)
+		}
+	}
+}

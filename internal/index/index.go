@@ -103,6 +103,9 @@ func Unmarshal(name string, metric vec.Metric, dim int, data []byte) (Index, err
 	if !ok {
 		return nil, fmt.Errorf("index: type %q does not support persistence", name)
 	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("index: dim must be positive, got %d", dim)
+	}
 	return u(metric, dim, data)
 }
 

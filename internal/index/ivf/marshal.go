@@ -165,6 +165,9 @@ func unmarshalIVF(fine Fine, metric vec.Metric, dim int, data []byte) (index.Ind
 	x.nlist = int(r.u32())
 	x.nprobeDef = int(r.u32())
 	x.size = int(r.u32())
+	if r.err == nil && (x.nlist < 1 || x.size < 0 || x.nprobeDef < 1) {
+		return nil, fmt.Errorf("ivf: bad header (nlist=%d nprobe=%d size=%d)", x.nlist, x.nprobeDef, x.size)
+	}
 	cents := r.floats()
 	if r.err != nil {
 		return nil, r.err
@@ -191,23 +194,59 @@ func unmarshalIVF(fine Fine, metric vec.Metric, dim int, data []byte) (index.Ind
 		}
 		x.pq = pq
 	}
+	cs := 0
+	switch fine {
+	case FineSQ8:
+		cs = x.sq8.CodeSize()
+	case FinePQ:
+		cs = x.pq.CodeSize()
+		for i, cb := range x.pq.Codebooks {
+			if r.err == nil && len(cb) != x.pq.SubDim*x.pq.Ks {
+				return nil, fmt.Errorf("ivf: pq codebook %d has %d floats, want %d", i, len(cb), x.pq.SubDim*x.pq.Ks)
+			}
+		}
+	}
 	x.ids = make([][]int64, x.nlist)
 	if fine == FineFlat {
 		x.vecs = make([][]float32, x.nlist)
 	} else {
 		x.codes = make([][]uint8, x.nlist)
 	}
+	total := 0
 	for b := 0; b < x.nlist; b++ {
 		x.ids[b] = r.ids()
+		total += len(x.ids[b])
+		// Bucket payloads must stay aligned with the bucket's ID list —
+		// a shorter vector/code array would read out of bounds at scan time.
 		switch fine {
 		case FineFlat:
 			x.vecs[b] = r.floats()
+			if r.err == nil && len(x.vecs[b]) != len(x.ids[b])*dim {
+				return nil, fmt.Errorf("ivf: bucket %d has %d floats for %d ids", b, len(x.vecs[b]), len(x.ids[b]))
+			}
 		default:
 			x.codes[b] = r.bytes()
+			if r.err == nil && len(x.codes[b]) != len(x.ids[b])*cs {
+				return nil, fmt.Errorf("ivf: bucket %d has %d code bytes for %d ids (code size %d)", b, len(x.codes[b]), len(x.ids[b]), cs)
+			}
 		}
 	}
 	if r.err != nil {
 		return nil, r.err
+	}
+	if total != x.size {
+		return nil, fmt.Errorf("ivf: buckets hold %d vectors, header claims %d", total, x.size)
+	}
+	if fine == FinePQ && x.pq.Ks < 256 {
+		// Every PQ code byte indexes a Ks-entry distance table at scan
+		// time; a corrupted byte ≥ Ks would read out of bounds.
+		for b := range x.codes {
+			for i, code := range x.codes[b] {
+				if int(code) >= x.pq.Ks {
+					return nil, fmt.Errorf("ivf: bucket %d code %d is %d, ks=%d", b, i, code, x.pq.Ks)
+				}
+			}
+		}
 	}
 	return x, nil
 }

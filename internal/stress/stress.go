@@ -1,0 +1,472 @@
+package stress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"vectordb/internal/core"
+	"vectordb/internal/objstore"
+	"vectordb/internal/topk"
+	"vectordb/internal/vec"
+)
+
+// Config tunes one stress run. Zero values mean defaults.
+type Config struct {
+	Seed      int64         // drives schedules, faults and verification sampling
+	Writers   int           // mixed-workload goroutines (default 4)
+	Searchers int           // search/snapshot/get goroutines (default 4)
+	Duration  time.Duration // wall-clock run length before quiesce (default 300ms)
+	Dim       int           // vector dimensionality (default 16)
+	K         int           // top-k for searches (default 8)
+
+	// MaxOpsPerWriter hard-caps each writer's schedule so a slow machine
+	// cannot grow the collection without bound (default 50000).
+	MaxOpsPerWriter int
+
+	// Faults configures the injected object-store fault layer; the zero
+	// value runs fault-free.
+	Faults FaultConfig
+
+	// RecallFloor is the minimum average recall@K vs. a brute-force scan
+	// over the surviving entities after quiesce (default 0.9).
+	RecallFloor float64
+	// RecallQueries is how many queries the recall check averages
+	// (default 10).
+	RecallQueries int
+}
+
+func (c *Config) defaults() {
+	if c.Writers <= 0 {
+		c.Writers = 4
+	}
+	if c.Searchers <= 0 {
+		c.Searchers = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = 300 * time.Millisecond
+	}
+	if c.Dim <= 0 {
+		c.Dim = 16
+	}
+	if c.K <= 0 {
+		c.K = 8
+	}
+	if c.MaxOpsPerWriter <= 0 {
+		c.MaxOpsPerWriter = 50000
+	}
+	if c.RecallFloor <= 0 {
+		c.RecallFloor = 0.9
+	}
+	if c.RecallQueries <= 0 {
+		c.RecallQueries = 10
+	}
+}
+
+// Report summarizes one run.
+type Report struct {
+	Inserted   int64 // acknowledged inserted rows
+	Deleted    int64 // acknowledged deleted rows
+	Searches   int64 // completed searches (writers + searchers)
+	Flushes    int64 // explicit flush ops issued
+	FlushErrs  int64 // flushes that surfaced an (injected) error
+	IndexOps   int64 // manual index-build ops issued
+	Injected   int64 // faults injected by the store layer
+	FinalCount int   // collection Count() after quiesce
+	Recall     float64
+	Violations []string
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf("inserted=%d deleted=%d searches=%d flushes=%d flushErrs=%d injected=%d final=%d recall=%.3f violations=%d",
+		r.Inserted, r.Deleted, r.Searches, r.Flushes, r.FlushErrs, r.Injected, r.FinalCount, r.Recall, len(r.Violations))
+}
+
+const (
+	idShift      = 40 // entity ID = (writer+1)<<idShift | per-writer counter
+	maxViolation = 20 // cap recorded violations; one is already a failure
+)
+
+// harness is the shared state of one run.
+type harness struct {
+	cfg    Config
+	col    *core.Collection
+	faults *FaultStore
+
+	done chan struct{}
+
+	mu         sync.Mutex
+	violations []string
+
+	inserted, deleted, searches, flushes, flushErrs, indexOps counter
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (c *counter) add(d int64) { c.mu.Lock(); c.n += d; c.mu.Unlock() }
+func (c *counter) get() int64  { c.mu.Lock(); defer c.mu.Unlock(); return c.n }
+
+func (h *harness) violate(format string, args ...any) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.violations) < maxViolation {
+		h.violations = append(h.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// writerState is one writer's private model of what the system has
+// acknowledged. Only its owning goroutine touches it until after the
+// WaitGroup join, so it needs no lock.
+type writerState struct {
+	live    []int64 // acked inserts not (acked-)deleted; order irrelevant
+	deleted []int64 // acked deletes
+	nextID  int64   // per-writer ID counter
+}
+
+// Run executes one seeded stress run and verifies its invariants. It
+// returns a non-nil error when any invariant was violated; the Report is
+// always returned for inspection.
+func Run(cfg Config) (*Report, error) {
+	cfg.defaults()
+
+	faults := NewFaultStore(objstore.NewMemory(), cfg.Seed*7349+11, cfg.Faults)
+	schema := core.Schema{
+		VectorFields: []core.VectorField{{Name: "v", Dim: cfg.Dim, Metric: vec.L2}},
+		AttrFields:   []string{"a"},
+	}
+	col, err := core.NewCollection("stress", schema, faults, core.Config{
+		FlushRows:      64,
+		FlushInterval:  25 * time.Millisecond, // background flusher on: more interleavings
+		MergeFactor:    4,
+		MaxSegmentRows: 1 << 14,
+		IndexRows:      256,
+		IndexType:      "IVF_FLAT",
+		IndexParams:    map[string]string{"nlist": "8"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer col.Close()
+
+	h := &harness{cfg: cfg, col: col, faults: faults, done: make(chan struct{})}
+
+	states := make([]*writerState, cfg.Writers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Writers; w++ {
+		states[w] = &writerState{}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h.writer(w, states[w])
+		}(w)
+	}
+	for s := 0; s < cfg.Searchers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			h.searcher(s)
+		}(s)
+	}
+
+	time.Sleep(cfg.Duration)
+	close(h.done)
+	wg.Wait()
+
+	rep := &Report{
+		Inserted:  h.inserted.get(),
+		Deleted:   h.deleted.get(),
+		Searches:  h.searches.get(),
+		Flushes:   h.flushes.get(),
+		FlushErrs: h.flushErrs.get(),
+		IndexOps:  h.indexOps.get(),
+	}
+	h.quiesce(states, rep)
+	rep.Injected = faults.Injected()
+	rep.Violations = h.violations
+	if len(rep.Violations) > 0 {
+		return rep, fmt.Errorf("stress: %d invariant violation(s), first: %s", len(rep.Violations), rep.Violations[0])
+	}
+	return rep, nil
+}
+
+// writer executes its deterministic op stream until the run deadline.
+func (h *harness) writer(w int, st *writerState) {
+	stream := NewStream(h.cfg.Seed, w)
+	lastSnap := int64(0)
+	for ops := 0; ops < h.cfg.MaxOpsPerWriter; ops++ {
+		select {
+		case <-h.done:
+			return
+		default:
+		}
+		op := stream.Next()
+		switch op.Kind {
+		case OpInsert:
+			ents := make([]core.Entity, op.N)
+			ids := make([]int64, op.N)
+			for i := range ents {
+				st.nextID++
+				id := int64(w+1)<<idShift | st.nextID
+				ids[i] = id
+				ents[i] = core.Entity{
+					ID:      id,
+					Vectors: [][]float32{VectorForID(id, h.cfg.Dim)},
+					Attrs:   []int64{id & 1023},
+				}
+			}
+			if err := h.col.Insert(ents); err != nil {
+				h.violate("writer %d: insert failed: %v", w, err)
+				return
+			}
+			st.live = append(st.live, ids...)
+			h.inserted.add(int64(op.N))
+		case OpDelete:
+			n := op.N
+			if n > len(st.live) {
+				n = len(st.live)
+			}
+			if n == 0 {
+				continue
+			}
+			victims := make([]int64, 0, n)
+			arg := op.Arg
+			for i := 0; i < n; i++ {
+				j := int(arg % uint64(len(st.live)))
+				arg = arg*6364136223846793005 + 1442695040888963407
+				victims = append(victims, st.live[j])
+				st.live[j] = st.live[len(st.live)-1]
+				st.live = st.live[:len(st.live)-1]
+			}
+			if err := h.col.Delete(victims); err != nil {
+				h.violate("writer %d: delete failed: %v", w, err)
+				return
+			}
+			st.deleted = append(st.deleted, victims...)
+			h.deleted.add(int64(len(victims)))
+		case OpSearch:
+			h.search(fmt.Sprintf("writer %d", w), int64(op.Arg>>1))
+		case OpFlush:
+			h.flushes.add(1)
+			if err := h.col.Flush(); err != nil {
+				h.flushErrs.add(1)
+				if !errors.Is(err, ErrInjected) {
+					h.violate("writer %d: non-injected flush error: %v", w, err)
+				}
+			}
+		case OpSnapshot:
+			lastSnap = h.snapshotProbe(fmt.Sprintf("writer %d", w), lastSnap)
+		case OpIndex:
+			h.indexOps.add(1)
+			// Index failures are non-fatal by design (scan remains), but the
+			// call must not race with merges/flushes — that is what this op
+			// exercises.
+			_ = h.col.BuildIndex("v", "IVF_FLAT", map[string]string{"nlist": "8"})
+		}
+	}
+}
+
+// searcher hammers the read path: searches, snapshot probes, point gets.
+func (h *harness) searcher(s int) {
+	rng := rand.New(rand.NewSource(int64(uint64(h.cfg.Seed) ^ uint64(s+1000)*0x9E3779B97F4A7C15)))
+	who := fmt.Sprintf("searcher %d", s)
+	lastSnap := int64(0)
+	for {
+		select {
+		case <-h.done:
+			return
+		default:
+		}
+		switch p := rng.Intn(10); {
+		case p < 6:
+			h.search(who, rng.Int63())
+		case p < 8:
+			lastSnap = h.snapshotProbe(who, lastSnap)
+		default:
+			// Probe a random plausible ID. Existence is timing-dependent
+			// mid-run, but any returned entity must be byte-identical to
+			// what was inserted — a torn or cross-wired row is a bug.
+			id := int64(rng.Intn(h.cfg.Writers)+1)<<idShift | int64(1+rng.Intn(4096))
+			if e, ok := h.col.Get(id); ok {
+				h.checkVector(who, id, e.Vectors[0])
+			}
+		}
+	}
+}
+
+// search runs one query and checks result shape invariants.
+func (h *harness) search(who string, qseed int64) {
+	query := VectorForID(qseed|1, h.cfg.Dim)
+	res, err := h.col.Search(query, core.SearchOptions{K: h.cfg.K, Nprobe: 8})
+	if err != nil {
+		h.violate("%s: search error: %v", who, err)
+		return
+	}
+	h.searches.add(1)
+	h.checkResults(who, res)
+}
+
+// checkResults validates the structural invariants every search result set
+// must satisfy regardless of interleaving.
+func (h *harness) checkResults(who string, res []topk.Result) {
+	if len(res) > h.cfg.K {
+		h.violate("%s: %d results for k=%d", who, len(res), h.cfg.K)
+	}
+	seen := make(map[int64]bool, len(res))
+	prev := float32(math.Inf(-1))
+	for _, r := range res {
+		if r.Distance != r.Distance {
+			h.violate("%s: NaN distance for id %d", who, r.ID)
+		}
+		if r.Distance < prev {
+			h.violate("%s: results not sorted (%f after %f)", who, r.Distance, prev)
+		}
+		prev = r.Distance
+		if seen[r.ID] {
+			h.violate("%s: duplicate id %d in results", who, r.ID)
+		}
+		seen[r.ID] = true
+		if w := r.ID >> idShift; w < 1 || w > int64(h.cfg.Writers) || r.ID&(1<<idShift-1) == 0 {
+			h.violate("%s: id %d outside valid id space", who, r.ID)
+		}
+	}
+}
+
+// snapshotProbe checks that snapshot IDs observed by one goroutine never go
+// backwards (MVCC installs are totally ordered).
+func (h *harness) snapshotProbe(who string, last int64) int64 {
+	sn := h.col.AcquireSnapshot()
+	id := sn.ID
+	h.col.ReleaseSnapshot(sn)
+	if id < last {
+		h.violate("%s: snapshot went backwards: %d after %d", who, id, last)
+		return last
+	}
+	return id
+}
+
+// checkVector verifies a returned vector matches the deterministic vector
+// inserted for id, element-exact.
+func (h *harness) checkVector(who string, id int64, got []float32) {
+	want := VectorForID(id, h.cfg.Dim)
+	if len(got) != len(want) {
+		h.violate("%s: id %d vector has dim %d, want %d", who, id, len(got), len(want))
+		return
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			h.violate("%s: id %d vector corrupted at component %d", who, id, j)
+			return
+		}
+	}
+}
+
+// quiesce disables faults, drains the system to a stable state, and runs
+// the end-state invariants: exact accounting of acknowledged writes, point
+// readability, and a recall floor against brute force.
+func (h *harness) quiesce(states []*writerState, rep *Report) {
+	h.faults.Disable()
+
+	// Acknowledged writes may still sit in the MemTable behind earlier
+	// injected flush failures; with faults off, a bounded retry must drain
+	// them. The WAL consumer is async, so give Flush a few chances.
+	var err error
+	for attempt := 0; attempt < 100; attempt++ {
+		if err = h.col.Flush(); err == nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err != nil {
+		h.violate("quiesce: flush never drained: %v", err)
+		return
+	}
+	h.col.WaitIndexed()
+
+	var live, deleted []int64
+	for _, st := range states {
+		live = append(live, st.live...)
+		deleted = append(deleted, st.deleted...)
+	}
+
+	// Invariant: no lost (and no resurrected) acknowledged writes.
+	rep.FinalCount = h.col.Count()
+	if rep.FinalCount != len(live) {
+		h.violate("quiesce: Count()=%d but %d acked rows should be live", rep.FinalCount, len(live))
+	}
+
+	rng := rand.New(rand.NewSource(h.cfg.Seed + 977))
+	for _, id := range sampleIDs(rng, live, 2000) {
+		e, ok := h.col.Get(id)
+		if !ok {
+			h.violate("quiesce: acked row %d lost", id)
+			continue
+		}
+		h.checkVector("quiesce", id, e.Vectors[0])
+	}
+	for _, id := range sampleIDs(rng, deleted, 2000) {
+		if _, ok := h.col.Get(id); ok {
+			h.violate("quiesce: deleted row %d resurrected", id)
+		}
+	}
+
+	rep.Recall = h.recallCheck(rng, live)
+	if len(live) >= h.cfg.K && rep.Recall < h.cfg.RecallFloor {
+		h.violate("quiesce: recall %.3f below floor %.3f", rep.Recall, h.cfg.RecallFloor)
+	}
+}
+
+// recallCheck compares Search against a brute-force scan over the model's
+// live rows, averaging recall@K across queries. Nprobe is set to nlist so
+// IVF probes exhaustively: any shortfall is lost rows or broken plumbing,
+// not an accuracy trade-off.
+func (h *harness) recallCheck(rng *rand.Rand, live []int64) float64 {
+	if len(live) == 0 {
+		return 1
+	}
+	k := h.cfg.K
+	if k > len(live) {
+		k = len(live)
+	}
+	total := 0.0
+	for q := 0; q < h.cfg.RecallQueries; q++ {
+		query := VectorForID(rng.Int63()|1, h.cfg.Dim)
+		gt := topk.New(k)
+		for _, id := range live {
+			gt.Push(id, vec.L2Squared(query, VectorForID(id, h.cfg.Dim)))
+		}
+		want := map[int64]bool{}
+		for _, r := range gt.Results() {
+			want[r.ID] = true
+		}
+		res, err := h.col.Search(query, core.SearchOptions{K: k, Nprobe: 8})
+		if err != nil {
+			h.violate("quiesce: recall search error: %v", err)
+			return 0
+		}
+		hit := 0
+		for _, r := range res {
+			if want[r.ID] {
+				hit++
+			}
+		}
+		total += float64(hit) / float64(len(want))
+	}
+	return total / float64(h.cfg.RecallQueries)
+}
+
+// sampleIDs returns up to n IDs drawn without replacement (all of them when
+// len(ids) <= n), deterministically from rng.
+func sampleIDs(rng *rand.Rand, ids []int64, n int) []int64 {
+	if len(ids) <= n {
+		return ids
+	}
+	out := append([]int64(nil), ids...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out[:n]
+}

@@ -1,0 +1,133 @@
+package stress
+
+import (
+	"flag"
+	"testing"
+	"time"
+)
+
+// -seed reproduces a failing run: the operation schedule (and the fault
+// decision stream) is a pure function of it.
+var seedFlag = flag.Int64("seed", 1, "stress schedule seed")
+
+// TestScheduleDeterminism: the acceptance contract is that the same -seed
+// yields the same operation schedule. The hash covers op kinds, batch sizes
+// and the raw randomness used for target selection.
+func TestScheduleDeterminism(t *testing.T) {
+	a := ScheduleHash(*seedFlag, 4, 512)
+	b := ScheduleHash(*seedFlag, 4, 512)
+	if a != b {
+		t.Fatalf("same seed produced different schedules: %x vs %x", a, b)
+	}
+	if c := ScheduleHash(*seedFlag+1, 4, 512); c == a {
+		t.Fatalf("different seeds produced identical schedules: %x", a)
+	}
+	// Streams must be decorrelated across workers.
+	s0, s1 := NewStream(*seedFlag, 0), NewStream(*seedFlag, 1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if s0.Next() == s1.Next() {
+			same++
+		}
+	}
+	if same > 8 {
+		t.Fatalf("worker streams correlated: %d/64 identical ops", same)
+	}
+}
+
+func TestVectorForIDDeterministic(t *testing.T) {
+	a, b := VectorForID(42, 16), VectorForID(42, 16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("VectorForID not deterministic at %d", i)
+		}
+		if a[i] != a[i] {
+			t.Fatalf("VectorForID produced NaN at %d", i)
+		}
+	}
+	c := VectorForID(43, 16)
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("adjacent IDs map to identical vectors")
+	}
+}
+
+// TestStressClean runs the full mixed workload fault-free: 4 writers + 4
+// searchers for over 2s (the acceptance floor), checking every invariant.
+func TestStressClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress run skipped in -short mode")
+	}
+	rep, err := Run(Config{
+		Seed:      *seedFlag,
+		Writers:   4,
+		Searchers: 4,
+		Duration:  2200 * time.Millisecond,
+	})
+	t.Logf("clean: %s", rep)
+	if err != nil {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatal(err)
+	}
+	if rep.Inserted == 0 || rep.Searches == 0 {
+		t.Fatalf("workload did not run: %s", rep)
+	}
+}
+
+// TestStressFaults repeats the run with the fault layer armed: delayed
+// flushes, failed object-store writes, and torn segment blobs. The system
+// must tolerate the faults mid-run (acknowledged rows stay buffered and are
+// retried) and drain to an exactly consistent state once faults stop.
+func TestStressFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress run skipped in -short mode")
+	}
+	rep, err := Run(Config{
+		Seed:      *seedFlag,
+		Writers:   4,
+		Searchers: 4,
+		Duration:  2200 * time.Millisecond,
+		Faults: FaultConfig{
+			FailRate:  0.10,
+			TornRate:  0.05,
+			DelayRate: 0.20,
+			MaxDelay:  2 * time.Millisecond,
+		},
+	})
+	t.Logf("faults: %s", rep)
+	if err != nil {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatal(err)
+	}
+	if rep.Injected == 0 {
+		t.Fatal("fault layer injected nothing; harness is not exercising failure paths")
+	}
+}
+
+// TestStressSmoke is the fast path for plain `go test`: a short clean run
+// plus a short faulted run so every CI invocation exercises the harness.
+func TestStressSmoke(t *testing.T) {
+	for _, cfg := range []Config{
+		{Seed: *seedFlag, Writers: 2, Searchers: 2, Duration: 150 * time.Millisecond},
+		{Seed: *seedFlag, Writers: 2, Searchers: 2, Duration: 150 * time.Millisecond,
+			Faults: FaultConfig{FailRate: 0.1, TornRate: 0.1, DelayRate: 0.1}},
+	} {
+		rep, err := Run(cfg)
+		t.Logf("smoke: %s", rep)
+		if err != nil {
+			for _, v := range rep.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			t.Fatal(err)
+		}
+	}
+}

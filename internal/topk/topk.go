@@ -59,7 +59,13 @@ func (h *Heap) Accepts(d float32) bool {
 }
 
 // Push offers a candidate; it is retained if it is among the k best so far.
+// NaN distances are rejected: NaN compares false against everything, so an
+// admitted NaN could never be evicted and would silently shrink the usable
+// heap (kernel edge cases — all-Inf inputs — can produce one).
 func (h *Heap) Push(id int64, d float32) {
+	if d != d {
+		return
+	}
 	if len(h.data) < h.k {
 		h.data = append(h.data, Result{id, d})
 		h.up(len(h.data) - 1)

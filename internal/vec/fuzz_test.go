@@ -1,0 +1,121 @@
+package vec
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// decodeVecPair splits fuzz bytes into two equal-dimension float32 vectors.
+func decodeVecPair(data []byte) (a, b []float32) {
+	dim := len(data) / 8
+	for i := 0; i < dim; i++ {
+		a = append(a, math.Float32frombits(binary.LittleEndian.Uint32(data[i*8:])))
+		b = append(b, math.Float32frombits(binary.LittleEndian.Uint32(data[i*8+4:])))
+	}
+	return a, b
+}
+
+// FuzzKernelTiersAgree feeds arbitrary vectors — NaN, Inf, denormals,
+// zero length — through every SIMD tier and checks they agree with a
+// float64 reference: same NaN-ness, and close values when the reference is
+// comfortably inside float32 range. Tiers sum in different orders, so a
+// reference that overflows float32 may overflow in some tiers and not
+// others; those inputs only have their NaN-ness compared.
+func FuzzKernelTiersAgree(f *testing.F) {
+	add := func(vals ...float32) {
+		var buf []byte
+		for _, v := range vals {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+		f.Add(buf)
+	}
+	add()                          // zero-length vectors
+	add(1, 2)                      // dim 1
+	add(1, 2, 3, 4, 5, 6, 7, 8)    // dim 4: exercises unroll tails
+	add(float32(math.NaN()), 1, 2, float32(math.NaN())) // NaN components
+	add(float32(math.Inf(1)), 1, float32(math.Inf(-1)), 2)
+	add(3e38, 3e38, -3e38, 3e38) // float32-overflow territory
+	add(1e-40, 1e-40, 2e-40, 3e-40) // denormals
+	f.Add([]byte{1, 2, 3}) // ragged tail bytes are dropped
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 8*256 {
+			return // cap dimension; larger adds nothing
+		}
+		a, b := decodeVecPair(data)
+		var refL2, refIP, ipMag float64
+		for i := range a {
+			d := float64(a[i]) - float64(b[i])
+			refL2 += d * d
+			refIP += float64(a[i]) * float64(b[i])
+			ipMag += math.Abs(float64(a[i]) * float64(b[i]))
+		}
+		refNaN := refL2 != refL2
+		refIPNaN := refIP != refIP
+		// Products that overflow float32 turn into ±Inf there, and opposing
+		// infinities cancel to NaN — a float64 reference sees neither. The
+		// Dot NaN-ness comparison is only meaningful when no product
+		// overflows (or the reference itself is NaN, which must propagate).
+		ipNaNComparable := refIPNaN || ipMag < 3e38
+		// Values beyond ~1e37 can overflow float32 partial sums in some
+		// accumulation orders but not others; only NaN-ness is comparable.
+		valueComparable := math.Abs(refL2) < 1e37 && !math.IsInf(refL2, 0)
+		ipComparable := ipMag < 1e37
+		for _, l := range []Level{LevelScalar, LevelSSE, LevelAVX, LevelAVX2, LevelAVX512} {
+			l2 := L2SquaredAt(l, a, b)
+			ip := DotAt(l, a, b)
+			if gotNaN := l2 != l2; gotNaN != refNaN {
+				t.Fatalf("%v: L2 NaN-ness %v, reference %v (a=%v b=%v)", l, gotNaN, refNaN, a, b)
+			}
+			if gotNaN := ip != ip; ipNaNComparable && gotNaN != refIPNaN {
+				t.Fatalf("%v: Dot NaN-ness %v, reference %v (a=%v b=%v)", l, gotNaN, refIPNaN, a, b)
+			}
+			if !refNaN && valueComparable && !math.IsInf(float64(l2), 0) {
+				tol := 1e-3*math.Abs(refL2) + 1e-5
+				if math.Abs(float64(l2)-refL2) > tol {
+					t.Fatalf("%v: L2=%v, reference %v (a=%v b=%v)", l, l2, refL2, a, b)
+				}
+			}
+			if !refIPNaN && ipComparable && !math.IsInf(float64(ip), 0) {
+				// Cancellation makes |refIP| arbitrarily small relative to
+				// the rounding error of the partial products, so tolerance
+				// scales with the products' total magnitude.
+				tol := 1e-4*ipMag + 1e-5
+				if math.Abs(float64(ip)-refIP) > tol {
+					t.Fatalf("%v: Dot=%v, reference %v (a=%v b=%v)", l, ip, refIP, a, b)
+				}
+			}
+		}
+	})
+}
+
+// FuzzDimensionMismatchPanics: every kernel tier must reject mismatched
+// dimensions with the package's diagnostic panic — never a silent wrong
+// answer or an out-of-bounds crash.
+func FuzzDimensionMismatchPanics(f *testing.F) {
+	f.Add(uint8(4), uint8(3))
+	f.Add(uint8(0), uint8(1))
+	f.Add(uint8(17), uint8(16))
+	f.Fuzz(func(t *testing.T, na, nb uint8) {
+		if na == nb {
+			return
+		}
+		a, b := make([]float32, na), make([]float32, nb)
+		for _, l := range []Level{LevelScalar, LevelSSE, LevelAVX, LevelAVX2, LevelAVX512} {
+			for name, call := range map[string]func(){
+				"L2SquaredAt": func() { L2SquaredAt(l, a, b) },
+				"DotAt":       func() { DotAt(l, a, b) },
+			} {
+				func() {
+					defer func() {
+						if recover() == nil {
+							t.Fatalf("%s at %v accepted dims %d vs %d", name, l, na, nb)
+						}
+					}()
+					call()
+				}()
+			}
+		}
+	})
+}

@@ -83,9 +83,11 @@ var kernels = [...]kernelSet{
 
 var currentLevel atomic.Int32
 
-// active holds the hooked kernel pointers; reads are racy-but-benign since
-// every kernelSet is valid. SetLevel is intended for startup / tests.
-var active kernelSet
+// active holds the hooked kernel pointers. It is an atomic pointer so that
+// SetLevel (startup, tests) can retarget the kernels while searches are in
+// flight on other goroutines without a data race; each kernelSet is
+// immutable once published.
+var active atomic.Pointer[kernelSet]
 
 func init() {
 	SetLevel(DetectLevel())
@@ -116,7 +118,8 @@ func SetLevel(l Level) {
 	if l < LevelScalar || l > LevelAVX512 {
 		l = LevelScalar
 	}
-	active = kernels[l]
+	ks := kernels[l]
+	active.Store(&ks)
 	currentLevel.Store(int32(l))
 }
 
@@ -129,7 +132,7 @@ func L2Squared(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic("vec: dimension mismatch")
 	}
-	return active.l2(a, b)
+	return active.Load().l2(a, b)
 }
 
 // Dot returns the inner product of a and b using the hooked kernel.
@@ -137,25 +140,35 @@ func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic("vec: dimension mismatch")
 	}
-	return active.ip(a, b)
+	return active.Load().ip(a, b)
 }
 
 // L2SquaredAt computes L2Squared with an explicit tier, bypassing the hook.
 // Benchmarks use it to compare tiers side by side (Fig. 12).
-func L2SquaredAt(l Level, a, b []float32) float32 { return kernels[l].l2(a, b) }
+func L2SquaredAt(l Level, a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("vec: dimension mismatch")
+	}
+	return kernels[l].l2(a, b)
+}
 
 // DotAt computes Dot with an explicit tier, bypassing the hook.
-func DotAt(l Level, a, b []float32) float32 { return kernels[l].ip(a, b) }
+func DotAt(l Level, a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("vec: dimension mismatch")
+	}
+	return kernels[l].ip(a, b)
+}
 
 // L2SquaredBatch computes the squared L2 distance from q to every row of the
 // flat row-major matrix data (len(data) = n*dim) into out (len n).
 func L2SquaredBatch(q, data []float32, dim int, out []float32) {
-	active.l2b(q, data, dim, out)
+	active.Load().l2b(q, data, dim, out)
 }
 
 // DotBatch computes the inner product of q with every row of data into out.
 func DotBatch(q, data []float32, dim int, out []float32) {
-	active.ipb(q, data, dim, out)
+	active.Load().ipb(q, data, dim, out)
 }
 
 // Norm returns the Euclidean norm of a.

@@ -8,6 +8,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
@@ -144,6 +145,52 @@ func Unmarshal(data []byte) (*Record, error) {
 		r.Cats = nil
 	}
 	return r, nil
+}
+
+// ErrTorn marks a batch blob whose tail is torn or corrupted — a write that
+// died partway (truncated frame) or bit rot (CRC mismatch). ReplayBatch
+// wraps it so callers can distinguish "recovered a prefix" from "the blob is
+// garbage from the first byte".
+var ErrTorn = errors.New("wal: torn batch tail")
+
+// MarshalBatch encodes a batch of records as the durable blob the writer
+// ships to shared storage (Sec. 5.3): each record is length-prefixed, and
+// each record carries its own CRC32 trailer.
+func MarshalBatch(records []*Record) []byte {
+	var out []byte
+	for _, r := range records {
+		b := r.Marshal()
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(b)))
+		out = append(out, b...)
+	}
+	return out
+}
+
+// ReplayBatch decodes a batch blob, recovering the longest clean prefix of
+// records. A truncated or corrupted tail does not fail the whole blob:
+// the intact prefix is returned together with an error wrapping ErrTorn, so
+// crash recovery keeps every record that was durably written before the
+// tear (the replay contract of Sec. 5.3). A fully clean blob returns a nil
+// error. ReplayBatch never panics on hostile input.
+func ReplayBatch(blob []byte) ([]*Record, error) {
+	var out []*Record
+	off := 0
+	for off < len(blob) {
+		if off+4 > len(blob) {
+			return out, fmt.Errorf("%w: truncated frame header at offset %d", ErrTorn, off)
+		}
+		l := int(binary.LittleEndian.Uint32(blob[off:]))
+		if l < 0 || off+4+l > len(blob) {
+			return out, fmt.Errorf("%w: frame at offset %d claims %d bytes, %d remain", ErrTorn, off, l, len(blob)-off-4)
+		}
+		r, err := Unmarshal(blob[off+4 : off+4+l])
+		if err != nil {
+			return out, fmt.Errorf("%w: record at offset %d: %v", ErrTorn, off, err)
+		}
+		out = append(out, r)
+		off += 4 + l
+	}
+	return out, nil
 }
 
 // Log is an asynchronous write-ahead log: Append materializes the record

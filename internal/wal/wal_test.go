@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -159,5 +160,108 @@ func TestLogConcurrentAppend(t *testing.T) {
 	l.Flush()
 	if applied.Load() != 800 {
 		t.Fatalf("applied %d, want 800", applied.Load())
+	}
+}
+
+// batchFixture builds a marshaled batch and the byte offset at which each
+// complete record frame ends, so truncation tests know exactly which prefix
+// must survive any cut.
+func batchFixture(n int) (records []*Record, blob []byte, frameEnds []int) {
+	for i := 0; i < n; i++ {
+		records = append(records, &Record{
+			Type:    RecordInsert,
+			ID:      int64(100 + i),
+			Vectors: [][]float32{{float32(i), float32(i) + 0.5}},
+			Attrs:   []int64{int64(i * 7)},
+		})
+	}
+	blob = MarshalBatch(records)
+	off := 0
+	for range records {
+		l := int(uint32(blob[off]) | uint32(blob[off+1])<<8 | uint32(blob[off+2])<<16 | uint32(blob[off+3])<<24)
+		off += 4 + l
+		frameEnds = append(frameEnds, off)
+	}
+	return records, blob, frameEnds
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	records, blob, _ := batchFixture(5)
+	got, err := ReplayBatch(blob)
+	if err != nil {
+		t.Fatalf("clean batch replay: %v", err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(records))
+	}
+	for i, r := range got {
+		if r.ID != records[i].ID {
+			t.Fatalf("record %d: id %d, want %d", i, r.ID, records[i].ID)
+		}
+	}
+	if out, err := ReplayBatch(nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty blob: %v %v", out, err)
+	}
+}
+
+// TestBatchTornTailRecovery is the crash-recovery contract: truncate the
+// batch blob at EVERY possible offset — as a crash mid-upload would — and
+// replay. The longest prefix of complete records must always come back; a
+// cut that doesn't land exactly on a frame boundary must be reported as a
+// torn tail (wrapping ErrTorn), never as a panic and never silently.
+func TestBatchTornTailRecovery(t *testing.T) {
+	records, blob, frameEnds := batchFixture(5)
+	for cut := 0; cut <= len(blob); cut++ {
+		wantRecords := 0
+		for _, end := range frameEnds {
+			if end <= cut {
+				wantRecords++
+			}
+		}
+		onBoundary := cut == 0 || (wantRecords > 0 && frameEnds[wantRecords-1] == cut)
+		got, err := ReplayBatch(blob[:cut])
+		if len(got) != wantRecords {
+			t.Fatalf("cut=%d: recovered %d records, want %d", cut, len(got), wantRecords)
+		}
+		for i := range got {
+			if got[i].ID != records[i].ID {
+				t.Fatalf("cut=%d: record %d has id %d, want %d", cut, i, got[i].ID, records[i].ID)
+			}
+		}
+		if onBoundary {
+			if err != nil {
+				t.Fatalf("cut=%d on frame boundary: unexpected error %v", cut, err)
+			}
+		} else if !errors.Is(err, ErrTorn) {
+			t.Fatalf("cut=%d mid-frame: error %v does not wrap ErrTorn", cut, err)
+		}
+	}
+}
+
+// TestBatchCorruptTailRecovery flips one byte in the LAST record's payload:
+// the CRC must reject it, the clean prefix must survive, and the error must
+// mark the blob as torn.
+func TestBatchCorruptTailRecovery(t *testing.T) {
+	records, blob, frameEnds := batchFixture(4)
+	corrupt := append([]byte(nil), blob...)
+	corrupt[frameEnds[2]+6] ^= 0x40 // inside record 3's frame
+	got, err := ReplayBatch(corrupt)
+	if !errors.Is(err, ErrTorn) {
+		t.Fatalf("corrupted tail: error %v does not wrap ErrTorn", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("recovered %d records, want clean prefix of 3", len(got))
+	}
+	for i := range got {
+		if got[i].ID != records[i].ID {
+			t.Fatalf("record %d: id %d, want %d", i, got[i].ID, records[i].ID)
+		}
+	}
+	// A frame length pointing far past the blob must not allocate or crash.
+	evil := append([]byte(nil), blob[:frameEnds[0]]...)
+	evil = append(evil, 0xFF, 0xFF, 0xFF, 0x7F)
+	got, err = ReplayBatch(evil)
+	if !errors.Is(err, ErrTorn) || len(got) != 1 {
+		t.Fatalf("overrun frame: got %d records, err %v", len(got), err)
 	}
 }
