@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench ci stress experiments examples clean
+.PHONY: all build test race vet bench ci cover stress experiments examples clean
 
 all: build test
 
@@ -19,10 +19,24 @@ vet:
 	$(GO) vet ./...
 
 # ci is the gate every change must pass: vet, build, the full test suite,
-# and the race detector over internal/ — which includes the seeded
-# concurrency stress harness (internal/stress) with fault injection.
-ci: vet build test
+# the race detector over internal/ — which includes the seeded
+# concurrency stress harness (internal/stress) with fault injection —
+# and the observability coverage floor.
+ci: vet build test cover
 	$(GO) test -race ./internal/...
+
+# cover enforces a coverage floor on the observability layer: the metrics
+# registry, exposition writer, tracer and query log are the eyes of every
+# other subsystem, so untested branches there hide real regressions.
+# -coverpkg spans the promtext parser, whose tests live in obs.
+OBS_COVER_MIN ?= 80.0
+cover:
+	$(GO) test -coverprofile=obs.cover -coverpkg=./internal/obs/... ./internal/obs/...
+	@$(GO) tool cover -func=obs.cover | awk -v min=$(OBS_COVER_MIN) '\
+		/^total:/ { sub(/%/, "", $$3); \
+			if ($$3+0 < min) { printf "obs coverage %.1f%% below floor %.1f%%\n", $$3, min; exit 1 } \
+			else { printf "obs coverage %.1f%% (floor %.1f%%)\n", $$3, min } }'
+	@rm -f obs.cover
 
 # stress runs the full randomized stress/fault harness alone, race-enabled.
 # Reproduce a failure with: go test -race ./internal/stress -seed <n>

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"vectordb/internal/core"
+	"vectordb/internal/dataset"
+	"vectordb/internal/objstore"
+	"vectordb/internal/obs"
+	"vectordb/internal/obs/promtext"
+)
+
+// scrapeValue reads one series through the exposition — the only view
+// that collects func-backed series like the reader cache counters.
+func scrapeValue(t *testing.T, reg *obs.Registry, name, labelKey, labelVal string) float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := promtext.Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fams {
+		if f.Name != name {
+			continue
+		}
+		for _, s := range f.Samples {
+			if s.Labels[labelKey] == labelVal {
+				return s.Value
+			}
+		}
+	}
+	t.Fatalf("series %s{%s=%q} not scraped", name, labelKey, labelVal)
+	return 0
+}
+
+// TestClusterObsCounters: the distributed layer reports WAL shipping,
+// replay, reader searches and segment-cache traffic through the registry —
+// and the cache series, being scrape-time funcs over the live pool, track
+// the same numbers CacheStats reports even across a reader crash.
+func TestClusterObsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	wCfg := writerCfg()
+	wCfg.Obs = reg
+	rCfg := ReaderConfig{IndexRows: 1 << 20, Obs: reg}
+	cl, err := NewCluster(objstore.NewMemory(), 1, wCfg, rCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dataset.DeepLike(300, 21)
+	attrs := dataset.Attributes(d.N, 100, 22)
+	if err := cl.Writer().CreateCollection("c", clusterSchema(d.Dim)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Writer().Insert("c", entitiesFrom(d, attrs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Writer().Flush("c"); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Counter("vectordb_wal_batches_shipped_total").Value(); got < 1 {
+		t.Errorf("shipped batches = %d, want >= 1", got)
+	}
+	if got := reg.Counter("vectordb_wal_shipped_records_total").Value(); got != int64(d.N) {
+		t.Errorf("shipped records = %d, want %d", got, d.N)
+	}
+
+	q := dataset.Queries(d, 1, 23)
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Search("c", q, core.SearchOptions{K: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, _ := cl.Coord.Readers()
+	if len(ids) != 1 {
+		t.Fatalf("readers = %v, want one", ids)
+	}
+	r, _ := cl.Reader(ids[0])
+	if got := reg.Counter("vectordb_reader_searches_total", "reader", ids[0]).Value(); got != 3 {
+		t.Errorf("reader searches = %d, want 3", got)
+	}
+	hits, misses := r.CacheStats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("cache stats hits=%d misses=%d: repeated queries should hit and first should miss", hits, misses)
+	}
+	if got := scrapeValue(t, reg, "vectordb_reader_cache_hits_total", "reader", ids[0]); got != float64(hits) {
+		t.Errorf("cache hits series = %v, CacheStats = %d", got, hits)
+	}
+	if got := scrapeValue(t, reg, "vectordb_reader_cache_misses_total", "reader", ids[0]); got != float64(misses) {
+		t.Errorf("cache misses series = %v, CacheStats = %d", got, misses)
+	}
+
+	// Crash replaces the pool; the scrape-time funcs must follow the live
+	// pool, not the dead one.
+	r.Crash()
+	r.Restart()
+	h2, m2 := r.CacheStats()
+	if got := scrapeValue(t, reg, "vectordb_reader_cache_hits_total", "reader", ids[0]); got != float64(h2) {
+		t.Errorf("post-crash cache hits series = %v, CacheStats = %d", got, h2)
+	}
+	if got := scrapeValue(t, reg, "vectordb_reader_cache_misses_total", "reader", ids[0]); got != float64(m2) {
+		t.Errorf("post-crash cache misses series = %v, CacheStats = %d", got, m2)
+	}
+
+	// Writer crash + restart replays the WAL tail past the manifest.
+	if err := cl.Writer().Insert("c", []core.Entity{{ID: 9001, Vectors: [][]float32{d.Row(0)}, Attrs: []int64{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	cl.Writer().Crash()
+	if err := cl.Writer().Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("vectordb_wal_replayed_records_total").Value(); got < 1 {
+		t.Errorf("replayed records = %d, want >= 1 after restart", got)
+	}
+}

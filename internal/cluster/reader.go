@@ -4,10 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"vectordb/internal/bufferpool"
 	"vectordb/internal/core"
+	"vectordb/internal/index"
 	"vectordb/internal/objstore"
+	"vectordb/internal/obs"
 	"vectordb/internal/topk"
 )
 
@@ -22,6 +25,9 @@ type ReaderConfig struct {
 	IndexRows   int
 	IndexType   string
 	IndexParams map[string]string
+	// Obs, when set, receives per-reader series (vectordb_reader_* labeled
+	// reader="<id>") including the cache hit/miss counters.
+	Obs *obs.Registry
 }
 
 func (c *ReaderConfig) defaults() {
@@ -52,6 +58,10 @@ type Reader struct {
 	alive     bool
 	pool      *bufferpool.Pool
 	manifests map[string]*readerManifest
+
+	searches *obs.Counter
+	segLoads *obs.Counter
+	idxMet   *index.Metrics
 }
 
 type readerManifest struct {
@@ -65,6 +75,20 @@ func NewReader(id string, store objstore.Store, cfg ReaderConfig) *Reader {
 	cfg.defaults()
 	r := &Reader{ID: id, store: store, cfg: cfg, alive: true, manifests: map[string]*readerManifest{}}
 	r.pool = bufferpool.New(cfg.CacheBytes, r.loadSegment)
+	r.searches = cfg.Obs.Counter("vectordb_reader_searches_total", "reader", id)
+	r.segLoads = cfg.Obs.Counter("vectordb_reader_segment_loads_total", "reader", id)
+	r.idxMet = index.NewMetrics(cfg.Obs)
+	// Funcs rather than counters: the pool already counts internally and
+	// is replaced wholesale on Crash, so scrape-time collection always
+	// reflects the live pool.
+	cfg.Obs.CounterFunc("vectordb_reader_cache_hits_total", func() int64 {
+		h, _ := r.CacheStats()
+		return h
+	}, "reader", id)
+	cfg.Obs.CounterFunc("vectordb_reader_cache_misses_total", func() int64 {
+		_, m := r.CacheStats()
+		return m
+	}, "reader", id)
 	return r
 }
 
@@ -125,16 +149,24 @@ func (r *Reader) loadSegment(key string) (any, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	r.segLoads.Inc()
 	for f, vf := range rm.schema.VectorFields {
 		// Prefer the index the writer persisted with the segment
 		// (Sec. 2.3: index and data live together); build locally only for
 		// large segments without one. Scan remains the fallback.
 		if idx, ok := core.LoadSegmentIndex(r.store, segKey, f, vf.Metric, vf.Dim); ok {
-			seg.SetIndex(f, idx)
+			seg.SetIndex(f, r.idxMet.Instrument(idx))
 			continue
 		}
 		if seg.Rows() >= r.cfg.IndexRows {
-			_ = seg.BuildIndex(&rm.schema, f, r.cfg.IndexType, r.cfg.IndexParams)
+			t0 := time.Now()
+			err := seg.BuildIndex(&rm.schema, f, r.cfg.IndexType, r.cfg.IndexParams)
+			r.idxMet.ObserveBuild(r.cfg.IndexType, time.Since(t0), err)
+			if err == nil {
+				if idx := seg.Index(f); idx != nil {
+					seg.SetIndex(f, r.idxMet.Instrument(idx))
+				}
+			}
 		}
 	}
 	return seg, seg.SizeBytes(), nil
@@ -189,6 +221,7 @@ func (r *Reader) SearchOwned(collection string, version int64, ring *Ring, query
 	if !alive {
 		return nil, fmt.Errorf("%w: reader %s", ErrReaderDown, r.ID)
 	}
+	r.searches.Inc()
 	rm, err := r.refreshManifest(collection, version)
 	if err != nil {
 		return nil, err

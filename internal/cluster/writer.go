@@ -8,6 +8,7 @@ import (
 
 	"vectordb/internal/core"
 	"vectordb/internal/objstore"
+	"vectordb/internal/obs"
 	"vectordb/internal/wal"
 )
 
@@ -29,6 +30,11 @@ type Writer struct {
 	alive bool
 	cols  map[string]*writerCollection
 	cfg   core.Config
+
+	shipped        *obs.Counter
+	shippedRecords *obs.Counter
+	replayedRecs   *obs.Counter
+	tornBatches    *obs.Counter
 }
 
 type writerCollection struct {
@@ -39,7 +45,12 @@ type writerCollection struct {
 
 // NewWriter creates a live writer over shared storage.
 func NewWriter(store objstore.Store, coord *Coordinator, cfg core.Config) *Writer {
-	return &Writer{store: store, coord: coord, cfg: cfg, alive: true, cols: map[string]*writerCollection{}}
+	w := &Writer{store: store, coord: coord, cfg: cfg, alive: true, cols: map[string]*writerCollection{}}
+	w.shipped = cfg.Obs.Counter("vectordb_wal_batches_shipped_total")
+	w.shippedRecords = cfg.Obs.Counter("vectordb_wal_shipped_records_total")
+	w.replayedRecs = cfg.Obs.Counter("vectordb_wal_replayed_records_total")
+	w.tornBatches = cfg.Obs.Counter("vectordb_wal_torn_batches_total")
+	return w
 }
 
 func (w *Writer) get(collection string) (*writerCollection, error) {
@@ -78,6 +89,8 @@ func (w *Writer) ship(collection string, wc *writerCollection, records []*wal.Re
 		wc.seq--
 		return fmt.Errorf("cluster: ship wal: %w", err)
 	}
+	w.shipped.Inc()
+	w.shippedRecords.Add(int64(len(records)))
 	return nil
 }
 
@@ -235,7 +248,9 @@ func (w *Writer) Restart() error {
 				// A torn tail means the shipping Put died mid-write, so the
 				// batch was never acknowledged; replay the clean prefix
 				// (at-least-once for durably written records) and move on.
+				w.tornBatches.Inc()
 			}
+			w.replayedRecs.Add(int64(len(records)))
 			for _, r := range records {
 				switch r.Type {
 				case wal.RecordInsert:

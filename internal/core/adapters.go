@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"vectordb/internal/obs"
 	"vectordb/internal/query"
 	"vectordb/internal/topk"
 )
@@ -13,6 +14,9 @@ import (
 type SourceView struct {
 	c  *Collection
 	sn *Snapshot
+	// Trace, when set, is threaded into vector sub-queries issued through
+	// this view, so strategy-internal searches land on the query's trace.
+	Trace *obs.Trace
 }
 
 var _ query.Source = (*SourceView)(nil)
@@ -74,6 +78,7 @@ func (v *SourceView) VectorQuery(field int, q []float32, k, nprobe int, filter f
 		K:      k,
 		Nprobe: nprobe,
 		Filter: filter,
+		Trace:  v.Trace,
 	})
 	if err != nil {
 		return nil
@@ -150,11 +155,15 @@ func (c *Collection) SearchFiltered(queryVec []float32, attrName string, lo, hi 
 	if opts.K <= 0 {
 		return nil, fmt.Errorf("core: K must be positive")
 	}
+	done := c.beginQuery("filtered", &opts.Trace)
+	defer done()
+	opts.Trace.Annotate("placement", "cpu")
 	src := c.Source()
+	src.Trace = opts.Trace
 	defer src.Release()
 	res, _ := query.StrategyD(src,
 		query.RangeCond{Attr: attr, Lo: lo, Hi: hi},
-		query.VecCond{Field: field, Query: queryVec, K: opts.K, Nprobe: opts.Nprobe},
+		query.VecCond{Field: field, Query: queryVec, K: opts.K, Nprobe: opts.Nprobe, Trace: opts.Trace},
 		query.DefaultCostModel())
 	return res, nil
 }
@@ -169,11 +178,17 @@ func (c *Collection) SearchMultiVector(queries [][]float32, weights []float32, k
 	if k <= 0 {
 		return nil, fmt.Errorf("core: K must be positive")
 	}
+	var tr *obs.Trace
+	done := c.beginQuery("multi", &tr)
+	defer done()
+	tr.Annotate("placement", "cpu")
 	if _, err := c.fusedMetric(); err == nil {
-		if res, err := c.SearchFused(queries, weights, SearchOptions{K: k}); err == nil {
+		if res, err := c.SearchFused(queries, weights, SearchOptions{K: k, Trace: tr}); err == nil {
+			tr.Annotate("multi_algorithm", "fused")
 			return res, nil
 		}
 	}
+	tr.Annotate("multi_algorithm", "iterative_merging")
 	mv := c.MultiSource()
 	defer mv.Release()
 	return query.IterativeMerging(mv, queries, weights, k, 16384), nil
@@ -211,15 +226,26 @@ func (c *Collection) SearchCategorical(queryVec []float32, catName string, value
 	if len(values) == 0 {
 		return nil, fmt.Errorf("core: at least one categorical value required")
 	}
+	done := c.beginQuery("categorical", &opts.Trace)
+	defer done()
+	tr := opts.Trace
+	tr.Annotate("placement", "cpu")
 	src := c.Source()
+	src.Trace = tr
 	defer src.Release()
+	filterSpan := tr.StartSpan("attr_filter")
 	rows := src.CatRows(cat, values...)
+	filterSpan.AnnotateInt("rows", int64(len(rows)))
+	filterSpan.End()
 	if len(rows) == 0 {
 		return nil, nil
 	}
 	// Highly selective postings: exact scan over the matches (strategy A's
 	// regime); otherwise bitmap-filtered vector search (strategy B).
 	if len(rows) <= opts.K*8 {
+		tr.Annotate("filter_strategy", "A")
+		scan := tr.StartSpan("exact_scan")
+		defer scan.End()
 		h := topk.New(opts.K)
 		field := 0
 		if opts.Field != "" {
@@ -234,6 +260,7 @@ func (c *Collection) SearchCategorical(queryVec []float32, catName string, value
 		}
 		return h.Results(), nil
 	}
+	tr.Annotate("filter_strategy", "B")
 	bitmap := make(map[int64]struct{}, len(rows))
 	for _, id := range rows {
 		bitmap[id] = struct{}{}
@@ -243,5 +270,7 @@ func (c *Collection) SearchCategorical(queryVec []float32, catName string, value
 		_, ok := bitmap[id]
 		return ok
 	}
-	return c.Search(queryVec, o)
+	// Search against the already-pinned snapshot so this stays one query
+	// (and one trace) rather than re-entering the counted Search path.
+	return c.SearchSnapshot(src.sn, queryVec, o)
 }

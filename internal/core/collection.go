@@ -12,6 +12,7 @@ import (
 	"vectordb/internal/index"
 	_ "vectordb/internal/index/all" // make every built-in index type available
 	"vectordb/internal/objstore"
+	"vectordb/internal/obs"
 	"vectordb/internal/topk"
 	"vectordb/internal/wal"
 )
@@ -43,6 +44,14 @@ type Config struct {
 	// in the background thread (deterministic tests; default async,
 	// Sec. 5.1 "Milvus builds indexes asynchronously").
 	SyncIndex bool
+	// Obs receives the collection's metrics (vectordb_* series labeled
+	// collection="<name>"). Nil disables scraping but instrumentation
+	// stays live on unregistered handles.
+	Obs *obs.Registry
+	// QueryLog captures per-query traces (and slow queries) for queries
+	// that did not supply their own SearchOptions.Trace. Nil disables
+	// automatic trace capture.
+	QueryLog *obs.QueryLog
 }
 
 func (c *Config) defaults() {
@@ -89,6 +98,8 @@ type Collection struct {
 	store  objstore.Store
 	log    *wal.Log
 	snaps  *snapTracker
+	met    *colMetrics
+	qlog   *obs.QueryLog
 
 	mu       sync.Mutex // guards mem, nextSeg/nextSnap, flushErr, snapshot installs
 	mem      *memTable
@@ -125,6 +136,8 @@ func NewCollection(name string, schema Schema, store objstore.Store, cfg Config)
 		cfg:       cfg,
 		store:     store,
 		mem:       &memTable{},
+		met:       newColMetrics(cfg.Obs, name),
+		qlog:      cfg.QueryLog,
 		indexCh:   make(chan *Segment, 64),
 		stopTimer: make(chan struct{}),
 	}
@@ -136,9 +149,24 @@ func NewCollection(name string, schema Schema, store objstore.Store, cfg Config)
 		for f := range schema.VectorFields {
 			_ = c.store.Delete(IndexKey(key, f))
 		}
+		c.met.segGC.Inc()
 	})
 	c.snaps.install(&Snapshot{ID: c.allocSnapID(), Deleted: map[int64]int64{}})
 	c.log = wal.NewLog(c.applyRecord)
+	c.log.Observe(
+		cfg.Obs.Counter("vectordb_wal_appends_total", "collection", name),
+		cfg.Obs.Counter("vectordb_wal_applied_total", "collection", name),
+	)
+	cfg.Obs.GaugeFunc("vectordb_segments", func() int64 {
+		sn := c.snaps.acquire()
+		defer c.snaps.release(sn)
+		return int64(len(sn.Segments))
+	}, "collection", name)
+	cfg.Obs.GaugeFunc("vectordb_live_rows", func() int64 {
+		sn := c.snaps.acquire()
+		defer c.snaps.release(sn)
+		return int64(sn.LiveRows())
+	}, "collection", name)
 	go c.flushTimer()
 	c.indexWG.Add(1)
 	go c.indexBuilder()
@@ -171,6 +199,7 @@ func (c *Collection) Insert(entities []Entity) error {
 		if err := c.log.Append(&wal.Record{Type: wal.RecordInsert, ID: e.ID, Vectors: e.Vectors, Attrs: e.Attrs, Cats: e.Cats}); err != nil {
 			return err
 		}
+		c.met.insertRows.Inc() // acknowledged: the record is durable in the log
 	}
 	return nil
 }
@@ -182,6 +211,7 @@ func (c *Collection) Delete(ids []int64) error {
 		if err := c.log.Append(&wal.Record{Type: wal.RecordDelete, ID: id}); err != nil {
 			return err
 		}
+		c.met.deleteRows.Inc()
 	}
 	return nil
 }
@@ -253,6 +283,7 @@ func (c *Collection) Flush() error {
 // MemTable (nothing acknowledged is ever dropped) and the error is kept for
 // Flush to report. Caller holds c.mu.
 func (c *Collection) flushLocked() error {
+	c.met.flushes.Inc()
 	mem := c.mem
 	c.mem = &memTable{}
 
@@ -270,6 +301,7 @@ func (c *Collection) flushLocked() error {
 			mem.deletes = append(mem.deletes, c.mem.deletes...)
 			c.mem = mem
 			c.flushErr = err
+			c.met.flushErrs.Inc()
 			return err
 		}
 		segments = append(segments, seg)
@@ -337,6 +369,7 @@ func (c *Collection) buildSegment(rows []Entity) (*Segment, error) {
 	if err := c.store.Put(c.segmentKey(seg.ID), blob); err != nil {
 		return nil, fmt.Errorf("core: persist segment %d: %w", seg.ID, err)
 	}
+	c.met.segBuilt.Inc()
 	return seg, nil
 }
 
@@ -383,7 +416,10 @@ func (c *Collection) buildSegmentIndexes(seg *Segment) {
 			// fields; the exact word-wise scan serves them (Sec. 2.1).
 			continue
 		}
-		if err := seg.BuildIndex(c.schema, f, c.cfg.IndexType, c.cfg.IndexParams); err != nil {
+		t0 := time.Now()
+		err := seg.BuildIndex(c.schema, f, c.cfg.IndexType, c.cfg.IndexParams)
+		c.observeIndexBuild(seg, f, c.cfg.IndexType, time.Since(t0), err)
+		if err != nil {
 			// An index failure leaves the segment searchable by scan; the
 			// error is not fatal to the collection.
 			continue
@@ -403,7 +439,10 @@ func (c *Collection) BuildIndex(fieldName, indexType string, params map[string]s
 	sn := c.snaps.acquire()
 	defer c.snaps.release(sn)
 	for _, seg := range sn.Segments {
-		if err := seg.BuildIndex(c.schema, f, indexType, params); err != nil {
+		t0 := time.Now()
+		err := seg.BuildIndex(c.schema, f, indexType, params)
+		c.observeIndexBuild(seg, f, indexType, time.Since(t0), err)
+		if err != nil {
 			return err
 		}
 		c.persistIndex(seg, f)
@@ -427,6 +466,10 @@ type SearchOptions struct {
 	Ef      int
 	SearchL int
 	Filter  func(id int64) bool
+	// Trace, when set, receives the query's span breakdown. Queries that
+	// leave it nil get a trace automatically when the collection has a
+	// query log.
+	Trace *obs.Trace
 }
 
 // Params converts the options to index-level search parameters (without a
@@ -439,6 +482,9 @@ func (o *SearchOptions) Params() index.SearchParams {
 // is searched (index or scan) and per-segment results are merged — the
 // segment is the unit of searching (Sec. 2.3).
 func (c *Collection) Search(query []float32, opts SearchOptions) ([]topk.Result, error) {
+	done := c.beginQuery("vector", &opts.Trace)
+	defer done()
+	opts.Trace.Annotate("placement", "cpu")
 	sn := c.snaps.acquire()
 	defer c.snaps.release(sn)
 	return c.SearchSnapshot(sn, query, opts)
@@ -446,25 +492,34 @@ func (c *Collection) Search(query []float32, opts SearchOptions) ([]topk.Result,
 
 // SearchSnapshot is Search against an explicitly pinned snapshot.
 func (c *Collection) SearchSnapshot(sn *Snapshot, query []float32, opts SearchOptions) ([]topk.Result, error) {
+	tr := opts.Trace
+	plan := tr.StartSpan("plan")
 	f := 0
 	if opts.Field != "" {
 		var err error
 		if f, err = c.schema.VectorFieldIndex(opts.Field); err != nil {
+			plan.End()
 			return nil, err
 		}
 	}
 	if len(query) != c.schema.VectorFields[f].Dim {
+		plan.End()
 		return nil, fmt.Errorf("core: query dim %d, field %q wants %d", len(query), c.schema.VectorFields[f].Name, c.schema.VectorFields[f].Dim)
 	}
 	if opts.K <= 0 {
+		plan.End()
 		return nil, fmt.Errorf("core: K must be positive")
 	}
 	p := opts.Params()
 	segs := sn.Segments
+	plan.AnnotateInt("segments", int64(len(segs)))
+	plan.End()
 	if len(segs) == 0 {
 		return nil, nil
 	}
+	segSpan := tr.StartSpan("segments")
 	results := make([][]topk.Result, len(segs))
+	indexed := make([]bool, len(segs))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(segs) {
 		workers = len(segs)
@@ -478,7 +533,16 @@ func (c *Collection) SearchSnapshot(sn *Snapshot, query []float32, opts SearchOp
 			for i := range next {
 				sp := p
 				sp.Filter = sn.FilterFor(segs[i].ID, opts.Filter)
+				stage := "segment_scan"
+				if segs[i].Index(f) != nil {
+					stage = "index_search"
+					indexed[i] = true
+				}
+				span := segSpan.StartChild(stage)
+				span.AnnotateInt("segment", segs[i].ID)
+				span.AnnotateInt("rows", int64(segs[i].Rows()))
 				results[i] = segs[i].Search(c.schema, f, query, sp)
+				span.End()
 			}
 		}()
 	}
@@ -487,7 +551,21 @@ func (c *Collection) SearchSnapshot(sn *Snapshot, query []float32, opts SearchOp
 	}
 	close(next)
 	wg.Wait()
-	return topk.Merge(opts.K, results...), nil
+	nIdx := int64(0)
+	for _, ok := range indexed {
+		if ok {
+			nIdx++
+		}
+	}
+	c.met.segIndex.Add(nIdx)
+	c.met.segScan.Add(int64(len(segs)) - nIdx)
+	segSpan.AnnotateInt("indexed", nIdx)
+	segSpan.AnnotateInt("scanned", int64(len(segs))-nIdx)
+	segSpan.End()
+	mergeSpan := tr.StartSpan("topk_merge")
+	res := topk.Merge(opts.K, results...)
+	mergeSpan.End()
+	return res, nil
 }
 
 // AcquireSnapshot pins the current snapshot for a multi-call read; pair

@@ -4,13 +4,21 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"vectordb/internal/objstore"
+	"vectordb/internal/obs"
+	"vectordb/internal/vec"
 )
 
-// DB groups named collections over one object store.
+// DB groups named collections over one object store and owns the
+// process-wide observability state: a metric registry every collection
+// (and the REST /metrics endpoint) records into, and a query log that
+// captures per-query traces for /debug/queries.
 type DB struct {
 	store objstore.Store
+	reg   *obs.Registry
+	qlog  *obs.QueryLog
 
 	mu          sync.RWMutex
 	collections map[string]*Collection
@@ -21,7 +29,35 @@ func NewDB(store objstore.Store) *DB {
 	if store == nil {
 		store = objstore.NewMemory()
 	}
-	return &DB{store: store, collections: map[string]*Collection{}}
+	db := &DB{
+		store:       store,
+		reg:         obs.NewRegistry(),
+		qlog:        obs.NewQueryLog(128, 64, 100*time.Millisecond),
+		collections: map[string]*Collection{},
+	}
+	registerRuntimeMetrics(db.reg)
+	return db
+}
+
+// Obs returns the database's metric registry.
+func (db *DB) Obs() *obs.Registry { return db.reg }
+
+// QueryLog returns the database's query-trace log.
+func (db *DB) QueryLog() *obs.QueryLog { return db.qlog }
+
+// registerRuntimeMetrics exposes process-level series: which SIMD kernel
+// tier serves distance calls and how dispatches distribute across tiers.
+// Dispatch counting is process-global; enabling it here means any DB in
+// the process turns it on (the counters are shared, which is fine — they
+// describe the process, not one DB).
+func registerRuntimeMetrics(reg *obs.Registry) {
+	vec.SetDispatchCounting(true)
+	reg.GaugeFunc("vectordb_simd_level", func() int64 { return int64(vec.CurrentLevel()) })
+	for _, l := range vec.Levels() {
+		l := l
+		reg.CounterFunc("vectordb_simd_dispatch_total", func() int64 { return vec.DispatchCount(l) },
+			"level", l.String())
+	}
 }
 
 // Store exposes the underlying object store (shared storage in the
@@ -34,6 +70,12 @@ func (db *DB) CreateCollection(name string, schema Schema, cfg Config) (*Collect
 	defer db.mu.Unlock()
 	if _, dup := db.collections[name]; dup {
 		return nil, fmt.Errorf("core: collection %q already exists", name)
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = db.reg
+	}
+	if cfg.QueryLog == nil {
+		cfg.QueryLog = db.qlog
 	}
 	c, err := NewCollection(name, schema, db.store, cfg)
 	if err != nil {

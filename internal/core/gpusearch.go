@@ -54,6 +54,10 @@ func (g *GPUSearcher) Search(query []float32, opts SearchOptions) ([]topk.Result
 	if opts.K <= 0 {
 		return nil, GPUSearchStats{}, fmt.Errorf("core: K must be positive")
 	}
+	done := g.col.beginQuery("gpu", &opts.Trace)
+	defer done()
+	tr := opts.Trace
+	tr.Annotate("placement", "gpu")
 	sn := g.col.snaps.acquire()
 	defer g.col.snaps.release(sn)
 
@@ -71,15 +75,20 @@ func (g *GPUSearcher) Search(query []float32, opts SearchOptions) ([]topk.Result
 		if _, tracked := start[dev.ID()]; !tracked {
 			start[dev.ID()] = dev.Clock()
 		}
+		span := tr.StartSpan("gpu_segment_search")
+		span.AnnotateInt("segment", seg.ID)
+		span.AnnotateInt("device", int64(dev.ID()))
 		bytes := int64(seg.Rows()) * int64(dim) * 4
 		if tb, err := dev.EnsureResident([]string{key}, []int64{bytes}); err == nil {
 			stats.TransferBytes += tb
+			span.AnnotateInt("pcie_bytes", tb)
 		}
 		dev.RunKernel(int64(seg.Rows()) * int64(dim))
 
 		sp := index.SearchParams{K: opts.K, Nprobe: opts.Nprobe, Ef: opts.Ef, SearchL: opts.SearchL}
 		sp.Filter = sn.FilterFor(seg.ID, opts.Filter)
 		lists = append(lists, seg.Search(g.col.schema, field, query, sp))
+		span.End()
 	}
 	for id, s0 := range start {
 		if d, ok := g.sched.Device(id); ok {
@@ -88,5 +97,9 @@ func (g *GPUSearcher) Search(query []float32, opts SearchOptions) ([]topk.Result
 			}
 		}
 	}
-	return topk.Merge(opts.K, lists...), stats, nil
+	mergeSpan := tr.StartSpan("topk_merge")
+	res := topk.Merge(opts.K, lists...)
+	mergeSpan.End()
+	tr.AnnotateInt("transfer_bytes", stats.TransferBytes)
+	return res, stats, nil
 }

@@ -26,6 +26,16 @@ func (c *Collection) mergeLocked() error {
 			c.snaps.release(sn)
 			return err
 		}
+		c.met.merges.Inc()
+		groupRows := 0
+		for _, s := range group {
+			groupRows += s.Rows()
+		}
+		mergedRows := 0
+		if merged != nil {
+			mergedRows = merged.Rows()
+		}
+		c.met.mergeDropped.Add(int64(groupRows - mergedRows))
 
 		inGroup := map[int64]bool{}
 		for _, s := range group {

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"time"
+
+	"vectordb/internal/index"
+	"vectordb/internal/obs"
+)
+
+// colMetrics is a collection's resolved metric handles. Resolving them
+// once at collection creation keeps the hot paths free of registry map
+// lookups; with a nil registry every handle still works, it just is not
+// scraped anywhere.
+type colMetrics struct {
+	reg  *obs.Registry
+	name string
+
+	insertRows *obs.Counter // entities acknowledged by Insert
+	deleteRows *obs.Counter // ids acknowledged by Delete
+
+	flushes      *obs.Counter // flushLocked invocations
+	flushErrs    *obs.Counter // segment-build failures during flush
+	segBuilt     *obs.Counter // immutable segments created (flush + merge)
+	merges       *obs.Counter // tiered merges performed
+	mergeDropped *obs.Counter // tombstoned rows physically dropped by merges
+	segGC        *obs.Counter // obsolete segments garbage-collected
+
+	segIndex *obs.Counter // per-query segments served by an index
+	segScan  *obs.Counter // per-query segments served by brute-force scan
+
+	queryLatency *obs.Histogram // end-to-end query latency, all query types
+
+	idx *index.Metrics // per-index-type build/search telemetry
+}
+
+func newColMetrics(reg *obs.Registry, name string) *colMetrics {
+	return &colMetrics{
+		reg:          reg,
+		name:         name,
+		insertRows:   reg.Counter("vectordb_insert_rows_total", "collection", name),
+		deleteRows:   reg.Counter("vectordb_delete_rows_total", "collection", name),
+		flushes:      reg.Counter("vectordb_flush_total", "collection", name),
+		flushErrs:    reg.Counter("vectordb_flush_errors_total", "collection", name),
+		segBuilt:     reg.Counter("vectordb_segments_built_total", "collection", name),
+		merges:       reg.Counter("vectordb_merge_total", "collection", name),
+		mergeDropped: reg.Counter("vectordb_merge_rows_dropped_total", "collection", name),
+		segGC:        reg.Counter("vectordb_segment_gc_total", "collection", name),
+		segIndex:     reg.Counter("vectordb_query_segments_total", "collection", name, "path", "index"),
+		segScan:      reg.Counter("vectordb_query_segments_total", "collection", name, "path", "scan"),
+		queryLatency: reg.Histogram("vectordb_query_latency_seconds", nil, "collection", name),
+		idx:          index.NewMetrics(reg),
+	}
+}
+
+// query returns the per-type query counter (type is the entry point:
+// vector, filtered, categorical, multi, gpu).
+func (m *colMetrics) query(kind string) *obs.Counter {
+	return m.reg.Counter("vectordb_query_total", "collection", m.name, "type", kind)
+}
+
+// beginQuery records one query of the given kind and starts its trace.
+// When the caller did not supply a trace and the collection has a query
+// log, a trace is created here so the query is still captured. The
+// returned finish func samples the latency histogram and finalizes the
+// trace into the query log — caller-supplied traces included (Finish is
+// idempotent, so the caller finishing again is harmless). trp points at
+// the options' Trace field so a created trace flows down the query path.
+func (c *Collection) beginQuery(kind string, trp **obs.Trace) func() {
+	c.met.query(kind).Inc()
+	start := time.Now()
+	if *trp == nil && c.qlog != nil {
+		t := obs.NewTrace(kind)
+		t.Annotate("collection", c.Name)
+		*trp = t
+	}
+	tr := *trp
+	return func() {
+		c.met.queryLatency.Observe(time.Since(start))
+		if tr != nil && c.qlog != nil {
+			tr.Finish()
+			c.qlog.Record(tr)
+		}
+	}
+}
+
+// observeIndexBuild records a segment index build and, on success, wraps
+// the installed index so its searches are counted per type. The wrapper
+// preserves index.Marshaler, so persistIndex keeps working on wrapped
+// indexes.
+func (c *Collection) observeIndexBuild(seg *Segment, field int, indexType string, d time.Duration, err error) {
+	c.met.idx.ObserveBuild(indexType, d, err)
+	if err != nil {
+		return
+	}
+	if idx := seg.Index(field); idx != nil {
+		seg.SetIndex(field, c.met.idx.Instrument(idx))
+	}
+}

@@ -19,8 +19,11 @@ package gpu
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
+
+	"vectordb/internal/obs"
 )
 
 // Config describes one simulated GPU device. Defaults approximate the
@@ -31,6 +34,9 @@ type Config struct {
 	PCIeLatency      time.Duration // fixed per-copy setup cost; default 30 µs
 	KernelThroughput float64       // distance-dims/sec; default 20e9
 	MaxKernelK       int           // shared-memory top-k bound per launch; default 1024 (Sec. 3.3)
+	// Obs, when set, receives per-device transfer/kernel counters
+	// (vectordb_gpu_* series labeled device="<id>").
+	Obs *obs.Registry
 }
 
 func (c *Config) defaults() {
@@ -65,6 +71,11 @@ type Device struct {
 	lruSeq   int64
 	xfers    int64 // number of PCIe copy operations
 	xferred  int64 // bytes moved over PCIe
+
+	xferC      *obs.Counter // PCIe copies
+	xferBytesC *obs.Counter // PCIe bytes
+	kernelC    *obs.Counter // kernel launches
+	kernelDims *obs.Counter // distance-dims executed
 }
 
 type residentEntry struct {
@@ -75,7 +86,14 @@ type residentEntry struct {
 // NewDevice creates a device with the given id and configuration.
 func NewDevice(id int, cfg Config) *Device {
 	cfg.defaults()
-	return &Device{id: id, cfg: cfg, resident: map[string]*residentEntry{}}
+	lbl := strconv.Itoa(id)
+	return &Device{
+		id: id, cfg: cfg, resident: map[string]*residentEntry{},
+		xferC:      cfg.Obs.Counter("vectordb_gpu_transfers_total", "device", lbl),
+		xferBytesC: cfg.Obs.Counter("vectordb_gpu_transfer_bytes_total", "device", lbl),
+		kernelC:    cfg.Obs.Counter("vectordb_gpu_kernels_total", "device", lbl),
+		kernelDims: cfg.Obs.Counter("vectordb_gpu_kernel_dims_total", "device", lbl),
+	}
 }
 
 // ID returns the device id.
@@ -160,6 +178,8 @@ func (d *Device) EnsureResident(keys []string, sizes []int64) (int64, error) {
 	d.clock += d.cfg.PCIeLatency + time.Duration(float64(missBytes)/d.cfg.PCIeBandwidth*float64(time.Second))
 	d.xfers++
 	d.xferred += missBytes
+	d.xferC.Inc()
+	d.xferBytesC.Add(missBytes)
 	return missBytes, nil
 }
 
@@ -200,6 +220,8 @@ func (d *Device) RunKernel(distDims int64) {
 	d.mu.Lock()
 	d.clock += time.Duration(float64(distDims) / d.cfg.KernelThroughput * float64(time.Second))
 	d.mu.Unlock()
+	d.kernelC.Inc()
+	d.kernelDims.Add(distDims)
 }
 
 // CPUModel prices the same work units on the host CPU so that plans

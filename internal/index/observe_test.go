@@ -1,0 +1,87 @@
+package index_test
+
+import (
+	"testing"
+	"time"
+
+	"vectordb/internal/dataset"
+	"vectordb/internal/index"
+	_ "vectordb/internal/index/all"
+	"vectordb/internal/obs"
+	"vectordb/internal/vec"
+)
+
+// TestAllIndexesObserved is the observability conformance test: every
+// registered index type must increment the build counter, and its
+// instrumented wrapper must count searches and record search latency —
+// while preserving the Marshaler capability segment persistence depends on.
+func TestAllIndexesObserved(t *testing.T) {
+	d := dataset.DeepLike(500, 9)
+	const nq = 4
+	qs := dataset.Queries(d, nq, 10)
+	for _, name := range index.Names() {
+		reg := obs.NewRegistry()
+		met := index.NewMetrics(reg)
+
+		b, err := index.NewBuilder(name, vec.L2, d.Dim, map[string]string{"iter": "4"})
+		if err != nil {
+			t.Fatalf("%s: NewBuilder: %v", name, err)
+		}
+		t0 := time.Now()
+		idx, err := b.Build(d.Data, nil)
+		met.ObserveBuild(name, time.Since(t0), err)
+		if err != nil {
+			t.Fatalf("%s: Build: %v", name, err)
+		}
+
+		if got := reg.Counter("vectordb_index_builds_total", "index", name).Value(); got != 1 {
+			t.Errorf("%s: build counter = %d, want 1", name, got)
+		}
+		if got := reg.Histogram("vectordb_index_build_seconds", nil, "index", name).Count(); got != 1 {
+			t.Errorf("%s: build histogram count = %d, want 1", name, got)
+		}
+
+		_, wasMarshaler := idx.(index.Marshaler)
+		wrapped := met.Instrument(idx)
+		if _, ok := wrapped.(index.Marshaler); ok != wasMarshaler {
+			t.Errorf("%s: Instrument changed Marshaler capability: had=%v wrapped=%v", name, wasMarshaler, ok)
+		}
+		if again := met.Instrument(wrapped); again != wrapped {
+			t.Errorf("%s: re-instrumenting allocated a second wrapper", name)
+		}
+
+		for i := 0; i < nq; i++ {
+			wrapped.Search(qs[i*d.Dim:(i+1)*d.Dim], searchParams(5))
+		}
+		if got := reg.Counter("vectordb_index_searches_total", "index", name).Value(); got != nq {
+			t.Errorf("%s: search counter = %d, want %d", name, got, nq)
+		}
+		if got := reg.Histogram("vectordb_index_search_seconds", nil, "index", name).Count(); got != nq {
+			t.Errorf("%s: search histogram count = %d, want %d", name, got, nq)
+		}
+
+		// Metadata passes through the wrapper untouched.
+		if wrapped.Name() != name || wrapped.Size() != d.N || wrapped.Dim() != d.Dim {
+			t.Errorf("%s: wrapper metadata wrong: name=%q size=%d dim=%d", name, wrapped.Name(), wrapped.Size(), wrapped.Dim())
+		}
+	}
+}
+
+// TestObserveBuildError routes failed builds to the error counter only.
+func TestObserveBuildError(t *testing.T) {
+	reg := obs.NewRegistry()
+	met := index.NewMetrics(reg)
+	met.ObserveBuild("IVF_FLAT", time.Millisecond, errTest)
+	if got := reg.Counter("vectordb_index_build_errors_total", "index", "IVF_FLAT").Value(); got != 1 {
+		t.Errorf("error counter = %d, want 1", got)
+	}
+	if got := reg.Counter("vectordb_index_builds_total", "index", "IVF_FLAT").Value(); got != 0 {
+		t.Errorf("build counter = %d, want 0 after failed build", got)
+	}
+}
+
+type testErr string
+
+func (e testErr) Error() string { return string(e) }
+
+const errTest = testErr("boom")

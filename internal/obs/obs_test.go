@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // negative deltas ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var nilC *Counter
+	nilC.Inc()
+	nilC.Add(3)
+	if nilC.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	var nilG *Gauge
+	nilG.Set(5)
+	nilG.Add(1)
+	if nilG.Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "k", "1", "z", "2")
+	b := r.Counter("x_total", "z", "2", "k", "1") // label order canonicalized
+	if a != b {
+		t.Fatal("same (name, labels) must return the same handle")
+	}
+	if c := r.Counter("x_total", "k", "1", "z", "3"); c == a {
+		t.Fatal("different labels must return a different handle")
+	}
+	if r.Counter("y_total") != r.Counter("y_total") {
+		t.Fatal("unlabeled series must be shared too")
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on counter/gauge type mismatch")
+		}
+	}()
+	r.Gauge("m_total")
+}
+
+func TestRegistryOddLabelsPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on odd label list")
+		}
+	}()
+	r.Counter("m_total", "key_without_value")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]time.Duration{10 * time.Millisecond, time.Millisecond}) // unsorted on purpose
+	h.Observe(500 * time.Microsecond)                                          // ≤ 1ms
+	h.Observe(time.Millisecond)                                                // boundary: ≤ 1ms
+	h.Observe(5 * time.Millisecond)                                            // ≤ 10ms
+	h.Observe(time.Second)                                                     // +Inf
+	h.Observe(-time.Second)                                                    // clamped to 0 → ≤ 1ms
+	if got := h.buckets[0].Load(); got != 3 {
+		t.Fatalf("bucket ≤1ms = %d, want 3", got)
+	}
+	if got := h.buckets[1].Load(); got != 1 {
+		t.Fatalf("bucket ≤10ms = %d, want 1", got)
+	}
+	if got := h.buckets[2].Load(); got != 1 {
+		t.Fatalf("bucket +Inf = %d, want 1", got)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	want := 500*time.Microsecond + time.Millisecond + 5*time.Millisecond + time.Second
+	if h.Sum() != want {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+	if h.Bounds()[0] != time.Millisecond {
+		t.Fatal("bounds must be sorted ascending")
+	}
+}
+
+func TestDefaultBucketsUsedWhenNil(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", nil)
+	if len(h.Bounds()) != len(DefLatencyBuckets) {
+		t.Fatalf("default bounds: got %d, want %d", len(h.Bounds()), len(DefLatencyBuckets))
+	}
+	// Bounds fixed at family creation; later calls inherit them.
+	h2 := r.Histogram("lat_seconds", []time.Duration{time.Hour})
+	if h2 != h {
+		t.Fatal("same series must return same histogram")
+	}
+}
+
+func TestNilRegistryReturnsWorkingHandles(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a_total", "l", "v")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("nil-registry counter must still count")
+	}
+	g := r.Gauge("b")
+	g.Set(2)
+	if g.Value() != 2 {
+		t.Fatal("nil-registry gauge must still hold values")
+	}
+	h := r.Histogram("c_seconds", nil)
+	h.Observe(time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatal("nil-registry histogram must still observe")
+	}
+	r.CounterFunc("d_total", func() int64 { return 1 })
+	r.GaugeFunc("e", func() int64 { return 1 })
+	r.Help("a_total", "help")
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Fatal("nil-registry scrape must be a no-op")
+	}
+}
+
+func TestTraceSpansAndAttrs(t *testing.T) {
+	tr := NewTrace("vector")
+	if tr.Op() != "vector" {
+		t.Fatalf("op = %q", tr.Op())
+	}
+	tr.Annotate("placement", "cpu")
+	tr.Annotate("placement", "gpu") // last wins
+	tr.AnnotateInt("k", 10)
+
+	parent := tr.StartSpan("segments")
+	child := parent.StartChild("index_search")
+	child.AnnotateInt("rows", 100)
+	child.End()
+	child.End() // idempotent
+	parent.End()
+	merge := tr.StartSpan("topk_merge")
+	merge.End()
+
+	d1 := tr.Finish()
+	d2 := tr.Finish()
+	if d1 != d2 || d1 <= 0 {
+		t.Fatalf("finish must be idempotent and positive: %v vs %v", d1, d2)
+	}
+	if v, ok := tr.Attr("placement"); !ok || v != "gpu" {
+		t.Fatalf("attr placement = %q, %v", v, ok)
+	}
+	if v, _ := tr.Attr("k"); v != "10" {
+		t.Fatalf("attr k = %q", v)
+	}
+	if _, ok := tr.Attr("absent"); ok {
+		t.Fatal("absent attr must report !ok")
+	}
+
+	s := tr.Summary()
+	if s.Op != "vector" || s.Duration != d1 {
+		t.Fatalf("summary op/duration mismatch: %+v", s)
+	}
+	stages := s.Stages()
+	want := []string{"segments", "index_search", "topk_merge"}
+	if len(stages) != len(want) {
+		t.Fatalf("stages = %v, want %v", stages, want)
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Fatalf("stages = %v, want %v", stages, want)
+		}
+	}
+	if s.Spans[1].Parent != "segments" {
+		t.Fatalf("child parent = %q", s.Spans[1].Parent)
+	}
+	bd := s.StageBreakdown()
+	if bd["index_search"] <= 0 {
+		t.Fatal("breakdown must include ended child span")
+	}
+	if v, ok := s.Attr("placement"); !ok || v != "gpu" {
+		t.Fatalf("summary attr = %q, %v", v, ok)
+	}
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	sp := tr.StartSpan("x")
+	if sp != nil {
+		t.Fatal("nil trace must hand out nil spans")
+	}
+	sp.End()
+	sp.Annotate("a", "b")
+	sp.AnnotateInt("c", 1)
+	if sp.StartChild("y") != nil {
+		t.Fatal("nil span child must be nil")
+	}
+	tr.Annotate("a", "b")
+	tr.AnnotateInt("c", 1)
+	if _, ok := tr.Attr("a"); ok {
+		t.Fatal("nil trace has no attrs")
+	}
+	if tr.Finish() != 0 || tr.Duration() != 0 || tr.Op() != "" {
+		t.Fatal("nil trace must return zero values")
+	}
+	if len(tr.Stages()) != 0 {
+		t.Fatal("nil trace has no stages")
+	}
+	var sum TraceSummary = tr.Summary()
+	if sum.Op != "" {
+		t.Fatal("nil trace summary must be zero")
+	}
+}
+
+func TestTraceLiveDuration(t *testing.T) {
+	tr := NewTrace("op")
+	time.Sleep(time.Millisecond)
+	if tr.Duration() <= 0 {
+		t.Fatal("open trace must report live duration")
+	}
+	if tr.Summary().Duration <= 0 {
+		t.Fatal("open trace summary must report live duration")
+	}
+}
+
+func TestQueryLogRingsAndSlowLog(t *testing.T) {
+	l := NewQueryLog(3, 2, 10*time.Millisecond)
+	mk := func(op string, d time.Duration) TraceSummary {
+		return TraceSummary{
+			Op:       op,
+			Duration: d,
+			Spans:    []SpanSummary{{Name: "scan", Duration: d}},
+		}
+	}
+	l.RecordSummary(mk("q1", time.Millisecond))
+	l.RecordSummary(mk("q2", 20*time.Millisecond))
+	l.RecordSummary(mk("q3", time.Millisecond))
+	l.RecordSummary(mk("q4", 30*time.Millisecond)) // evicts q1 from recent
+	l.RecordSummary(mk("q5", 40*time.Millisecond)) // evicts slow q2
+
+	recent := l.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("recent len = %d, want 3", len(recent))
+	}
+	if recent[0].Op != "q5" || recent[1].Op != "q4" || recent[2].Op != "q3" {
+		t.Fatalf("recent order: %s %s %s", recent[0].Op, recent[1].Op, recent[2].Op)
+	}
+	slow := l.Slow()
+	if len(slow) != 2 {
+		t.Fatalf("slow len = %d, want 2", len(slow))
+	}
+	if slow[0].Op != "q5" || slow[1].Op != "q4" {
+		t.Fatalf("slow order: %s %s", slow[0].Op, slow[1].Op)
+	}
+	if slow[0].Breakdown["scan"] != 40*time.Millisecond {
+		t.Fatalf("slow breakdown = %v", slow[0].Breakdown)
+	}
+	if l.Total() != 5 || l.SlowTotal() != 3 {
+		t.Fatalf("total = %d slow = %d", l.Total(), l.SlowTotal())
+	}
+}
+
+func TestQueryLogThresholdAndNil(t *testing.T) {
+	l := NewQueryLog(0, 0, 0) // defaults; slow log disabled
+	tr := NewTrace("op")
+	tr.Finish()
+	l.Record(tr)
+	l.Record(nil)
+	if len(l.Recent()) != 1 || len(l.Slow()) != 0 {
+		t.Fatalf("recent=%d slow=%d", len(l.Recent()), len(l.Slow()))
+	}
+	l.SetSlowThreshold(time.Nanosecond)
+	l.RecordSummary(TraceSummary{Op: "s", Duration: time.Second})
+	if len(l.Slow()) != 1 {
+		t.Fatal("threshold change must enable slow capture")
+	}
+
+	var nilLog *QueryLog
+	nilLog.Record(tr)
+	nilLog.RecordSummary(TraceSummary{})
+	nilLog.SetSlowThreshold(time.Second)
+	if nilLog.Recent() != nil || nilLog.Slow() != nil || nilLog.Total() != 0 || nilLog.SlowTotal() != 0 {
+		t.Fatal("nil query log must be inert")
+	}
+}

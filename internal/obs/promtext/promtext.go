@@ -1,0 +1,198 @@
+// Package promtext parses the Prometheus text exposition format 0.0.4 —
+// the subset emitted by obs.Registry.WritePrometheus: HELP/TYPE comments,
+// integer and float sample values, and escaped label values. It exists so
+// tests can round-trip /metrics output instead of string-matching it.
+package promtext
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Sample is one series sample line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family groups the samples of one metric family. Histogram child series
+// (_bucket, _sum, _count) are attached to their base family.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string // counter, gauge, histogram, or untyped
+	Samples []Sample
+}
+
+// Parse decodes exposition text into families, in input order.
+func Parse(data []byte) ([]*Family, error) {
+	byName := map[string]*Family{}
+	var order []*Family
+	fam := func(name string) *Family {
+		if f := byName[name]; f != nil {
+			return f
+		}
+		f := &Family{Name: name, Type: "untyped"}
+		byName[name] = f
+		order = append(order, f)
+		return f
+	}
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, fam); err != nil {
+				return nil, fmt.Errorf("promtext: line %d: %w", ln+1, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("promtext: line %d: %w", ln+1, err)
+		}
+		f := fam(familyFor(s.Name, byName))
+		f.Samples = append(f.Samples, s)
+	}
+	return order, nil
+}
+
+// familyFor maps a sample name to its family: histogram children attach
+// to the declared base family, everything else to the exact name.
+func familyFor(name string, byName map[string]*Family) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if f := byName[base]; f != nil && f.Type == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func parseComment(line string, fam func(string) *Family) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return nil // bare comment; ignored
+	}
+	switch fields[1] {
+	case "HELP":
+		help := ""
+		if len(fields) == 4 {
+			help = unescapeHelp(fields[3])
+		}
+		fam(fields[2]).Help = help
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		fam(fields[2]).Type = fields[3]
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		var err error
+		rest, err = parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("malformed value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes a {k="v",...} block and returns the remainder.
+func parseLabels(in string, out map[string]string) (string, error) {
+	i := 1 // past '{'
+	for {
+		for i < len(in) && (in[i] == ',' || in[i] == ' ') {
+			i++
+		}
+		if i < len(in) && in[i] == '}' {
+			return in[i+1:], nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return "", fmt.Errorf("malformed label block %q", in)
+		}
+		key := in[i : i+eq]
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return "", fmt.Errorf("unquoted label value in %q", in)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(in) {
+				return "", fmt.Errorf("unterminated label value in %q", in)
+			}
+			c := in[i]
+			if c == '\\' {
+				if i+1 >= len(in) {
+					return "", fmt.Errorf("dangling escape in %q", in)
+				}
+				switch in[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return "", fmt.Errorf("unknown escape \\%c in %q", in[i+1], in)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		out[key] = b.String()
+	}
+}
+
+// unescapeHelp reverses HELP escaping in one pass (sequential ReplaceAll
+// would corrupt a literal backslash followed by 'n').
+func unescapeHelp(v string) string {
+	if !strings.Contains(v, `\`) {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' && i+1 < len(v) {
+			switch v[i+1] {
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(v[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowQuery is a slow-log entry: the full trace summary plus the
+// per-stage duration breakdown precomputed at record time.
+type SlowQuery struct {
+	TraceSummary
+	Breakdown map[string]time.Duration `json:"breakdown"`
+}
+
+// QueryLog keeps two fixed-size rings of finished query traces: every
+// recent query, and the subset slower than a settable threshold (with
+// per-stage breakdowns). Recording is O(1) and allocation-light; readers
+// get copies and never block recorders for long.
+type QueryLog struct {
+	mu      sync.Mutex
+	recent  []TraceSummary
+	rNext   int
+	rFull   bool
+	slow    []SlowQuery
+	sNext   int
+	sFull   bool
+	slowAt  time.Duration
+	total   int64
+	slowCnt int64
+}
+
+// NewQueryLog sizes the rings and sets the slow threshold. Non-positive
+// capacities fall back to small defaults; a non-positive threshold
+// disables the slow log until SetSlowThreshold.
+func NewQueryLog(recentCap, slowCap int, slowThreshold time.Duration) *QueryLog {
+	if recentCap <= 0 {
+		recentCap = 64
+	}
+	if slowCap <= 0 {
+		slowCap = 32
+	}
+	return &QueryLog{
+		recent: make([]TraceSummary, recentCap),
+		slow:   make([]SlowQuery, slowCap),
+		slowAt: slowThreshold,
+	}
+}
+
+// SetSlowThreshold changes the slow-log latency cutoff. Zero or negative
+// disables slow capture.
+func (l *QueryLog) SetSlowThreshold(d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.slowAt = d
+	l.mu.Unlock()
+}
+
+// Record captures a finished trace. Nil-safe on both the log and the
+// trace.
+func (l *QueryLog) Record(t *Trace) {
+	if l == nil || t == nil {
+		return
+	}
+	l.RecordSummary(t.Summary())
+}
+
+// RecordSummary captures an already-snapshotted trace.
+func (l *QueryLog) RecordSummary(s TraceSummary) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	l.recent[l.rNext] = s
+	l.rNext++
+	if l.rNext == len(l.recent) {
+		l.rNext, l.rFull = 0, true
+	}
+	if l.slowAt > 0 && s.Duration >= l.slowAt {
+		l.slowCnt++
+		l.slow[l.sNext] = SlowQuery{TraceSummary: s, Breakdown: s.StageBreakdown()}
+		l.sNext++
+		if l.sNext == len(l.slow) {
+			l.sNext, l.sFull = 0, true
+		}
+	}
+}
+
+// Recent returns the captured traces, most recent first.
+func (l *QueryLog) Recent() []TraceSummary {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.rNext
+	if l.rFull {
+		n = len(l.recent)
+	}
+	out := make([]TraceSummary, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (l.rNext - 1 - i + len(l.recent)) % len(l.recent)
+		out = append(out, l.recent[idx])
+	}
+	return out
+}
+
+// Slow returns the slow-log entries, most recent first.
+func (l *QueryLog) Slow() []SlowQuery {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.sNext
+	if l.sFull {
+		n = len(l.slow)
+	}
+	out := make([]SlowQuery, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (l.sNext - 1 - i + len(l.slow)) % len(l.slow)
+		out = append(out, l.slow[idx])
+	}
+	return out
+}
+
+// Total returns how many traces were ever recorded (including ones the
+// ring has since overwritten).
+func (l *QueryLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// SlowTotal returns how many traces crossed the slow threshold.
+func (l *QueryLog) SlowTotal() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.slowCnt
+}

@@ -1,0 +1,112 @@
+package obs_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"vectordb/internal/obs"
+	"vectordb/internal/obs/promtext"
+)
+
+// TestConcurrentWritersAndScrape hammers counters, histograms, traces and
+// the query log from many goroutines while a scraper renders /metrics
+// output. Run under -race (make ci does) to prove the hot paths are
+// synchronization-clean.
+func TestConcurrentWritersAndScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	qlog := obs.NewQueryLog(32, 16, time.Nanosecond)
+	const (
+		writers   = 8
+		perWriter = 500
+	)
+	var writersWG, auxWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Scraper: render continuously, and parse occasionally to make sure
+	// concurrent output is always well-formed.
+	auxWG.Add(1)
+	go func() {
+		defer auxWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%10 == 0 {
+				var buf writerBuffer
+				if err := reg.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := promtext.Parse(buf.b); err != nil {
+					t.Errorf("scrape not parseable under concurrency: %v", err)
+					return
+				}
+			} else if err := reg.WritePrometheus(io.Discard); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Readers of the query log race with recorders.
+	auxWG.Add(1)
+	go func() {
+		defer auxWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = qlog.Recent()
+			_ = qlog.Slow()
+		}
+	}()
+
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			c := reg.Counter("race_ops_total", "writer", string(rune('a'+w)))
+			shared := reg.Counter("race_shared_total")
+			h := reg.Histogram("race_lat_seconds", nil)
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				shared.Inc()
+				h.Observe(time.Duration(i) * time.Microsecond)
+				reg.Gauge("race_depth", "writer", string(rune('a'+w))).Set(int64(i))
+				tr := obs.NewTrace("race")
+				sp := tr.StartSpan("stage")
+				sp.StartChild("sub").End()
+				sp.End()
+				tr.Finish()
+				qlog.Record(tr)
+			}
+		}(w)
+	}
+
+	writersWG.Wait()
+	close(stop)
+	auxWG.Wait()
+
+	if got := reg.Counter("race_shared_total").Value(); got != writers*perWriter {
+		t.Fatalf("shared counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := reg.Histogram("race_lat_seconds", nil).Count(); got != writers*perWriter {
+		t.Fatalf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+	if got := qlog.Total(); got != writers*perWriter {
+		t.Fatalf("qlog total = %d, want %d", got, writers*perWriter)
+	}
+}
+
+type writerBuffer struct{ b []byte }
+
+func (w *writerBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// KV is a string attribute on a trace or span. Integer values are
+// formatted by AnnotateInt so the whole summary stays JSON-trivial.
+type KV struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Trace captures one query's execution as a flat list of spans with
+// parent linkage plus trace-level attributes (placement, strategy, ...).
+// A nil *Trace is a valid no-op tracer: StartSpan returns a nil *Span and
+// every other method returns zero values, so instrumented code threads
+// traces unconditionally.
+type Trace struct {
+	op    string
+	begin time.Time
+
+	mu    sync.Mutex
+	attrs []KV
+	spans []*Span
+	dur   time.Duration
+	done  bool
+}
+
+// Span is one timed stage within a trace. Spans are created via
+// Trace.StartSpan or Span.StartChild and closed with End.
+type Span struct {
+	tr     *Trace
+	name   string
+	parent *Span
+	start  time.Time
+	dur    time.Duration
+	ended  bool
+	attrs  []KV
+}
+
+// NewTrace starts a trace for the named operation.
+func NewTrace(op string) *Trace {
+	return &Trace{op: op, begin: time.Now()}
+}
+
+// Op returns the operation name.
+func (t *Trace) Op() string {
+	if t == nil {
+		return ""
+	}
+	return t.op
+}
+
+// StartSpan opens a new root-level span.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{tr: t, name: name, start: time.Now()}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// Annotate attaches a trace-level attribute. Repeated keys are appended;
+// Attr returns the latest value.
+func (t *Trace) Annotate(key, value string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.attrs = append(t.attrs, KV{key, value})
+	t.mu.Unlock()
+}
+
+// AnnotateInt attaches an integer trace-level attribute.
+func (t *Trace) AnnotateInt(key string, value int64) {
+	t.Annotate(key, formatInt(value))
+}
+
+// Attr returns the latest value annotated under key.
+func (t *Trace) Attr(key string) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.attrs) - 1; i >= 0; i-- {
+		if t.attrs[i].Key == key {
+			return t.attrs[i].Value, true
+		}
+	}
+	return "", false
+}
+
+// Finish closes the trace, fixing its duration. Idempotent; spans still
+// open keep whatever duration they had (zero if never ended).
+func (t *Trace) Finish() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.done {
+		t.dur = time.Since(t.begin)
+		t.done = true
+	}
+	return t.dur
+}
+
+// Duration returns the trace duration (through Finish, or live if the
+// trace is still open).
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return t.dur
+	}
+	return time.Since(t.begin)
+}
+
+// StartChild opens a span parented under s. Child spans of a nil span
+// are root-level spans of no trace (no-ops).
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	sp := &Span{tr: s.tr, name: name, parent: s, start: time.Now()}
+	s.tr.mu.Lock()
+	s.tr.spans = append(s.tr.spans, sp)
+	s.tr.mu.Unlock()
+	return sp
+}
+
+// End closes the span. Idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	s.tr.mu.Unlock()
+}
+
+// Annotate attaches a span attribute.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, KV{key, value})
+	s.tr.mu.Unlock()
+}
+
+// AnnotateInt attaches an integer span attribute.
+func (s *Span) AnnotateInt(key string, value int64) {
+	s.Annotate(key, formatInt(value))
+}
+
+// SpanSummary is the exported, immutable view of one span.
+type SpanSummary struct {
+	Name     string        `json:"name"`
+	Parent   string        `json:"parent,omitempty"`
+	StartOff time.Duration `json:"start_offset_ns"`
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    []KV          `json:"attrs,omitempty"`
+}
+
+// TraceSummary is the exported, immutable view of a whole trace, safe to
+// retain and serialize after the query returns.
+type TraceSummary struct {
+	Op       string        `json:"op"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    []KV          `json:"attrs,omitempty"`
+	Spans    []SpanSummary `json:"spans,omitempty"`
+}
+
+// Summary snapshots the trace. Open spans appear with zero duration.
+func (t *Trace) Summary() TraceSummary {
+	if t == nil {
+		return TraceSummary{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	dur := t.dur
+	if !t.done {
+		dur = time.Since(t.begin)
+	}
+	out := TraceSummary{
+		Op:       t.op,
+		Start:    t.begin,
+		Duration: dur,
+		Attrs:    append([]KV(nil), t.attrs...),
+	}
+	for _, sp := range t.spans {
+		ss := SpanSummary{
+			Name:     sp.name,
+			StartOff: sp.start.Sub(t.begin),
+			Duration: sp.dur,
+			Attrs:    append([]KV(nil), sp.attrs...),
+		}
+		if sp.parent != nil {
+			ss.Parent = sp.parent.name
+		}
+		out.Spans = append(out.Spans, ss)
+	}
+	return out
+}
+
+// Stages returns the distinct span names in first-appearance order.
+func (t *Trace) Stages() []string {
+	return t.Summary().Stages()
+}
+
+// Stages returns the distinct span names in first-appearance order.
+func (s TraceSummary) Stages() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, sp := range s.Spans {
+		if !seen[sp.Name] {
+			seen[sp.Name] = true
+			out = append(out, sp.Name)
+		}
+	}
+	return out
+}
+
+// StageBreakdown sums span durations by stage name.
+func (s TraceSummary) StageBreakdown() map[string]time.Duration {
+	out := make(map[string]time.Duration, len(s.Spans))
+	for _, sp := range s.Spans {
+		out[sp.Name] += sp.Duration
+	}
+	return out
+}
+
+// Attr returns the latest trace-level attribute under key.
+func (s TraceSummary) Attr(key string) (string, bool) {
+	for i := len(s.Attrs) - 1; i >= 0; i-- {
+		if s.Attrs[i].Key == key {
+			return s.Attrs[i].Value, true
+		}
+	}
+	return "", false
+}
+
+func formatInt(v int64) string {
+	return strconv.FormatInt(v, 10)
+}

@@ -7,7 +7,10 @@
 // in-memory tables the experiment harness uses.
 package query
 
-import "vectordb/internal/topk"
+import (
+	"vectordb/internal/obs"
+	"vectordb/internal/topk"
+)
 
 // RangeCond is the attribute constraint Cα: lo ≤ attr ≤ hi (Sec. 4.1).
 type RangeCond struct {
@@ -21,6 +24,10 @@ type VecCond struct {
 	Query  []float32
 	K      int
 	Nprobe int // passed through to the index
+	// Trace, when set, receives the strategy chosen (filter_strategy
+	// attribute) and per-phase spans. Nil disables tracing (obs traces
+	// are nil-safe).
+	Trace *obs.Trace
 }
 
 // Source is what the filtering strategies need from the data under search.

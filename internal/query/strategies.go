@@ -23,7 +23,13 @@ const Theta = 1.1
 // resolved through the sorted column (binary search + skip pointers), then
 // every qualifying entity is compared against the query vector. Exact.
 func StrategyA(s Source, rc RangeCond, vc VecCond) []topk.Result {
+	vc.Trace.Annotate("filter_strategy", StratA)
+	filter := vc.Trace.StartSpan("attr_filter")
 	rows := s.RangeRows(rc.Attr, rc.Lo, rc.Hi)
+	filter.AnnotateInt("rows", int64(len(rows)))
+	filter.End()
+	scan := vc.Trace.StartSpan("exact_scan")
+	defer scan.End()
 	h := topk.New(vc.K)
 	for _, id := range rows {
 		if d, ok := s.DistanceByID(vc.Field, vc.Query, id); ok {
@@ -37,11 +43,15 @@ func StrategyA(s Source, rc RangeCond, vc VecCond) []topk.Result {
 // produces a bitmap of qualifying IDs; normal vector query processing runs
 // with the bitmap tested on every encountered vector.
 func StrategyB(s Source, rc RangeCond, vc VecCond) []topk.Result {
+	vc.Trace.Annotate("filter_strategy", StratB)
+	filter := vc.Trace.StartSpan("attr_filter")
 	rows := s.RangeRows(rc.Attr, rc.Lo, rc.Hi)
 	bitmap := make(map[int64]struct{}, len(rows))
 	for _, id := range rows {
 		bitmap[id] = struct{}{}
 	}
+	filter.AnnotateInt("rows", int64(len(bitmap)))
+	filter.End()
 	if len(bitmap) == 0 {
 		return nil
 	}
@@ -56,13 +66,18 @@ func StrategyB(s Source, rc RangeCond, vc VecCond) []topk.Result {
 // If fewer than k survive, the fetch factor doubles (up to the full data
 // size) — the paper's "to make sure there are k final results".
 func StrategyC(s Source, rc RangeCond, vc VecCond) []topk.Result {
+	vc.Trace.Annotate("filter_strategy", StratC)
 	fetch := int(float64(vc.K)*Theta + 0.5)
 	if fetch < vc.K {
 		fetch = vc.K
 	}
 	total := s.TotalRows()
 	for {
+		vec := vc.Trace.StartSpan("vector_first")
+		vec.AnnotateInt("fetch", int64(fetch))
 		cands := s.VectorQuery(vc.Field, vc.Query, fetch, vc.Nprobe, nil)
+		vec.End()
+		verify := vc.Trace.StartSpan("verify")
 		h := topk.New(vc.K)
 		for _, c := range cands {
 			v, ok := s.AttrValue(rc.Attr, c.ID)
@@ -71,6 +86,9 @@ func StrategyC(s Source, rc RangeCond, vc VecCond) []topk.Result {
 			}
 			h.Push(c.ID, c.Distance)
 		}
+		verify.AnnotateInt("candidates", int64(len(cands)))
+		verify.AnnotateInt("passed", int64(h.Len()))
+		verify.End()
 		if h.Len() >= vc.K || fetch >= total || len(cands) < fetch {
 			return h.Results()
 		}
@@ -128,7 +146,11 @@ func (m CostModel) Choose(s Source, rc RangeCond, vc VecCond) string {
 // StrategyD: cost-based selection among A, B and C (AnalyticDB-V's
 // approach). Returns the results and the strategy chosen.
 func StrategyD(s Source, rc RangeCond, vc VecCond, m CostModel) ([]topk.Result, string) {
-	switch m.Choose(s, rc, vc) {
+	plan := vc.Trace.StartSpan("filter_plan")
+	chosen := m.Choose(s, rc, vc)
+	plan.Annotate("chosen", chosen)
+	plan.End()
+	switch chosen {
 	case StratA:
 		return StrategyA(s, rc, vc), StratA
 	case StratC:
@@ -156,25 +178,43 @@ func StrategyE(parts []Partition, rc RangeCond, vc VecCond, m CostModel) []topk.
 	// The caller's probe budget is sized for the whole dataset; partitions
 	// are ~ρ× smaller, so each picks its own budget (0 = index default /
 	// structural minimum) — otherwise every partition over-scans by ρ×.
+	vc.Trace.Annotate("filter_strategy", StratE)
 	pvc := vc
 	pvc.Nprobe = 0
+	// Per-partition delegation runs untraced: the inner strategies would
+	// otherwise overwrite filter_strategy=E with their own letter. Each
+	// partition instead gets a span recording what happened to it.
+	pvc.Trace = nil
 	lists := make([][]topk.Result, 0, len(parts))
-	for _, p := range parts {
+	for i, p := range parts {
+		span := vc.Trace.StartSpan("partition")
+		span.AnnotateInt("partition", int64(i))
 		lo, hi, ok := p.AttrBounds(rc.Attr)
 		if !ok {
+			span.Annotate("action", "no_bounds")
+			span.End()
 			continue
 		}
 		if hi < rc.Lo || lo > rc.Hi {
+			span.Annotate("action", "pruned")
+			span.End()
 			continue // no overlap: pruned
 		}
 		if lo >= rc.Lo && hi <= rc.Hi {
 			// Fully covered: every vector qualifies, no attribute check.
+			span.Annotate("action", "full_vector")
 			lists = append(lists, p.VectorQuery(pvc.Field, pvc.Query, pvc.K, pvc.Nprobe, nil))
+			span.End()
 			continue
 		}
-		res, _ := StrategyD(p, rc, pvc, m)
+		res, strat := StrategyD(p, rc, pvc, m)
+		span.Annotate("action", "delegated")
+		span.Annotate("strategy", strat)
 		lists = append(lists, res)
+		span.End()
 	}
+	merge := vc.Trace.StartSpan("topk_merge")
+	defer merge.End()
 	return topk.Merge(vc.K, lists...)
 }
 

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"vectordb/internal/core"
+	"vectordb/internal/obs"
 	"vectordb/internal/vec"
 )
 
@@ -126,6 +127,8 @@ func NewServer(db *core.DB) *Server {
 	s := &Server{db: db, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/collections", s.handleCollections)
 	s.mux.HandleFunc("/collections/", s.handleCollection)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -143,6 +146,53 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+// requireMethod guards a handler to the given methods: on mismatch it
+// answers 405 with an Allow header and a JSON error body, per RFC 9110.
+func requireMethod(w http.ResponseWriter, r *http.Request, methods ...string) bool {
+	for _, m := range methods {
+		if r.Method == m {
+			return true
+		}
+	}
+	w.Header().Set("Allow", strings.Join(methods, ", "))
+	writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("rest: method %s not allowed", r.Method))
+	return false
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format
+// (version 0.0.4).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.db.Obs().WritePrometheus(w)
+}
+
+// DebugQueriesResponse is the reply of GET /debug/queries.
+type DebugQueriesResponse struct {
+	Total     int64              `json:"total"`
+	SlowTotal int64              `json:"slow_total"`
+	Recent    []obs.TraceSummary `json:"recent"`
+	Slow      []obs.SlowQuery    `json:"slow"`
+}
+
+// handleDebugQueries dumps the query log: recent traces plus the slow-query
+// ring, most recent first.
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	ql := s.db.QueryLog()
+	writeJSON(w, http.StatusOK, DebugQueriesResponse{
+		Total:     ql.Total(),
+		SlowTotal: ql.SlowTotal(),
+		Recent:    ql.Recent(),
+		Slow:      ql.Slow(),
+	})
 }
 
 func (s *Server) handleCollections(w http.ResponseWriter, r *http.Request) {
@@ -176,7 +226,7 @@ func (s *Server) handleCollections(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusCreated, map[string]string{"name": req.Name})
 	default:
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("rest: method %s not allowed", r.Method))
+		requireMethod(w, r, http.MethodGet, http.MethodPost)
 	}
 }
 
@@ -189,15 +239,14 @@ func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if action == "" {
-		if r.Method == http.MethodDelete {
-			if err := s.db.DropCollection(name); err != nil {
-				writeErr(w, http.StatusNotFound, err)
-				return
-			}
-			writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
+		if !requireMethod(w, r, http.MethodDelete) {
 			return
 		}
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("rest: method %s not allowed", r.Method))
+		if err := s.db.DropCollection(name); err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
 		return
 	}
 	col, err := s.db.Collection(name)
@@ -211,6 +260,9 @@ func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
 	case "delete":
 		s.handleDelete(w, r, col)
 	case "flush":
+		if !requireMethod(w, r, http.MethodPost) {
+			return
+		}
 		if err := col.Flush(); err != nil {
 			writeErr(w, http.StatusInternalServerError, err)
 			return
@@ -221,6 +273,9 @@ func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
 	case "index":
 		s.handleIndex(w, r, col)
 	case "stats":
+		if !requireMethod(w, r, http.MethodGet) {
+			return
+		}
 		st := col.Stats()
 		writeJSON(w, http.StatusOK, StatsResponse{
 			Segments: st.Segments, TotalRows: st.TotalRows, LiveRows: st.LiveRows,
@@ -232,6 +287,9 @@ func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request, col *core.Collection) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
 	var req InsertRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -249,6 +307,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request, col *core.
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, col *core.Collection) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
 	var req DeleteRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -262,6 +323,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, col *core.
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, col *core.Collection) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
 	var req SearchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -311,6 +375,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, col *core.
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request, col *core.Collection) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
 	var req IndexRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)

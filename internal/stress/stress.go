@@ -1,8 +1,10 @@
 package stress
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"sync"
@@ -10,6 +12,8 @@ import (
 
 	"vectordb/internal/core"
 	"vectordb/internal/objstore"
+	"vectordb/internal/obs"
+	"vectordb/internal/obs/promtext"
 	"vectordb/internal/topk"
 	"vectordb/internal/vec"
 )
@@ -95,6 +99,7 @@ type harness struct {
 	cfg    Config
 	col    *core.Collection
 	faults *FaultStore
+	reg    *obs.Registry
 
 	done chan struct{}
 
@@ -140,6 +145,10 @@ func Run(cfg Config) (*Report, error) {
 		VectorFields: []core.VectorField{{Name: "v", Dim: cfg.Dim, Metric: vec.L2}},
 		AttrFields:   []string{"a"},
 	}
+	// The run doubles as an observability stress: every query records into
+	// reg (and the query log), searchers scrape concurrently, and quiesce
+	// cross-checks the harness's own accounting against the counters.
+	reg := obs.NewRegistry()
 	col, err := core.NewCollection("stress", schema, faults, core.Config{
 		FlushRows:      64,
 		FlushInterval:  25 * time.Millisecond, // background flusher on: more interleavings
@@ -148,13 +157,15 @@ func Run(cfg Config) (*Report, error) {
 		IndexRows:      256,
 		IndexType:      "IVF_FLAT",
 		IndexParams:    map[string]string{"nlist": "8"},
+		Obs:            reg,
+		QueryLog:       obs.NewQueryLog(64, 32, time.Millisecond),
 	})
 	if err != nil {
 		return nil, err
 	}
 	defer col.Close()
 
-	h := &harness{cfg: cfg, col: col, faults: faults, done: make(chan struct{})}
+	h := &harness{cfg: cfg, col: col, faults: faults, reg: reg, done: make(chan struct{})}
 
 	states := make([]*writerState, cfg.Writers)
 	var wg sync.WaitGroup
@@ -283,10 +294,16 @@ func (h *harness) searcher(s int) {
 		default:
 		}
 		switch p := rng.Intn(10); {
-		case p < 6:
+		case p < 5:
 			h.search(who, rng.Int63())
-		case p < 8:
+		case p < 7:
 			lastSnap = h.snapshotProbe(who, lastSnap)
+		case p < 8:
+			// Scrape concurrently with the writers: the exposition path must
+			// tolerate racing counter/histogram updates.
+			if err := h.reg.WritePrometheus(io.Discard); err != nil {
+				h.violate("%s: metrics scrape failed: %v", who, err)
+			}
 		default:
 			// Probe a random plausible ID. Existence is timing-dependent
 			// mid-run, but any returned entity must be byte-identical to
@@ -415,9 +432,55 @@ func (h *harness) quiesce(states []*writerState, rep *Report) {
 		}
 	}
 
+	// Counter accounting must be checked before recallCheck: its searches
+	// would advance the query counter past what rep recorded.
+	h.obsInvariants(rep)
+
 	rep.Recall = h.recallCheck(rng, live)
 	if len(live) >= h.cfg.K && rep.Recall < h.cfg.RecallFloor {
 		h.violate("quiesce: recall %.3f below floor %.3f", rep.Recall, h.cfg.RecallFloor)
+	}
+}
+
+// obsInvariants cross-checks the harness's own acknowledgement accounting
+// against the observability counters after the system has quiesced: no
+// acknowledged write may be missing from (or double-counted by) the
+// metrics, and the WAL consumer must have applied exactly what was
+// appended. The exposition must also round-trip through the parser while
+// carrying the run's real series.
+func (h *harness) obsInvariants(rep *Report) {
+	counter := func(name string, labels ...string) int64 {
+		return h.reg.Counter(name, labels...).Value()
+	}
+	if got := counter("vectordb_insert_rows_total", "collection", "stress"); got != rep.Inserted {
+		h.violate("obs: insert counter %d != %d acked inserts", got, rep.Inserted)
+	}
+	if got := counter("vectordb_delete_rows_total", "collection", "stress"); got != rep.Deleted {
+		h.violate("obs: delete counter %d != %d acked deletes", got, rep.Deleted)
+	}
+	appends := counter("vectordb_wal_appends_total", "collection", "stress")
+	applied := counter("vectordb_wal_applied_total", "collection", "stress")
+	if appends != applied {
+		h.violate("obs: wal appends %d != applied %d after quiesce", appends, applied)
+	}
+	if want := rep.Inserted + rep.Deleted; appends != want {
+		h.violate("obs: wal appends %d != %d acked records", appends, want)
+	}
+	if got := counter("vectordb_query_total", "collection", "stress", "type", "vector"); got != rep.Searches {
+		h.violate("obs: query counter %d != %d completed searches", got, rep.Searches)
+	}
+	var buf bytes.Buffer
+	if err := h.reg.WritePrometheus(&buf); err != nil {
+		h.violate("obs: final scrape failed: %v", err)
+		return
+	}
+	fams, err := promtext.Parse(buf.Bytes())
+	if err != nil {
+		h.violate("obs: exposition does not parse: %v", err)
+		return
+	}
+	if len(fams) == 0 {
+		h.violate("obs: exposition is empty after a full run")
 	}
 }
 

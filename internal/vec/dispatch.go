@@ -1,0 +1,48 @@
+package vec
+
+import "sync/atomic"
+
+// Kernel-tier dispatch accounting: when enabled, every call through the
+// hooked distance entry points (L2Squared, Dot and their batch variants)
+// bumps a per-tier counter, so /metrics can show which SIMD tier actually
+// served queries. Off by default — the hot path then pays one atomic load
+// of the enable flag and nothing else.
+
+var (
+	countDispatch  atomic.Bool
+	dispatchCounts [int(LevelAVX512) + 1]atomic.Int64
+)
+
+// SetDispatchCounting turns per-tier dispatch counting on or off.
+func SetDispatchCounting(on bool) { countDispatch.Store(on) }
+
+// DispatchCounting reports whether dispatch counting is enabled.
+func DispatchCounting() bool { return countDispatch.Load() }
+
+// DispatchCount returns the number of hooked-kernel dispatches served by
+// the given tier since the last reset.
+func DispatchCount(l Level) int64 {
+	if l < LevelScalar || l > LevelAVX512 {
+		return 0
+	}
+	return dispatchCounts[l].Load()
+}
+
+// ResetDispatchCounts zeroes all per-tier dispatch counters.
+func ResetDispatchCounts() {
+	for i := range dispatchCounts {
+		dispatchCounts[i].Store(0)
+	}
+}
+
+// Levels lists all kernel tiers, lowest first.
+func Levels() []Level {
+	return []Level{LevelScalar, LevelSSE, LevelAVX, LevelAVX2, LevelAVX512}
+}
+
+// countCurrent records one dispatch against the currently hooked tier.
+func countCurrent() {
+	if countDispatch.Load() {
+		dispatchCounts[currentLevel.Load()].Add(1)
+	}
+}

@@ -132,6 +132,7 @@ func L2Squared(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic("vec: dimension mismatch")
 	}
+	countCurrent()
 	return active.Load().l2(a, b)
 }
 
@@ -140,6 +141,7 @@ func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic("vec: dimension mismatch")
 	}
+	countCurrent()
 	return active.Load().ip(a, b)
 }
 
@@ -163,11 +165,13 @@ func DotAt(l Level, a, b []float32) float32 {
 // L2SquaredBatch computes the squared L2 distance from q to every row of the
 // flat row-major matrix data (len(data) = n*dim) into out (len n).
 func L2SquaredBatch(q, data []float32, dim int, out []float32) {
+	countCurrent()
 	active.Load().l2b(q, data, dim, out)
 }
 
 // DotBatch computes the inner product of q with every row of data into out.
 func DotBatch(q, data []float32, dim int, out []float32) {
+	countCurrent()
 	active.Load().ipb(q, data, dim, out)
 }
 

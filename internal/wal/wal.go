@@ -13,6 +13,8 @@ import (
 	"hash/crc32"
 	"math"
 	"sync"
+
+	"vectordb/internal/obs"
 )
 
 // RecordType tags a log record.
@@ -206,6 +208,18 @@ type Log struct {
 	applied int64
 	enq     int64
 	closed  bool
+
+	appendC  *obs.Counter // incremented per durable append
+	appliedC *obs.Counter // incremented per record applied
+}
+
+// Observe attaches telemetry counters for appended and applied records.
+// Either may be nil (obs counters are nil-safe); call before concurrent
+// use of the log.
+func (l *Log) Observe(appends, applied *obs.Counter) {
+	l.mu.Lock()
+	l.appendC, l.appliedC = appends, applied
+	l.mu.Unlock()
 }
 
 // NewLog starts a log whose records are consumed by apply.
@@ -226,6 +240,7 @@ func (l *Log) Append(r *Record) error {
 	l.records = append(l.records, r)
 	l.queue = append(l.queue, r)
 	l.enq++
+	l.appendC.Inc()
 	l.cond.Broadcast()
 	return nil
 }
@@ -246,6 +261,7 @@ func (l *Log) run() {
 		l.apply(r)
 		l.mu.Lock()
 		l.applied++
+		l.appliedC.Inc()
 		l.cond.Broadcast()
 	}
 }

@@ -29,6 +29,7 @@ import (
 
 	"vectordb/internal/core"
 	"vectordb/internal/objstore"
+	"vectordb/internal/obs"
 	"vectordb/internal/topk"
 	"vectordb/internal/vec"
 )
@@ -206,6 +207,15 @@ func OpenPath(dir string) (*DB, error) {
 
 // Close flushes and closes every collection.
 func (db *DB) Close() error { return db.inner.Close() }
+
+// Obs returns the database's metric registry: every collection records
+// counters, gauges and latency histograms into it, and WritePrometheus
+// renders it in Prometheus text exposition format.
+func (db *DB) Obs() *obs.Registry { return db.inner.Obs() }
+
+// QueryLog returns the database's query-trace log: recent and slow queries
+// with per-stage span breakdowns (the data behind /debug/queries).
+func (db *DB) QueryLog() *obs.QueryLog { return db.inner.QueryLog() }
 
 // CreateCollection creates a collection with default options.
 func (db *DB) CreateCollection(name string, schema Schema) (*Collection, error) {
