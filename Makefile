@@ -21,9 +21,11 @@ vet:
 # ci is the gate every change must pass: vet, build, the full test suite,
 # the race detector over internal/ — which includes the seeded
 # concurrency stress harness (internal/stress) with fault injection —
-# and the observability coverage floor.
+# the cancellation/leak gate, and the observability coverage floor.
 ci: vet build test cover
 	$(GO) test -race ./internal/...
+	$(GO) test -race ./internal/stress -run TestStressCancel -short -faults=cancel
+	$(GO) test -race ./internal/core -run 'TestSearchCtx|TestAdmission'
 
 # cover enforces a coverage floor on the observability layer: the metrics
 # registry, exposition writer, tracer and query log are the eyes of every

@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	vectordbd [-addr :19530] [-data DIR]
+//	vectordbd [-addr :19530] [-data DIR] [-query-timeout 0]
 //
 // With -data, segments persist to the directory; otherwise storage is
-// in-memory.
+// in-memory. -query-timeout bounds each search request (0 = unbounded).
 package main
 
 import (
@@ -22,6 +22,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":19530", "listen address")
 	data := flag.String("data", "", "data directory (empty = in-memory)")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-search deadline (0 = none)")
 	flag.Parse()
 
 	var store objstore.Store
@@ -35,8 +36,9 @@ func main() {
 	db := core.NewDB(store)
 	defer db.Close()
 
+	srv := rest.NewServerWithConfig(db, rest.ServerConfig{QueryTimeout: *queryTimeout})
 	log.Printf("vectordbd listening on %s (data: %s)", *addr, dataDesc(*data))
-	if err := http.ListenAndServe(*addr, rest.NewServer(db)); err != nil {
+	if err := http.ListenAndServe(*addr, srv); err != nil {
 		log.Fatalf("vectordbd: %v", err)
 	}
 }

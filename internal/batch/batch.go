@@ -13,12 +13,20 @@
 //     Equation (1) so that a block plus its heaps fits in L3, and every
 //     (thread, query) pair gets a private heap to avoid synchronization.
 //     Each thread then reads the data only m/(s·t) times.
+//
+// Both engines run their thread bodies on the shared execution pool
+// (internal/exec) instead of spawning goroutines per request, so concurrent
+// batches contend for a fixed worker set rather than oversubscribing the
+// CPU.
 package batch
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"vectordb/internal/exec"
 	"vectordb/internal/topk"
 	"vectordb/internal/vec"
 )
@@ -48,54 +56,76 @@ func (r *Request) id(i int) int64 {
 type Engine interface {
 	Name() string
 	MultiQuery(req *Request) [][]topk.Result
+	// MultiQueryCtx is MultiQuery with cancellation: a cancelled batch
+	// stops claiming work and returns ctx's error with no usable results.
+	MultiQueryCtx(ctx context.Context, req *Request) ([][]topk.Result, error)
+}
+
+// poolOf resolves an engine's pool field (nil means the process default).
+func poolOf(p *exec.Pool) *exec.Pool {
+	if p != nil {
+		return p
+	}
+	return exec.Default()
+}
+
+// threadCount resolves an engine's Threads knob against the work size.
+func threadCount(configured, work int) int {
+	t := configured
+	if t <= 0 {
+		t = runtime.GOMAXPROCS(0)
+	}
+	if t > work {
+		t = work
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
 }
 
 // ThreadPerQuery is the baseline engine (original Faiss design).
 type ThreadPerQuery struct {
 	Threads int // default GOMAXPROCS
+	// Pool runs the thread bodies; nil means exec.Default().
+	Pool *exec.Pool
 }
 
 // Name implements Engine.
 func (e *ThreadPerQuery) Name() string { return "thread-per-query" }
 
-// MultiQuery implements Engine: a worker pool where each worker claims one
-// query at a time and scans all n vectors with a private k-heap.
+// MultiQuery implements Engine.
 func (e *ThreadPerQuery) MultiQuery(req *Request) [][]topk.Result {
+	out, _ := e.MultiQueryCtx(context.Background(), req)
+	return out
+}
+
+// MultiQueryCtx implements Engine: pool tasks each own a private k-heap and
+// claim one query at a time off an atomic cursor, scanning all n vectors.
+func (e *ThreadPerQuery) MultiQueryCtx(ctx context.Context, req *Request) ([][]topk.Result, error) {
 	m, n := req.counts()
 	out := make([][]topk.Result, m)
-	threads := e.Threads
-	if threads <= 0 {
-		threads = runtime.GOMAXPROCS(0)
-	}
-	if threads > m {
-		threads = m
-	}
-	if threads < 1 {
-		threads = 1
-	}
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < threads; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			h := topk.New(req.K)
-			for qi := range next {
-				h.Reset()
-				q := req.Queries[qi*req.Dim : (qi+1)*req.Dim]
-				for i := 0; i < n; i++ {
-					h.Push(req.id(i), req.Dist(q, req.Data[i*req.Dim:(i+1)*req.Dim]))
-				}
-				out[qi] = h.Results()
+	threads := threadCount(e.Threads, m)
+	var cursor atomic.Int64
+	err := poolOf(e.Pool).Map(ctx, threads, func(int) {
+		h := topk.New(req.K)
+		for ctx.Err() == nil {
+			qi := int(cursor.Add(1)) - 1
+			if qi >= m {
+				return
 			}
-		}()
+			h.Reset()
+			q := req.Queries[qi*req.Dim : (qi+1)*req.Dim]
+			for i := 0; i < n; i++ {
+				h.Push(req.id(i), req.Dist(q, req.Data[i*req.Dim:(i+1)*req.Dim]))
+			}
+			out[qi] = h.Results()
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	for qi := 0; qi < m; qi++ {
-		next <- qi
-	}
-	close(next)
-	wg.Wait()
-	return out
+	return out, nil
 }
 
 // SharedHeap is an ablation engine: the cache-aware data partitioning but
@@ -106,6 +136,8 @@ func (e *ThreadPerQuery) MultiQuery(req *Request) [][]topk.Result {
 type SharedHeap struct {
 	Threads int
 	L3Bytes int64
+	// Pool runs the thread bodies; nil means exec.Default().
+	Pool *exec.Pool
 }
 
 // Name implements Engine.
@@ -113,31 +145,28 @@ func (e *SharedHeap) Name() string { return "shared-heap" }
 
 // MultiQuery implements Engine.
 func (e *SharedHeap) MultiQuery(req *Request) [][]topk.Result {
+	out, _ := e.MultiQueryCtx(context.Background(), req)
+	return out
+}
+
+// MultiQueryCtx implements Engine.
+func (e *SharedHeap) MultiQueryCtx(ctx context.Context, req *Request) ([][]topk.Result, error) {
 	m, n := req.counts()
 	out := make([][]topk.Result, m)
-	threads := e.Threads
-	if threads <= 0 {
-		threads = runtime.GOMAXPROCS(0)
-	}
-	if threads > n {
-		threads = n
-	}
-	if threads < 1 {
-		threads = 1
-	}
+	threads := threadCount(e.Threads, n)
 	l3 := e.L3Bytes
 	if l3 <= 0 {
 		l3 = 32 << 20
 	}
 	s := BlockSize(l3, req.Dim, threads, req.K, m)
 	chunk := (n + threads - 1) / threads
+	pool := poolOf(e.Pool)
 
 	heaps := make([]*topk.Heap, s)
 	locks := make([]sync.Mutex, s)
 	for i := range heaps {
 		heaps[i] = topk.New(req.K)
 	}
-	var wg sync.WaitGroup
 	for q0 := 0; q0 < m; q0 += s {
 		q1 := q0 + s
 		if q1 > m {
@@ -147,42 +176,39 @@ func (e *SharedHeap) MultiQuery(req *Request) [][]topk.Result {
 		for i := 0; i < blockLen; i++ {
 			heaps[i].Reset()
 		}
-		for w := 0; w < threads; w++ {
+		err := pool.Map(ctx, threads, func(w int) {
 			lo, hi := w*chunk, (w+1)*chunk
 			if hi > n {
 				hi = n
 			}
-			if lo >= hi {
-				continue
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					row := req.Data[i*req.Dim : (i+1)*req.Dim]
-					id := req.id(i)
-					for qj := 0; qj < blockLen; qj++ {
-						q := req.Queries[(q0+qj)*req.Dim : (q0+qj+1)*req.Dim]
-						d := req.Dist(q, row)
-						locks[qj].Lock()
-						heaps[qj].Push(id, d)
-						locks[qj].Unlock()
-					}
+			for i := lo; i < hi; i++ {
+				row := req.Data[i*req.Dim : (i+1)*req.Dim]
+				id := req.id(i)
+				for qj := 0; qj < blockLen; qj++ {
+					q := req.Queries[(q0+qj)*req.Dim : (q0+qj+1)*req.Dim]
+					d := req.Dist(q, row)
+					locks[qj].Lock()
+					heaps[qj].Push(id, d)
+					locks[qj].Unlock()
 				}
-			}(lo, hi)
+			}
+		})
+		if err != nil {
+			return nil, err
 		}
-		wg.Wait()
 		for qj := 0; qj < blockLen; qj++ {
 			out[q0+qj] = heaps[qj].Snapshot()
 		}
 	}
-	return out
+	return out, nil
 }
 
 // CacheAware is Milvus's blocked engine.
 type CacheAware struct {
 	Threads int   // default GOMAXPROCS
 	L3Bytes int64 // modeled L3 capacity; default 32 MiB
+	// Pool runs the thread bodies; nil means exec.Default().
+	Pool *exec.Pool
 }
 
 // Name implements Engine.
@@ -205,23 +231,20 @@ func BlockSize(l3Bytes int64, dim, threads, k, m int) int {
 	return s
 }
 
-// MultiQuery implements Engine per Fig. 3: data is range-partitioned across
-// threads; queries are processed block-by-block; each thread compares its
-// data range against the whole in-cache block, filling its private heap row;
-// per-query heaps are merged at block end.
+// MultiQuery implements Engine.
 func (e *CacheAware) MultiQuery(req *Request) [][]topk.Result {
+	out, _ := e.MultiQueryCtx(context.Background(), req)
+	return out
+}
+
+// MultiQueryCtx implements Engine per Fig. 3: data is range-partitioned
+// across threads; queries are processed block-by-block; each thread
+// compares its data range against the whole in-cache block, filling its
+// private heap row; per-query heaps are merged at block end.
+func (e *CacheAware) MultiQueryCtx(ctx context.Context, req *Request) ([][]topk.Result, error) {
 	m, n := req.counts()
 	out := make([][]topk.Result, m)
-	threads := e.Threads
-	if threads <= 0 {
-		threads = runtime.GOMAXPROCS(0)
-	}
-	if threads > n {
-		threads = n
-	}
-	if threads < 1 {
-		threads = 1
-	}
+	threads := threadCount(e.Threads, n)
 	l3 := e.L3Bytes
 	if l3 <= 0 {
 		l3 = 32 << 20
@@ -230,7 +253,7 @@ func (e *CacheAware) MultiQuery(req *Request) [][]topk.Result {
 
 	chunk := (n + threads - 1) / threads
 	heaps := topk.NewMatrix(threads, s, req.K)
-	var wg sync.WaitGroup
+	pool := poolOf(e.Pool)
 	for q0 := 0; q0 < m; q0 += s {
 		q1 := q0 + s
 		if q1 > m {
@@ -238,31 +261,26 @@ func (e *CacheAware) MultiQuery(req *Request) [][]topk.Result {
 		}
 		blockLen := q1 - q0
 		heaps.Reset()
-		for w := 0; w < threads; w++ {
+		err := pool.Map(ctx, threads, func(w int) {
 			lo, hi := w*chunk, (w+1)*chunk
 			if hi > n {
 				hi = n
 			}
-			if lo >= hi {
-				continue
-			}
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					row := req.Data[i*req.Dim : (i+1)*req.Dim]
-					id := req.id(i)
-					for qj := 0; qj < blockLen; qj++ {
-						q := req.Queries[(q0+qj)*req.Dim : (q0+qj+1)*req.Dim]
-						heaps.At(w, qj).Push(id, req.Dist(q, row))
-					}
+			for i := lo; i < hi; i++ {
+				row := req.Data[i*req.Dim : (i+1)*req.Dim]
+				id := req.id(i)
+				for qj := 0; qj < blockLen; qj++ {
+					q := req.Queries[(q0+qj)*req.Dim : (q0+qj+1)*req.Dim]
+					heaps.At(w, qj).Push(id, req.Dist(q, row))
 				}
-			}(w, lo, hi)
+			}
+		})
+		if err != nil {
+			return nil, err
 		}
-		wg.Wait()
 		for qj := 0; qj < blockLen; qj++ {
 			out[q0+qj] = heaps.MergeQuery(qj, req.K)
 		}
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,25 @@
+package bufferpool
+
+import "sync"
+
+// Free is a typed free list over sync.Pool for hot-path scratch objects
+// (per-merge heaps, per-query buffers): unlike the LRU Pool, entries have
+// no identity — Get hands out any recycled value, Put returns it. Callers
+// must re-initialize values from Get; the GC may drop pooled entries at
+// any time, so Free only ever saves allocations, never correctness.
+type Free[T any] struct {
+	p sync.Pool
+}
+
+// NewFree returns a free list whose Get falls back to newT when empty.
+func NewFree[T any](newT func() *T) *Free[T] {
+	f := &Free[T]{}
+	f.p.New = func() any { return newT() }
+	return f
+}
+
+// Get takes a value off the free list, allocating if none is available.
+func (f *Free[T]) Get() *T { return f.p.Get().(*T) }
+
+// Put recycles a value. The caller must not use it afterwards.
+func (f *Free[T]) Put(x *T) { f.p.Put(x) }

@@ -1,0 +1,39 @@
+package bufferpool
+
+import "testing"
+
+func TestFreeRoundTrip(t *testing.T) {
+	type scratch struct{ buf []int }
+	var news int
+	f := NewFree(func() *scratch {
+		news++
+		return &scratch{buf: make([]int, 0, 16)}
+	})
+	s := f.Get()
+	if s == nil || cap(s.buf) != 16 {
+		t.Fatalf("Get() = %+v", s)
+	}
+	s.buf = append(s.buf, 1, 2, 3)
+	f.Put(s)
+	s2 := f.Get()
+	// Whether or not the same object comes back (the GC may clear the
+	// pool), it must be usable and the constructor must work when empty.
+	s2.buf = s2.buf[:0]
+	f.Put(s2)
+	if news < 1 {
+		t.Fatal("constructor never ran")
+	}
+}
+
+func TestFreeAllocsSteadyState(t *testing.T) {
+	f := NewFree(func() *[]byte { b := make([]byte, 4096); return &b })
+	f.Put(f.Get())
+	avg := testing.AllocsPerRun(100, func() {
+		b := f.Get()
+		(*b)[0] = 1
+		f.Put(b)
+	})
+	if avg > 1 {
+		t.Fatalf("Get/Put allocates %.1f objects/op in steady state", avg)
+	}
+}

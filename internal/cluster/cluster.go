@@ -1,11 +1,13 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 
 	"vectordb/internal/core"
+	"vectordb/internal/exec"
 	"vectordb/internal/objstore"
 	"vectordb/internal/topk"
 )
@@ -126,13 +128,30 @@ func (cl *Cluster) Reader(id string) (*Reader, bool) {
 // shard results. A dead reader is detected, deregistered (its shards
 // redistribute), and the query retries — the availability path of Sec. 5.3.
 func (cl *Cluster) Search(collection string, query []float32, opts core.SearchOptions) ([]topk.Result, error) {
-	return cl.SearchFiltered(collection, query, opts, nil)
+	return cl.SearchFilteredCtx(context.Background(), collection, query, opts, nil)
+}
+
+// SearchCtx is Search with cancellation: the router stops retrying and the
+// per-reader shard scans stop loading segments once ctx ends.
+func (cl *Cluster) SearchCtx(ctx context.Context, collection string, query []float32, opts core.SearchOptions) ([]topk.Result, error) {
+	return cl.SearchFilteredCtx(ctx, collection, query, opts, nil)
 }
 
 // SearchFiltered is Search with an attribute range pushed down to every
 // reader (distributed attribute filtering).
 func (cl *Cluster) SearchFiltered(collection string, query []float32, opts core.SearchOptions, rf *RangeFilter) ([]topk.Result, error) {
+	return cl.SearchFilteredCtx(context.Background(), collection, query, opts, rf)
+}
+
+// SearchFilteredCtx is SearchFiltered with cancellation. The per-reader
+// fan-out runs as tasks on the shared execution pool: the router goroutine
+// participates when the pool is saturated, so a cluster query can never
+// deadlock against collection-level queries sharing the pool.
+func (cl *Cluster) SearchFilteredCtx(ctx context.Context, collection string, query []float32, opts core.SearchOptions, rf *RangeFilter) ([]topk.Result, error) {
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		version, err := cl.Coord.ManifestVersion(collection)
 		if err != nil {
 			return nil, err
@@ -146,34 +165,32 @@ func (cl *Cluster) SearchFiltered(collection string, query []float32, opts core.
 			return nil, fmt.Errorf("cluster: no readers available")
 		}
 		type shardResult struct {
-			reader string
-			res    []topk.Result
-			err    error
+			res []topk.Result
+			err error
 		}
-		out := make(chan shardResult, len(members))
-		for _, id := range members {
+		shards := make([]shardResult, len(members))
+		if err := exec.Default().Map(ctx, len(members), func(i int) {
+			id := members[i]
 			cl.mu.Lock()
 			r := cl.readers[id]
 			cl.mu.Unlock()
-			go func(id string, r *Reader) {
-				if r == nil {
-					out <- shardResult{reader: id, err: fmt.Errorf("%w: reader %s gone", ErrReaderDown, id)}
-					return
-				}
-				res, err := r.SearchOwned(collection, version, ring, query, opts, rf)
-				out <- shardResult{reader: id, res: res, err: err}
-			}(id, r)
+			if r == nil {
+				shards[i].err = fmt.Errorf("%w: reader %s gone", ErrReaderDown, id)
+				return
+			}
+			shards[i].res, shards[i].err = r.SearchOwnedCtx(ctx, collection, version, ring, query, opts, rf)
+		}); err != nil {
+			return nil, err
 		}
 		var lists [][]topk.Result
 		var failed []string
 		var reqErr error
-		for range members {
-			sr := <-out
+		for i, sr := range shards {
 			switch {
 			case sr.err == nil:
 				lists = append(lists, sr.res)
 			case errors.Is(sr.err, ErrReaderDown):
-				failed = append(failed, sr.reader)
+				failed = append(failed, members[i])
 			default:
 				// A request-level error (bad field, bad filter): surface it,
 				// never treat the reader as dead.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -214,6 +215,13 @@ type RangeFilter struct {
 // reflect (snapshot consistency across the fleet). rf, when non-nil, is an
 // attribute constraint evaluated shard-locally.
 func (r *Reader) SearchOwned(collection string, version int64, ring *Ring, query []float32, opts core.SearchOptions, rf ...*RangeFilter) ([]topk.Result, error) {
+	return r.SearchOwnedCtx(context.Background(), collection, version, ring, query, opts, rf...)
+}
+
+// SearchOwnedCtx is SearchOwned with cancellation: the shard scan checks
+// ctx before loading each owned segment, so a cancelled or timed-out
+// distributed query stops pulling segments from shared storage.
+func (r *Reader) SearchOwnedCtx(ctx context.Context, collection string, version int64, ring *Ring, query []float32, opts core.SearchOptions, rf ...*RangeFilter) ([]topk.Result, error) {
 	r.mu.RLock()
 	alive := r.alive
 	pool := r.pool
@@ -247,6 +255,9 @@ func (r *Reader) SearchOwned(collection string, version int64, ring *Ring, query
 	p := opts
 	h := topk.New(opts.K)
 	for _, segKey := range rm.man.SegmentKeys {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if ring.Lookup(segKey) != r.ID {
 			continue
 		}

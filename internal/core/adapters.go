@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"vectordb/internal/obs"
@@ -17,6 +18,9 @@ type SourceView struct {
 	// Trace, when set, is threaded into vector sub-queries issued through
 	// this view, so strategy-internal searches land on the query's trace.
 	Trace *obs.Trace
+	// Ctx, when set, cancels vector sub-queries issued through this view.
+	// Nil means background (never cancelled).
+	Ctx context.Context
 }
 
 var _ query.Source = (*SourceView)(nil)
@@ -73,7 +77,7 @@ func (v *SourceView) AttrValue(attr int, id int64) (int64, bool) {
 
 // VectorQuery implements query.Source.
 func (v *SourceView) VectorQuery(field int, q []float32, k, nprobe int, filter func(int64) bool) []topk.Result {
-	res, err := v.c.SearchSnapshot(v.sn, q, SearchOptions{
+	res, err := v.c.searchSnapshot(v.ctx(), v.sn, q, SearchOptions{
 		Field:  v.c.schema.VectorFields[field].Name,
 		K:      k,
 		Nprobe: nprobe,
@@ -84,6 +88,13 @@ func (v *SourceView) VectorQuery(field int, q []float32, k, nprobe int, filter f
 		return nil
 	}
 	return res
+}
+
+func (v *SourceView) ctx() context.Context {
+	if v.Ctx != nil {
+		return v.Ctx
+	}
+	return context.Background()
 }
 
 // DistanceByID implements query.Source.
@@ -105,6 +116,9 @@ func (v *SourceView) DistanceByID(field int, q []float32, id int64) (float32, bo
 type MultiView struct {
 	c  *Collection
 	sn *Snapshot
+	// Ctx, when set, cancels per-field sub-queries issued through this
+	// view. Nil means background.
+	Ctx context.Context
 }
 
 var _ query.MultiSource = (*MultiView)(nil)
@@ -122,7 +136,11 @@ func (v *MultiView) Fields() int { return len(v.c.schema.VectorFields) }
 
 // FieldQuery implements query.MultiSource.
 func (v *MultiView) FieldQuery(field int, q []float32, k int) []topk.Result {
-	res, err := v.c.SearchSnapshot(v.sn, q, SearchOptions{
+	ctx := v.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := v.c.searchSnapshot(ctx, v.sn, q, SearchOptions{
 		Field: v.c.schema.VectorFields[field].Name,
 		K:     k,
 	})
@@ -142,6 +160,13 @@ func (v *MultiView) FieldDistance(field int, q []float32, id int64) (float32, bo
 // cost-based strategy D over the current snapshot — the default filtering
 // path of the public API and the REST server.
 func (c *Collection) SearchFiltered(queryVec []float32, attrName string, lo, hi int64, opts SearchOptions) ([]topk.Result, error) {
+	return c.SearchFilteredCtx(context.Background(), queryVec, attrName, lo, hi, opts)
+}
+
+// SearchFilteredCtx is SearchFiltered with admission control and
+// cancellation: the chosen strategy's scans and sub-queries check ctx and
+// stop early; a cancelled query returns ctx's error, not partial results.
+func (c *Collection) SearchFilteredCtx(ctx context.Context, queryVec []float32, attrName string, lo, hi int64, opts SearchOptions) ([]topk.Result, error) {
 	attr, err := c.schema.AttrFieldIndex(attrName)
 	if err != nil {
 		return nil, err
@@ -158,13 +183,22 @@ func (c *Collection) SearchFiltered(queryVec []float32, attrName string, lo, hi 
 	done := c.beginQuery("filtered", &opts.Trace)
 	defer done()
 	opts.Trace.Annotate("placement", "cpu")
+	release, err := c.admit(ctx, opts.Trace)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	src := c.Source()
 	src.Trace = opts.Trace
+	src.Ctx = ctx
 	defer src.Release()
 	res, _ := query.StrategyD(src,
 		query.RangeCond{Attr: attr, Lo: lo, Hi: hi},
-		query.VecCond{Field: field, Query: queryVec, K: opts.K, Nprobe: opts.Nprobe, Trace: opts.Trace},
+		query.VecCond{Field: field, Query: queryVec, K: opts.K, Nprobe: opts.Nprobe, Trace: opts.Trace, Ctx: ctx},
 		query.DefaultCostModel())
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -172,6 +206,13 @@ func (c *Collection) SearchFiltered(queryVec []float32, attrName string, lo, hi 
 // current snapshot (falls back from vector fusion when the metric is not
 // decomposable, mirroring Sec. 4.2's guidance).
 func (c *Collection) SearchMultiVector(queries [][]float32, weights []float32, k int) ([]topk.Result, error) {
+	return c.SearchMultiVectorCtx(context.Background(), queries, weights, k)
+}
+
+// SearchMultiVectorCtx is SearchMultiVector with admission control and
+// cancellation. Admission is taken once here; the fused attempt and the
+// iterative-merging rounds both run under that single in-flight slot.
+func (c *Collection) SearchMultiVectorCtx(ctx context.Context, queries [][]float32, weights []float32, k int) ([]topk.Result, error) {
 	if len(queries) != len(c.schema.VectorFields) {
 		return nil, fmt.Errorf("core: %d query vectors for %d fields", len(queries), len(c.schema.VectorFields))
 	}
@@ -182,16 +223,33 @@ func (c *Collection) SearchMultiVector(queries [][]float32, weights []float32, k
 	done := c.beginQuery("multi", &tr)
 	defer done()
 	tr.Annotate("placement", "cpu")
+	release, err := c.admit(ctx, tr)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	if _, err := c.fusedMetric(); err == nil {
-		if res, err := c.SearchFused(queries, weights, SearchOptions{K: k, Trace: tr}); err == nil {
+		if fq, err := c.FusedQueryVector(queries, weights); err == nil {
+			m, _ := c.fusedMetric()
+			sn := c.snaps.acquire()
+			res, err := c.searchFused(ctx, sn, fq, m, SearchOptions{K: k, Trace: tr})
+			c.snaps.release(sn)
+			if err != nil {
+				return nil, err
+			}
 			tr.Annotate("multi_algorithm", "fused")
 			return res, nil
 		}
 	}
 	tr.Annotate("multi_algorithm", "iterative_merging")
 	mv := c.MultiSource()
+	mv.Ctx = ctx
 	defer mv.Release()
-	return query.IterativeMerging(mv, queries, weights, k, 16384), nil
+	res := query.IterativeMergingCtx(ctx, mv, queries, weights, k, 16384)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // CatRows returns the IDs whose categorical field matches any of values,
@@ -216,6 +274,12 @@ func (v *SourceView) CatRows(cat int, values ...string) []int64 {
 // the Sec. 2.1 extension, using the bitmap strategy (strategy B) since
 // equality predicates resolve to exact postings.
 func (c *Collection) SearchCategorical(queryVec []float32, catName string, values []string, opts SearchOptions) ([]topk.Result, error) {
+	return c.SearchCategoricalCtx(context.Background(), queryVec, catName, values, opts)
+}
+
+// SearchCategoricalCtx is SearchCategorical with admission control and
+// cancellation.
+func (c *Collection) SearchCategoricalCtx(ctx context.Context, queryVec []float32, catName string, values []string, opts SearchOptions) ([]topk.Result, error) {
 	cat, err := c.schema.CatFieldIndex(catName)
 	if err != nil {
 		return nil, err
@@ -230,8 +294,14 @@ func (c *Collection) SearchCategorical(queryVec []float32, catName string, value
 	defer done()
 	tr := opts.Trace
 	tr.Annotate("placement", "cpu")
+	release, err := c.admit(ctx, tr)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	src := c.Source()
 	src.Trace = tr
+	src.Ctx = ctx
 	defer src.Release()
 	filterSpan := tr.StartSpan("attr_filter")
 	rows := src.CatRows(cat, values...)
@@ -253,7 +323,12 @@ func (c *Collection) SearchCategorical(queryVec []float32, catName string, value
 				return nil, err
 			}
 		}
-		for _, id := range rows {
+		for i, id := range rows {
+			if i&255 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if d, ok := src.DistanceByID(field, queryVec, id); ok {
 				h.Push(id, d)
 			}
@@ -271,6 +346,7 @@ func (c *Collection) SearchCategorical(queryVec []float32, catName string, value
 		return ok
 	}
 	// Search against the already-pinned snapshot so this stays one query
-	// (and one trace) rather than re-entering the counted Search path.
-	return c.SearchSnapshot(src.sn, queryVec, o)
+	// (and one trace) rather than re-entering the counted, admitted
+	// Search path.
+	return c.searchSnapshot(ctx, src.sn, queryVec, o)
 }

@@ -1,14 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"vectordb/internal/colstore"
+	"vectordb/internal/exec"
 	"vectordb/internal/index"
 	_ "vectordb/internal/index/all" // make every built-in index type available
 	"vectordb/internal/objstore"
@@ -52,6 +53,11 @@ type Config struct {
 	// that did not supply their own SearchOptions.Trace. Nil disables
 	// automatic trace capture.
 	QueryLog *obs.QueryLog
+	// Exec is the shared execution pool that runs this collection's
+	// segment-level search tasks and admits its queries (Sec. 3.2:
+	// schedule against fixed threads instead of spawning per query).
+	// Nil means the process-wide exec.Default() pool.
+	Exec *exec.Pool
 }
 
 func (c *Config) defaults() {
@@ -72,6 +78,9 @@ func (c *Config) defaults() {
 	}
 	if c.IndexType == "" {
 		c.IndexType = "IVF_FLAT"
+	}
+	if c.Exec == nil {
+		c.Exec = exec.Default()
 	}
 }
 
@@ -100,6 +109,7 @@ type Collection struct {
 	snaps  *snapTracker
 	met    *colMetrics
 	qlog   *obs.QueryLog
+	pool   *exec.Pool
 
 	mu       sync.Mutex // guards mem, nextSeg/nextSnap, flushErr, snapshot installs
 	mem      *memTable
@@ -138,6 +148,7 @@ func NewCollection(name string, schema Schema, store objstore.Store, cfg Config)
 		mem:       &memTable{},
 		met:       newColMetrics(cfg.Obs, name),
 		qlog:      cfg.QueryLog,
+		pool:      cfg.Exec,
 		indexCh:   make(chan *Segment, 64),
 		stopTimer: make(chan struct{}),
 	}
@@ -482,16 +493,41 @@ func (o *SearchOptions) Params() index.SearchParams {
 // is searched (index or scan) and per-segment results are merged — the
 // segment is the unit of searching (Sec. 2.3).
 func (c *Collection) Search(query []float32, opts SearchOptions) ([]topk.Result, error) {
+	return c.SearchCtx(context.Background(), query, opts)
+}
+
+// SearchCtx is Search with cancellation and admission control: the query
+// waits for an in-flight slot on the shared execution pool (fast-failing
+// with exec.ErrRejected under overload) and stops between segments once
+// ctx is cancelled or past its deadline, returning ctx's error.
+func (c *Collection) SearchCtx(ctx context.Context, query []float32, opts SearchOptions) ([]topk.Result, error) {
 	done := c.beginQuery("vector", &opts.Trace)
 	defer done()
 	opts.Trace.Annotate("placement", "cpu")
+	release, err := c.admit(ctx, opts.Trace)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	sn := c.snaps.acquire()
 	defer c.snaps.release(sn)
-	return c.SearchSnapshot(sn, query, opts)
+	return c.searchSnapshot(ctx, sn, query, opts)
 }
 
 // SearchSnapshot is Search against an explicitly pinned snapshot.
 func (c *Collection) SearchSnapshot(sn *Snapshot, query []float32, opts SearchOptions) ([]topk.Result, error) {
+	return c.searchSnapshot(context.Background(), sn, query, opts)
+}
+
+// SearchSnapshotCtx is SearchSnapshot with cancellation. It does not take
+// admission — callers holding a pinned snapshot are either inside an
+// already-admitted query (filter strategies, multi-vector rounds) or
+// managing admission themselves.
+func (c *Collection) SearchSnapshotCtx(ctx context.Context, sn *Snapshot, query []float32, opts SearchOptions) ([]topk.Result, error) {
+	return c.searchSnapshot(ctx, sn, query, opts)
+}
+
+func (c *Collection) searchSnapshot(ctx context.Context, sn *Snapshot, query []float32, opts SearchOptions) ([]topk.Result, error) {
 	tr := opts.Trace
 	plan := tr.StartSpan("plan")
 	f := 0
@@ -515,42 +551,43 @@ func (c *Collection) SearchSnapshot(sn *Snapshot, query []float32, opts SearchOp
 	plan.AnnotateInt("segments", int64(len(segs)))
 	plan.End()
 	if len(segs) == 0 {
-		return nil, nil
+		return nil, ctx.Err()
 	}
 	segSpan := tr.StartSpan("segments")
-	results := make([][]topk.Result, len(segs))
+	workers := poolTasks(c.pool, len(segs))
+	// One heap per pool task rather than one result list per segment: a
+	// task's heap carries its worst-distance threshold across the segments
+	// it claims (cross-segment pruning), and the final merge touches at
+	// most `workers` short lists.
+	heaps := make([]*topk.Heap, workers)
 	indexed := make([]bool, len(segs))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(segs) {
-		workers = len(segs)
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				sp := p
-				sp.Filter = sn.FilterFor(segs[i].ID, opts.Filter)
-				stage := "segment_scan"
-				if segs[i].Index(f) != nil {
-					stage = "index_search"
-					indexed[i] = true
-				}
-				span := segSpan.StartChild(stage)
-				span.AnnotateInt("segment", segs[i].ID)
-				span.AnnotateInt("rows", int64(segs[i].Rows()))
-				results[i] = segs[i].Search(c.schema, f, query, sp)
-				span.End()
+	// Segments are claimed dynamically off an atomic cursor by however
+	// many shared-pool tasks this query gets, so slow segments do not
+	// stall the rest (same balancing the per-query channel fanout had,
+	// without per-query goroutines).
+	var cursor atomic.Int64
+	err := c.pool.Map(ctx, workers, func(w int) {
+		h := topk.New(opts.K)
+		heaps[w] = h
+		for ctx.Err() == nil {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(segs) {
+				return
 			}
-		}()
-	}
-	for i := range segs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+			sp := p
+			sp.Filter = sn.FilterFor(segs[i].ID, opts.Filter)
+			stage := "segment_scan"
+			if segs[i].Index(f) != nil {
+				stage = "index_search"
+				indexed[i] = true
+			}
+			span := segSpan.StartChild(stage)
+			span.AnnotateInt("segment", segs[i].ID)
+			span.AnnotateInt("rows", int64(segs[i].Rows()))
+			segs[i].SearchInto(h, c.schema, f, query, sp)
+			span.End()
+		}
+	})
 	nIdx := int64(0)
 	for _, ok := range indexed {
 		if ok {
@@ -562,10 +599,37 @@ func (c *Collection) SearchSnapshot(sn *Snapshot, query []float32, opts SearchOp
 	segSpan.AnnotateInt("indexed", nIdx)
 	segSpan.AnnotateInt("scanned", int64(len(segs))-nIdx)
 	segSpan.End()
+	if err != nil {
+		return nil, err
+	}
 	mergeSpan := tr.StartSpan("topk_merge")
-	res := topk.Merge(opts.K, results...)
+	var res []topk.Result
+	if workers == 1 && heaps[0] != nil {
+		res = heaps[0].Results()
+	} else {
+		lists := make([][]topk.Result, 0, workers)
+		for _, h := range heaps {
+			if h != nil {
+				lists = append(lists, h.Snapshot())
+			}
+		}
+		res = topk.Merge(opts.K, lists...)
+	}
 	mergeSpan.End()
 	return res, nil
+}
+
+// poolTasks sizes a query's fan-out: at most one task per pool worker and
+// one per work item. Each task then claims items dynamically.
+func poolTasks(p *exec.Pool, items int) int {
+	n := p.Workers()
+	if n > items {
+		n = items
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // AcquireSnapshot pins the current snapshot for a multi-call read; pair

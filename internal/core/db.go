@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"vectordb/internal/exec"
 	"vectordb/internal/objstore"
 	"vectordb/internal/obs"
 	"vectordb/internal/vec"
@@ -19,6 +20,7 @@ type DB struct {
 	store objstore.Store
 	reg   *obs.Registry
 	qlog  *obs.QueryLog
+	pool  *exec.Pool
 
 	mu          sync.RWMutex
 	collections map[string]*Collection
@@ -35,12 +37,18 @@ func NewDB(store objstore.Store) *DB {
 		qlog:        obs.NewQueryLog(128, 64, 100*time.Millisecond),
 		collections: map[string]*Collection{},
 	}
+	// One shared execution pool per DB: every collection's queries run on
+	// it and its exec_* series land in this DB's registry (and /metrics).
+	db.pool = exec.NewPool(exec.Config{Obs: db.reg})
 	registerRuntimeMetrics(db.reg)
 	return db
 }
 
 // Obs returns the database's metric registry.
 func (db *DB) Obs() *obs.Registry { return db.reg }
+
+// Exec returns the database's shared execution pool.
+func (db *DB) Exec() *exec.Pool { return db.pool }
 
 // QueryLog returns the database's query-trace log.
 func (db *DB) QueryLog() *obs.QueryLog { return db.qlog }
@@ -76,6 +84,9 @@ func (db *DB) CreateCollection(name string, schema Schema, cfg Config) (*Collect
 	}
 	if cfg.QueryLog == nil {
 		cfg.QueryLog = db.qlog
+	}
+	if cfg.Exec == nil {
+		cfg.Exec = db.pool
 	}
 	c, err := NewCollection(name, schema, db.store, cfg)
 	if err != nil {
@@ -132,7 +143,7 @@ func (db *DB) ListCollections() []string {
 	return out
 }
 
-// Close closes every collection.
+// Close closes every collection, then stops the execution pool.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -143,5 +154,6 @@ func (db *DB) Close() error {
 		}
 	}
 	db.collections = map[string]*Collection{}
+	db.pool.Close()
 	return first
 }

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"vectordb/internal/vec"
+)
+
+// benchCollection builds a collection with many small segments — the shape
+// the paper's segment-based scheduling targets — so per-query scheduling
+// overhead is visible next to the per-segment scan work.
+func benchCollection(b *testing.B, segs, rowsPerSeg, dim int) *Collection {
+	b.Helper()
+	c, err := NewCollection("bench", Schema{
+		VectorFields: []VectorField{{Name: "v", Dim: dim, Metric: vec.L2}},
+	}, nil, Config{
+		FlushRows:      rowsPerSeg,
+		FlushInterval:  -1,
+		MergeFactor:    1 << 30, // no merging: keep the segment count fixed
+		MaxSegmentRows: rowsPerSeg,
+		IndexRows:      1 << 30, // no indexes: exact scan per segment
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	id := int64(1)
+	for s := 0; s < segs; s++ {
+		ents := make([]Entity, rowsPerSeg)
+		for i := range ents {
+			ents[i] = Entity{ID: id, Vectors: [][]float32{benchVec(id, dim)}}
+			id++
+		}
+		if err := c.Insert(ents); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Cleanup(func() { c.Close() })
+	return c
+}
+
+func benchVec(seed int64, dim int) []float32 {
+	v := make([]float32, dim)
+	x := uint64(seed)*0x9E3779B97F4A7C15 + 1
+	for i := range v {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		v[i] = float32(x%2048)/1024 - 1
+	}
+	return v
+}
+
+// BenchmarkConcurrentSearch measures aggregate search throughput at 1, 8
+// and 64 concurrent searchers over 64 small segments. Before the shared
+// execution engine, every query spawned its own GOMAXPROCS-sized worker
+// pool, so concurrent load multiplied goroutine and channel churn; after,
+// all queries share one fixed pool with admission control.
+func BenchmarkConcurrentSearch(b *testing.B) {
+	const segs, rows, dim = 64, 512, 16
+	c := benchCollection(b, segs, rows, dim)
+	for _, conc := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("c%d", conc), func(b *testing.B) {
+			b.ReportAllocs()
+			var next atomic.Int64
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for g := 0; g < conc; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					q := benchVec(int64(g)*7919+3, dim)
+					for next.Add(1) <= int64(b.N) {
+						if _, err := c.Search(q, SearchOptions{K: 10}); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -1,9 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
+	"sync/atomic"
 
 	"vectordb/internal/index"
 	"vectordb/internal/topk"
@@ -107,6 +107,11 @@ func (c *Collection) BuildFusedIndex(indexType string, params map[string]string)
 // SearchFused runs the vector-fusion multi-vector query: one top-k search
 // of the aggregated query against the concatenated vectors.
 func (c *Collection) SearchFused(queries [][]float32, weights []float32, opts SearchOptions) ([]topk.Result, error) {
+	return c.SearchFusedCtx(context.Background(), queries, weights, opts)
+}
+
+// SearchFusedCtx is SearchFused with admission control and cancellation.
+func (c *Collection) SearchFusedCtx(ctx context.Context, queries [][]float32, weights []float32, opts SearchOptions) ([]topk.Result, error) {
 	fq, err := c.FusedQueryVector(queries, weights)
 	if err != nil {
 		return nil, err
@@ -114,56 +119,64 @@ func (c *Collection) SearchFused(queries [][]float32, weights []float32, opts Se
 	if opts.K <= 0 {
 		return nil, fmt.Errorf("core: K must be positive")
 	}
+	release, err := c.admit(ctx, opts.Trace)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	m, _ := c.fusedMetric()
 	sn := c.snaps.acquire()
 	defer c.snaps.release(sn)
+	return c.searchFused(ctx, sn, fq, m, opts)
+}
+
+// searchFused is the admission-free core of the fused search: segments of
+// the pinned snapshot are claimed dynamically by shared-pool tasks, exactly
+// like searchSnapshot.
+func (c *Collection) searchFused(ctx context.Context, sn *Snapshot, fq []float32, m vec.Metric, opts SearchOptions) ([]topk.Result, error) {
 	p := opts.Params()
 	segs := sn.Segments
-	results := make([][]topk.Result, len(segs))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(segs) {
-		workers = len(segs)
+	if len(segs) == 0 {
+		return nil, ctx.Err()
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				seg := segs[i]
-				p := p
-				p.Filter = sn.FilterFor(seg.ID, opts.Filter)
-				if idx := seg.FusedIndex(); idx != nil {
-					results[i] = idx.Search(fq, p)
+	results := make([][]topk.Result, len(segs))
+	var cursor atomic.Int64
+	err := c.pool.Map(ctx, poolTasks(c.pool, len(segs)), func(int) {
+		for ctx.Err() == nil {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(segs) {
+				return
+			}
+			seg := segs[i]
+			p := p
+			p.Filter = sn.FilterFor(seg.ID, opts.Filter)
+			if idx := seg.FusedIndex(); idx != nil {
+				results[i] = idx.Search(fq, p)
+				continue
+			}
+			// Unindexed fused scan: aggregate per-field distances row by
+			// row (identical to scanning the concatenation).
+			dist := m.Dist()
+			h := topk.New(p.K)
+			for r := 0; r < seg.Rows(); r++ {
+				id := seg.IDs[r]
+				if p.Filter != nil && !p.Filter(id) {
 					continue
 				}
-				// Unindexed fused scan: aggregate per-field distances row by
-				// row (identical to scanning the concatenation).
-				dist := m.Dist()
-				h := topk.New(p.K)
-				for r := 0; r < seg.Rows(); r++ {
-					id := seg.IDs[r]
-					if p.Filter != nil && !p.Filter(id) {
-						continue
-					}
-					var d float32
-					off := 0
-					for f := range c.schema.VectorFields {
-						fd := c.schema.VectorFields[f].Dim
-						d += dist(fq[off:off+fd], seg.Vectors[f].Row(r))
-						off += fd
-					}
-					h.Push(id, d)
+				var d float32
+				off := 0
+				for f := range c.schema.VectorFields {
+					fd := c.schema.VectorFields[f].Dim
+					d += dist(fq[off:off+fd], seg.Vectors[f].Row(r))
+					off += fd
 				}
-				results[i] = h.Results()
+				h.Push(id, d)
 			}
-		}()
+			results[i] = h.Results()
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	for i := range segs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 	return topk.Merge(opts.K, results...), nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -44,6 +45,13 @@ type GPUSearchStats struct {
 // PCIe on a miss), the scan kernel is charged, and per-segment results are
 // merged on the host.
 func (g *GPUSearcher) Search(query []float32, opts SearchOptions) ([]topk.Result, GPUSearchStats, error) {
+	return g.SearchCtx(context.Background(), query, opts)
+}
+
+// SearchCtx is Search with admission control and cancellation: placement
+// shares the collection's in-flight budget with CPU queries, and a
+// cancelled query stops before assigning the next segment to a device.
+func (g *GPUSearcher) SearchCtx(ctx context.Context, query []float32, opts SearchOptions) ([]topk.Result, GPUSearchStats, error) {
 	field := 0
 	var err error
 	if opts.Field != "" {
@@ -58,6 +66,11 @@ func (g *GPUSearcher) Search(query []float32, opts SearchOptions) ([]topk.Result
 	defer done()
 	tr := opts.Trace
 	tr.Annotate("placement", "gpu")
+	release, err := g.col.admit(ctx, tr)
+	if err != nil {
+		return nil, GPUSearchStats{}, err
+	}
+	defer release()
 	sn := g.col.snaps.acquire()
 	defer g.col.snaps.release(sn)
 
@@ -67,6 +80,9 @@ func (g *GPUSearcher) Search(query []float32, opts SearchOptions) ([]topk.Result
 	lists := make([][]topk.Result, 0, len(sn.Segments))
 	dim := g.col.schema.VectorFields[field].Dim
 	for _, seg := range sn.Segments {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		key := fmt.Sprintf("gpu/%s/seg/%d/f%d", g.col.Name, seg.ID, field)
 		dev, err := g.sched.Assign(key)
 		if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"vectordb/internal/index"
@@ -81,6 +82,20 @@ func (c *Collection) beginQuery(kind string, trp **obs.Trace) func() {
 			c.qlog.Record(tr)
 		}
 	}
+}
+
+// admit reserves an in-flight slot on the shared execution pool for one
+// top-level query, recording the wait as a sched_wait span on the query's
+// trace. Admission is taken once per query, at the public entry point;
+// everything the query does downstream runs under that single slot.
+func (c *Collection) admit(ctx context.Context, tr *obs.Trace) (release func(), err error) {
+	sp := tr.StartSpan("sched_wait")
+	release, err = c.pool.Admit(ctx)
+	sp.End()
+	if err != nil {
+		tr.Annotate("admission", err.Error())
+	}
+	return release, err
 }
 
 // observeIndexBuild records a segment index build and, on success, wraps

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"sync"
 
 	"vectordb/internal/colstore"
@@ -163,16 +164,58 @@ func (s *Segment) Search(schema *Schema, field int, query []float32, p index.Sea
 	if idx := s.Index(field); idx != nil {
 		return idx.Search(query, p)
 	}
+	h := topk.New(p.K)
+	s.SearchInto(h, schema, field, query, p)
+	return h.Results()
+}
+
+// SearchInto is Search accumulating into a caller-owned heap: one heap can
+// serve many segments, skipping the per-segment result allocation, sort and
+// merge, and letting the worst retained distance prune pushes across
+// segment boundaries. The scan gates each candidate on that threshold
+// inline, so a row that cannot enter the top-k costs one comparison rather
+// than a heap call — with k hits out of thousands of rows, that is almost
+// every row.
+func (s *Segment) SearchInto(h *topk.Heap, schema *Schema, field int, query []float32, p index.SearchParams) {
+	if idx := s.Index(field); idx != nil {
+		for _, r := range idx.Search(query, p) {
+			h.Push(r.ID, r.Distance)
+		}
+		return
+	}
 	dist := schema.VectorFields[field].Metric.Dist()
 	col := s.Vectors[field]
-	h := topk.New(p.K)
+	dim, data := col.Dim, col.Data
+	worst := float32(math.Inf(1))
+	if w, ok := h.Worst(); ok && h.Full() {
+		worst = w
+	}
+	if p.Filter == nil {
+		for i, id := range s.IDs {
+			d := dist(query, data[i*dim:(i+1)*dim])
+			if d >= worst {
+				continue
+			}
+			h.Push(id, d)
+			if h.Full() {
+				worst, _ = h.Worst()
+			}
+		}
+		return
+	}
 	for i, id := range s.IDs {
-		if p.Filter != nil && !p.Filter(id) {
+		if !p.Filter(id) {
 			continue
 		}
-		h.Push(id, dist(query, col.Row(i)))
+		d := dist(query, data[i*dim:(i+1)*dim])
+		if d >= worst {
+			continue
+		}
+		h.Push(id, d)
+		if h.Full() {
+			worst, _ = h.Worst()
+		}
 	}
-	return h.Results()
 }
 
 // BuildIndex builds (synchronously) an index of the named type over one

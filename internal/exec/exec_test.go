@@ -1,0 +1,247 @@
+package exec
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vectordb/internal/obs"
+)
+
+func TestMapRunsAll(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(Config{Workers: workers})
+		var hits [100]atomic.Int32
+		if err := p.Map(context.Background(), len(hits), func(i int) { hits[i].Add(1) }); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if n := hits[i].Load(); n != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, n)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestMapNilPoolInline(t *testing.T) {
+	var p *Pool
+	var sum int
+	if err := p.Map(context.Background(), 5, func(i int) { sum += i }); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 10 {
+		t.Fatalf("sum = %d, want 10", sum)
+	}
+}
+
+func TestMapCancelSkipsRemaining(t *testing.T) {
+	p := NewPool(Config{Workers: 2, QueueDepth: 1})
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := p.Map(ctx, 1000, func(i int) {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("all %d tasks ran despite cancellation", n)
+	}
+}
+
+// TestMapNestedNoDeadlock submits fan-outs from inside pool tasks with a
+// tiny queue: the inline-run-on-full fallback must prevent deadlock.
+func TestMapNestedNoDeadlock(t *testing.T) {
+	p := NewPool(Config{Workers: 2, QueueDepth: 1})
+	defer p.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var inner atomic.Int32
+		_ = p.Map(context.Background(), 8, func(int) {
+			_ = p.Map(context.Background(), 8, func(int) { inner.Add(1) })
+		})
+		if inner.Load() != 64 {
+			t.Errorf("inner tasks = %d, want 64", inner.Load())
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("nested Map deadlocked")
+	}
+}
+
+func TestRunCapsWorkers(t *testing.T) {
+	p := NewPool(Config{Workers: 2})
+	defer p.Close()
+	workers, err := p.Run(context.Background(), 64, func(int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if workers != 2 {
+		t.Fatalf("workers = %d, want 2", workers)
+	}
+	if workers, _ = p.Run(context.Background(), 1, func(int) {}); workers != 1 {
+		t.Fatalf("workers = %d, want 1", workers)
+	}
+}
+
+func TestAdmitBlocksThenReleases(t *testing.T) {
+	p := NewPool(Config{Workers: 1, MaxInflight: 1, AdmitQueue: 4})
+	defer p.Close()
+	rel1, err := p.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan func())
+	go func() {
+		rel2, err := p.Admit(context.Background())
+		if err != nil {
+			t.Error(err)
+			admitted <- func() {}
+			return
+		}
+		admitted <- rel2
+	}()
+	select {
+	case <-admitted:
+		t.Fatal("second Admit succeeded while slot was held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	rel1()
+	select {
+	case rel2 := <-admitted:
+		rel2()
+	case <-time.After(5 * time.Second):
+		t.Fatal("second Admit never unblocked after release")
+	}
+	if p.Inflight() != 0 {
+		t.Fatalf("inflight = %d after all releases", p.Inflight())
+	}
+}
+
+func TestAdmitRejectsWhenQueueFull(t *testing.T) {
+	p := NewPool(Config{Workers: 1, MaxInflight: 1, AdmitQueue: 1})
+	defer p.Close()
+	rel, err := p.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	// Occupy the single admission-queue slot.
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	defer cancelWaiter()
+	waiting := make(chan error, 1)
+	go func() {
+		_, err := p.Admit(waiterCtx)
+		waiting <- err
+	}()
+	// Wait for the waiter to be counted.
+	for i := 0; p.waiting.Load() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := p.Admit(context.Background()); !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+	if p.Rejected() != 1 {
+		t.Fatalf("Rejected() = %d, want 1", p.Rejected())
+	}
+	cancelWaiter()
+	if err := <-waiting; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+}
+
+func TestAdmitHonorsContext(t *testing.T) {
+	p := NewPool(Config{Workers: 1, MaxInflight: 1, AdmitQueue: 4})
+	defer p.Close()
+	rel, err := p.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := p.Admit(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	done, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := p.Admit(done); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestNilPoolAdmit(t *testing.T) {
+	var p *Pool
+	rel, err := p.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+}
+
+func TestMetricsExported(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(Config{Workers: 2, Obs: reg})
+	defer p.Close()
+	rel, err := p.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p.Map(context.Background(), 4, func(int) {})
+	rel()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, series := range []string{
+		"exec_inflight", "exec_queue_depth", "exec_rejected_total",
+		"exec_task_wait_seconds", "exec_tasks_total", "exec_workers",
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("exposition missing %s:\n%s", series, text)
+		}
+	}
+}
+
+func TestCloseIdempotentAndDrains(t *testing.T) {
+	p := NewPool(Config{Workers: 4})
+	var ran atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = p.Map(context.Background(), 16, func(int) { ran.Add(1) })
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	p.Close()
+	if ran.Load() != 128 {
+		t.Fatalf("ran = %d, want 128", ran.Load())
+	}
+}
+
+func TestDefaultSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() returned different pools")
+	}
+	if Default().Workers() < 1 {
+		t.Fatal("default pool has no workers")
+	}
+}

@@ -1,9 +1,10 @@
 package ivf
 
 import (
-	"runtime"
-	"sync"
+	"context"
+	"sync/atomic"
 
+	"vectordb/internal/exec"
 	"vectordb/internal/index"
 	"vectordb/internal/quantizer"
 	"vectordb/internal/topk"
@@ -19,9 +20,17 @@ import (
 // therefore pass through the CPU caches once per batch rather than once per
 // query, with no locks on the hot path.
 func (x *IVF) SearchBatch(queries []float32, p index.SearchParams) [][]topk.Result {
+	out, _ := x.SearchBatchCtx(context.Background(), queries, p)
+	return out
+}
+
+// SearchBatchCtx is SearchBatch with cancellation: a cancelled batch stops
+// claiming buckets and returns ctx's error. Bucket scans run as tasks on
+// the shared execution pool rather than per-batch goroutines.
+func (x *IVF) SearchBatchCtx(ctx context.Context, queries []float32, p index.SearchParams) ([][]topk.Result, error) {
 	nq := len(queries) / x.dim
 	if nq == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	// Step 1: probe order per query (itself a multi-query problem over the
 	// centroid table).
@@ -42,7 +51,8 @@ func (x *IVF) SearchBatch(queries []float32, p index.SearchParams) [][]topk.Resu
 		buckets = append(buckets, b)
 	}
 
-	workers := runtime.GOMAXPROCS(0)
+	pool := exec.Default()
+	workers := pool.Workers()
 	if workers > len(buckets) {
 		workers = len(buckets)
 	}
@@ -63,32 +73,33 @@ func (x *IVF) SearchBatch(queries []float32, p index.SearchParams) [][]topk.Resu
 		}
 	}
 
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			heaps := make([]*topk.Heap, nq)
-			perWorker[w] = heaps
-			heapFor := func(qi int32) *topk.Heap {
-				h := heaps[qi]
-				if h == nil {
-					h = topk.New(p.K)
-					heaps[qi] = h
-				}
-				return h
+	// Buckets are claimed dynamically off an atomic cursor by the pool
+	// tasks, preserving the channel fanout's load balancing without
+	// per-batch goroutines.
+	var cursor atomic.Int64
+	err := pool.Map(ctx, workers, func(w int) {
+		heaps := make([]*topk.Heap, nq)
+		perWorker[w] = heaps
+		heapFor := func(qi int32) *topk.Heap {
+			h := heaps[qi]
+			if h == nil {
+				h = topk.New(p.K)
+				heaps[qi] = h
 			}
-			for b := range next {
-				x.scanBucketForQueries(queries, b, byBucket[b], p, heapFor, tabs)
+			return h
+		}
+		for ctx.Err() == nil {
+			bi := int(cursor.Add(1)) - 1
+			if bi >= len(buckets) {
+				return
 			}
-		}(w)
+			b := buckets[bi]
+			x.scanBucketForQueries(queries, b, byBucket[b], p, heapFor, tabs)
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, b := range buckets {
-		next <- b
-	}
-	close(next)
-	wg.Wait()
 
 	// Merge the per-worker heaps of each query.
 	out := make([][]topk.Result, nq)
@@ -102,7 +113,7 @@ func (x *IVF) SearchBatch(queries []float32, p index.SearchParams) [][]topk.Resu
 		}
 		out[qi] = topk.Merge(p.K, lists...)
 	}
-	return out
+	return out, nil
 }
 
 // scanBucketForQueries streams one bucket once, comparing every vector

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"sort"
 
 	"vectordb/internal/topk"
@@ -227,16 +228,32 @@ func BoundedNRA(ms MultiSource, queries [][]float32, weights []float32, k, x int
 // k′ until the threshold. On fallback it returns the top-k of the candidate
 // union ∪Rᵢ, scored exactly.
 func IterativeMerging(ms MultiSource, queries [][]float32, weights []float32, k, threshold int) []topk.Result {
+	return IterativeMergingCtx(context.Background(), ms, queries, weights, k, threshold)
+}
+
+// IterativeMergingCtx is IterativeMerging with a cancellation point before
+// every doubling round and every per-field query: a cancelled query stops
+// issuing sub-queries and returns nil (the caller inspects ctx.Err()).
+func IterativeMergingCtx(ctx context.Context, ms MultiSource, queries [][]float32, weights []float32, k, threshold int) []topk.Result {
 	weights = unitWeights(weights, ms.Fields())
 	kp := k
 	if threshold < k {
 		threshold = k
 	}
+	fieldQueries := func(kp int) [][]topk.Result {
+		lists := make([][]topk.Result, ms.Fields())
+		for f := range lists {
+			if ctx.Err() != nil {
+				return nil
+			}
+			lists[f] = ms.FieldQuery(f, queries[f], kp)
+		}
+		return lists
+	}
 	var lists [][]topk.Result
 	for kp < threshold {
-		lists = make([][]topk.Result, ms.Fields())
-		for f := range lists {
-			lists[f] = ms.FieldQuery(f, queries[f], kp)
+		if lists = fieldQueries(kp); lists == nil {
+			return nil
 		}
 		if res := NRA(lists, weights, k); res.Determined {
 			return res.Results
@@ -245,9 +262,8 @@ func IterativeMerging(ms MultiSource, queries [][]float32, weights []float32, k,
 	}
 	// return top-k results from ∪Rᵢ (line 9).
 	if lists == nil {
-		lists = make([][]topk.Result, ms.Fields())
-		for f := range lists {
-			lists[f] = ms.FieldQuery(f, queries[f], kp)
+		if lists = fieldQueries(kp); lists == nil {
+			return nil
 		}
 	}
 	seen := map[int64]struct{}{}
@@ -258,6 +274,9 @@ func IterativeMerging(ms MultiSource, queries [][]float32, weights []float32, k,
 	}
 	h := topk.New(k)
 	for id := range seen {
+		if ctx.Err() != nil {
+			return nil
+		}
 		if s, ok := exactScore(ms, queries, weights, id); ok {
 			h.Push(id, s)
 		}

@@ -8,6 +8,8 @@
 package query
 
 import (
+	"context"
+
 	"vectordb/internal/obs"
 	"vectordb/internal/topk"
 )
@@ -28,6 +30,16 @@ type VecCond struct {
 	// attribute) and per-phase spans. Nil disables tracing (obs traces
 	// are nil-safe).
 	Trace *obs.Trace
+	// Ctx, when set, cancels the strategy: scans and per-round loops
+	// check it periodically and stop early, returning whatever partial
+	// results exist. Callers that care inspect Ctx.Err() afterwards and
+	// discard the partials. Nil means never cancelled.
+	Ctx context.Context
+}
+
+// cancelled reports whether the condition's context has ended.
+func (vc *VecCond) cancelled() bool {
+	return vc.Ctx != nil && vc.Ctx.Err() != nil
 }
 
 // Source is what the filtering strategies need from the data under search.

@@ -31,7 +31,12 @@ func StrategyA(s Source, rc RangeCond, vc VecCond) []topk.Result {
 	scan := vc.Trace.StartSpan("exact_scan")
 	defer scan.End()
 	h := topk.New(vc.K)
-	for _, id := range rows {
+	for i, id := range rows {
+		// Cancellation point: the qualifying set can span the whole
+		// collection, so a dead query must not finish the scan.
+		if i&255 == 0 && vc.cancelled() {
+			break
+		}
 		if d, ok := s.DistanceByID(vc.Field, vc.Query, id); ok {
 			h.Push(id, d)
 		}
@@ -73,6 +78,9 @@ func StrategyC(s Source, rc RangeCond, vc VecCond) []topk.Result {
 	}
 	total := s.TotalRows()
 	for {
+		if vc.cancelled() {
+			return nil
+		}
 		vec := vc.Trace.StartSpan("vector_first")
 		vec.AnnotateInt("fetch", int64(fetch))
 		cands := s.VectorQuery(vc.Field, vc.Query, fetch, vc.Nprobe, nil)
@@ -187,6 +195,9 @@ func StrategyE(parts []Partition, rc RangeCond, vc VecCond, m CostModel) []topk.
 	pvc.Trace = nil
 	lists := make([][]topk.Result, 0, len(parts))
 	for i, p := range parts {
+		if vc.cancelled() {
+			break
+		}
 		span := vc.Trace.StartSpan("partition")
 		span.AnnotateInt("partition", int64(i))
 		lo, hi, ok := p.AttrBounds(rc.Attr)

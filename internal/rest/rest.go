@@ -5,13 +5,18 @@
 package rest
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
 	"vectordb/internal/core"
+	"vectordb/internal/exec"
 	"vectordb/internal/obs"
+	"vectordb/internal/topk"
 	"vectordb/internal/vec"
 )
 
@@ -113,18 +118,33 @@ type ErrorResponse struct {
 
 // Server -----------------------------------------------------------------
 
+// ServerConfig tunes the REST server.
+type ServerConfig struct {
+	// QueryTimeout bounds each search request: the query's context expires
+	// after this duration and the request answers 504. Zero means no
+	// server-imposed deadline (the client disconnect still cancels).
+	QueryTimeout time.Duration
+}
+
 // Server serves the REST API over a core database.
 type Server struct {
 	db  *core.DB
+	cfg ServerConfig
 	mux *http.ServeMux
 }
 
-// NewServer wraps db (a fresh in-memory database when nil).
+// NewServer wraps db (a fresh in-memory database when nil) with default
+// configuration.
 func NewServer(db *core.DB) *Server {
+	return NewServerWithConfig(db, ServerConfig{})
+}
+
+// NewServerWithConfig wraps db with explicit configuration.
+func NewServerWithConfig(db *core.DB, cfg ServerConfig) *Server {
 	if db == nil {
 		db = core.NewDB(nil)
 	}
-	s := &Server{db: db, mux: http.NewServeMux()}
+	s := &Server{db: db, cfg: cfg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/collections", s.handleCollections)
 	s.mux.HandleFunc("/collections/", s.handleCollection)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -322,6 +342,20 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, col *core.
 	writeJSON(w, http.StatusOK, map[string]int{"deleted": len(req.IDs)})
 }
 
+// searchStatus maps a search error to an HTTP status: admission rejection
+// (pool overloaded) and client cancellation answer 503, a server-imposed
+// deadline answers 504, anything else is a bad request.
+func searchStatus(err error) int {
+	switch {
+	case errors.Is(err, exec.ErrRejected), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadRequest
+	}
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, col *core.Collection) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
@@ -331,45 +365,34 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, col *core.
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	// The query context descends from the request context (client disconnect
+	// cancels the query) with the server's per-query deadline layered on.
+	ctx := r.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
 	opts := core.SearchOptions{Field: req.Field, K: req.K, Nprobe: req.Nprobe, Ef: req.Ef, SearchL: req.SearchL}
-	var results []ResultJSON
+	var rs []topk.Result
+	var err error
 	switch {
 	case len(req.Vectors) > 0: // multi-vector query (Sec. 4.2)
-		rs, err := col.SearchMultiVector(req.Vectors, req.Weights, req.K)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		for _, x := range rs {
-			results = append(results, ResultJSON{ID: x.ID, Distance: x.Distance})
-		}
+		rs, err = col.SearchMultiVectorCtx(ctx, req.Vectors, req.Weights, req.K)
 	case req.CatFilter != nil: // categorical filtering (inverted lists)
-		rs, err := col.SearchCategorical(req.Vector, req.CatFilter.Attr, req.CatFilter.Values, opts)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		for _, x := range rs {
-			results = append(results, ResultJSON{ID: x.ID, Distance: x.Distance})
-		}
+		rs, err = col.SearchCategoricalCtx(ctx, req.Vector, req.CatFilter.Attr, req.CatFilter.Values, opts)
 	case req.Filter != nil: // attribute filtering (Sec. 4.1)
-		rs, err := col.SearchFiltered(req.Vector, req.Filter.Attr, req.Filter.Lo, req.Filter.Hi, opts)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		for _, x := range rs {
-			results = append(results, ResultJSON{ID: x.ID, Distance: x.Distance})
-		}
+		rs, err = col.SearchFilteredCtx(ctx, req.Vector, req.Filter.Attr, req.Filter.Lo, req.Filter.Hi, opts)
 	default:
-		rs, err := col.Search(req.Vector, opts)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		for _, x := range rs {
-			results = append(results, ResultJSON{ID: x.ID, Distance: x.Distance})
-		}
+		rs, err = col.SearchCtx(ctx, req.Vector, opts)
+	}
+	if err != nil {
+		writeErr(w, searchStatus(err), err)
+		return
+	}
+	results := make([]ResultJSON, 0, len(rs))
+	for _, x := range rs {
+		results = append(results, ResultJSON{ID: x.ID, Distance: x.Distance})
 	}
 	writeJSON(w, http.StatusOK, SearchResponse{Results: results})
 }

@@ -2,15 +2,18 @@ package stress
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
 	"vectordb/internal/core"
+	"vectordb/internal/exec"
 	"vectordb/internal/objstore"
 	"vectordb/internal/obs"
 	"vectordb/internal/obs/promtext"
@@ -34,6 +37,13 @@ type Config struct {
 	// Faults configures the injected object-store fault layer; the zero
 	// value runs fault-free.
 	Faults FaultConfig
+
+	// CancelRate is the probability that a searcher wraps a query in a
+	// context that is cancelled or times out mid-flight (default 0: off).
+	// Such a query must either complete normally or return the context's
+	// error; anything else — and any goroutine or snapshot leaked by the
+	// abandoned query — is an invariant violation.
+	CancelRate float64
 
 	// RecallFloor is the minimum average recall@K vs. a brute-force scan
 	// over the surviving entities after quiesce (default 0.9).
@@ -75,6 +85,7 @@ type Report struct {
 	Inserted   int64 // acknowledged inserted rows
 	Deleted    int64 // acknowledged deleted rows
 	Searches   int64 // completed searches (writers + searchers)
+	Cancelled  int64 // searches that returned a context error (CancelRate mode)
 	Flushes    int64 // explicit flush ops issued
 	FlushErrs  int64 // flushes that surfaced an (injected) error
 	IndexOps   int64 // manual index-build ops issued
@@ -85,8 +96,8 @@ type Report struct {
 }
 
 func (r *Report) String() string {
-	return fmt.Sprintf("inserted=%d deleted=%d searches=%d flushes=%d flushErrs=%d injected=%d final=%d recall=%.3f violations=%d",
-		r.Inserted, r.Deleted, r.Searches, r.Flushes, r.FlushErrs, r.Injected, r.FinalCount, r.Recall, len(r.Violations))
+	return fmt.Sprintf("inserted=%d deleted=%d searches=%d cancelled=%d flushes=%d flushErrs=%d injected=%d final=%d recall=%.3f violations=%d",
+		r.Inserted, r.Deleted, r.Searches, r.Cancelled, r.Flushes, r.FlushErrs, r.Injected, r.FinalCount, r.Recall, len(r.Violations))
 }
 
 const (
@@ -106,7 +117,7 @@ type harness struct {
 	mu         sync.Mutex
 	violations []string
 
-	inserted, deleted, searches, flushes, flushErrs, indexOps counter
+	inserted, deleted, searches, cancelled, flushes, flushErrs, indexOps counter
 }
 
 type counter struct {
@@ -140,6 +151,12 @@ type writerState struct {
 func Run(cfg Config) (*Report, error) {
 	cfg.defaults()
 
+	// Warm the shared execution pool before taking the goroutine baseline:
+	// its fixed worker set is process-wide and outlives every run, so it
+	// must not be confused with a leak.
+	exec.Default().Workers()
+	baseGoroutines := runtime.NumGoroutine()
+
 	faults := NewFaultStore(objstore.NewMemory(), cfg.Seed*7349+11, cfg.Faults)
 	schema := core.Schema{
 		VectorFields: []core.VectorField{{Name: "v", Dim: cfg.Dim, Metric: vec.L2}},
@@ -163,7 +180,6 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer col.Close()
 
 	h := &harness{cfg: cfg, col: col, faults: faults, reg: reg, done: make(chan struct{})}
 
@@ -193,11 +209,16 @@ func Run(cfg Config) (*Report, error) {
 		Inserted:  h.inserted.get(),
 		Deleted:   h.deleted.get(),
 		Searches:  h.searches.get(),
+		Cancelled: h.cancelled.get(),
 		Flushes:   h.flushes.get(),
 		FlushErrs: h.flushErrs.get(),
 		IndexOps:  h.indexOps.get(),
 	}
 	h.quiesce(states, rep)
+	if err := col.Close(); err != nil {
+		h.violate("close: %v", err)
+	}
+	h.checkGoroutines(baseGoroutines)
 	rep.Injected = faults.Injected()
 	rep.Violations = h.violations
 	if len(rep.Violations) > 0 {
@@ -295,7 +316,11 @@ func (h *harness) searcher(s int) {
 		}
 		switch p := rng.Intn(10); {
 		case p < 5:
-			h.search(who, rng.Int63())
+			if h.cfg.CancelRate > 0 && rng.Float64() < h.cfg.CancelRate {
+				h.searchCancel(who, rng)
+			} else {
+				h.search(who, rng.Int63())
+			}
 		case p < 7:
 			lastSnap = h.snapshotProbe(who, lastSnap)
 		case p < 8:
@@ -326,6 +351,59 @@ func (h *harness) search(who string, qseed int64) {
 	}
 	h.searches.add(1)
 	h.checkResults(who, res)
+}
+
+// searchCancel runs one query under a context that dies mid-flight: half of
+// the time as an explicit cancel racing the query, half as a microsecond-scale
+// deadline. The query must complete normally or surface the context's error;
+// any other outcome is a violation. Leaked goroutines and snapshots are
+// caught by Run's end-of-run checks.
+func (h *harness) searchCancel(who string, rng *rand.Rand) {
+	query := VectorForID(rng.Int63()|1, h.cfg.Dim)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fuse := time.Duration(rng.Intn(200)) * time.Microsecond
+	if rng.Intn(2) == 0 {
+		var expire context.CancelFunc
+		ctx, expire = context.WithTimeout(ctx, fuse)
+		defer expire()
+	} else {
+		timer := time.AfterFunc(fuse, cancel)
+		defer timer.Stop()
+	}
+	res, err := h.col.SearchCtx(ctx, query, core.SearchOptions{K: h.cfg.K, Nprobe: 8})
+	switch {
+	case err == nil:
+		h.searches.add(1)
+		h.checkResults(who, res)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		h.cancelled.add(1)
+		if res != nil {
+			h.violate("%s: cancelled search returned results alongside error %v", who, err)
+		}
+	default:
+		h.violate("%s: cancelled search returned unexpected error: %v", who, err)
+	}
+}
+
+// checkGoroutines verifies everything the run started is gone: writers,
+// searchers, background flusher, and any goroutine a cancelled query might
+// have abandoned. Shutdown is asynchronous, so the check polls with a grace
+// period before declaring a leak.
+func (h *harness) checkGoroutines(base int) {
+	const slack = 3 // runtime bookkeeping (finalizers, timer goroutine)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			h.violate("goroutine leak: %d at exit vs %d at start", n, base)
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // checkResults validates the structural invariants every search result set
@@ -440,6 +518,20 @@ func (h *harness) quiesce(states []*writerState, rep *Report) {
 	if len(live) >= h.cfg.K && rep.Recall < h.cfg.RecallFloor {
 		h.violate("quiesce: recall %.3f below floor %.3f", rep.Recall, h.cfg.RecallFloor)
 	}
+
+	// Snapshot refcount invariant: with all queries joined, only the current
+	// snapshot may be alive. A cancelled query that forgot to release its
+	// snapshot would pin an old one here forever. The background flusher can
+	// hold one transiently, so poll briefly before declaring a leak.
+	for attempt := 0; ; attempt++ {
+		if n := h.col.Stats().LiveSnapshots; n == 1 {
+			break
+		} else if attempt >= 100 {
+			h.violate("quiesce: %d live snapshots, want 1 (leaked reference)", n)
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // obsInvariants cross-checks the harness's own acknowledgement accounting
@@ -466,8 +558,10 @@ func (h *harness) obsInvariants(rep *Report) {
 	if want := rep.Inserted + rep.Deleted; appends != want {
 		h.violate("obs: wal appends %d != %d acked records", appends, want)
 	}
-	if got := counter("vectordb_query_total", "collection", "stress", "type", "vector"); got != rep.Searches {
-		h.violate("obs: query counter %d != %d completed searches", got, rep.Searches)
+	// The query counter records attempts: a cancelled query was admitted to
+	// the read path and counted before the context killed it.
+	if got, want := counter("vectordb_query_total", "collection", "stress", "type", "vector"), rep.Searches+rep.Cancelled; got != want {
+		h.violate("obs: query counter %d != %d attempts (%d completed + %d cancelled)", got, want, rep.Searches, rep.Cancelled)
 	}
 	var buf bytes.Buffer
 	if err := h.reg.WritePrometheus(&buf); err != nil {

@@ -10,6 +10,11 @@ import (
 // decision stream) is a pure function of it.
 var seedFlag = flag.Int64("seed", 1, "stress schedule seed")
 
+// -faults selects an extra fault mode for the dedicated fault tests
+// ("cancel" arms the context-cancellation mode in TestStressCancel even
+// under -short).
+var faultsFlag = flag.String("faults", "", `extra fault mode ("cancel")`)
+
 // TestScheduleDeterminism: the acceptance contract is that the same -seed
 // yields the same operation schedule. The hash covers op kinds, batch sizes
 // and the raw randomness used for target selection.
@@ -113,6 +118,41 @@ func TestStressFaults(t *testing.T) {
 	}
 }
 
+// TestStressCancel arms the cancellation fault mode: half the searcher
+// queries run under contexts that are cancelled or expire mid-flight. The
+// run must stay exactly consistent, every context error must be surfaced
+// (never swallowed into bogus results), and Run's end-of-run checks verify
+// no goroutine or snapshot leaks from the abandoned queries.
+func TestStressCancel(t *testing.T) {
+	if testing.Short() && *faultsFlag != "cancel" {
+		t.Skip("stress run skipped in -short mode (force with -faults=cancel)")
+	}
+	dur := 2200 * time.Millisecond
+	if testing.Short() {
+		dur = 500 * time.Millisecond
+	}
+	rep, err := Run(Config{
+		Seed:       *seedFlag,
+		Writers:    4,
+		Searchers:  4,
+		Duration:   dur,
+		CancelRate: 0.5,
+	})
+	t.Logf("cancel: %s", rep)
+	if err != nil {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatal(err)
+	}
+	if rep.Cancelled == 0 {
+		t.Log("no query observed a context error this run (cancellation raced completion); mode still exercised")
+	}
+	if rep.Searches == 0 {
+		t.Fatalf("workload did not run: %s", rep)
+	}
+}
+
 // TestStressSmoke is the fast path for plain `go test`: a short clean run
 // plus a short faulted run so every CI invocation exercises the harness.
 func TestStressSmoke(t *testing.T) {
@@ -120,6 +160,8 @@ func TestStressSmoke(t *testing.T) {
 		{Seed: *seedFlag, Writers: 2, Searchers: 2, Duration: 150 * time.Millisecond},
 		{Seed: *seedFlag, Writers: 2, Searchers: 2, Duration: 150 * time.Millisecond,
 			Faults: FaultConfig{FailRate: 0.1, TornRate: 0.1, DelayRate: 0.1}},
+		{Seed: *seedFlag, Writers: 2, Searchers: 2, Duration: 150 * time.Millisecond,
+			CancelRate: 0.5},
 	} {
 		rep, err := Run(cfg)
 		t.Logf("smoke: %s", rep)
