@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench ci cover stress experiments examples clean
+.PHONY: all build test race vet bench bench-kernels bench-smoke kernel-guard ci cover stress experiments examples clean
 
 all: build test
 
@@ -21,11 +21,40 @@ vet:
 # ci is the gate every change must pass: vet, build, the full test suite,
 # the race detector over internal/ — which includes the seeded
 # concurrency stress harness (internal/stress) with fault injection —
-# the cancellation/leak gate, and the observability coverage floor.
-ci: vet build test cover
+# the cancellation/leak gate, the observability coverage floor, the
+# batch-kernel guard and the benchmark smoke run.
+ci: vet build test cover kernel-guard bench-smoke
 	$(GO) test -race ./internal/...
 	$(GO) test -race ./internal/stress -run TestStressCancel -short -faults=cancel
 	$(GO) test -race ./internal/core -run 'TestSearchCtx|TestAdmission'
+
+# kernel-guard keeps every hot read path on the blocked batch kernels.
+# First a grep gate: each scan site must still reference its blocked entry
+# point (a revert to per-row pairwise loops deletes the symbol and fails
+# here before any benchmark would catch the regression). Then the
+# conformance tests assert the batch-dispatch counters actually tick — the
+# symbol being present is not enough, the scan must route through it.
+kernel-guard:
+	@grep -q 'index\.ScanBlocked' internal/index/flat/flat.go \
+		|| { echo "kernel-guard: flat scan no longer uses index.ScanBlocked"; exit 1; }
+	@grep -q 'index\.ScanBlocked' internal/index/ivf/ivf.go \
+		|| { echo "kernel-guard: IVF bucket scan no longer uses index.ScanBlocked"; exit 1; }
+	@grep -q 'DistanceBatch' internal/index/ivf/ivf.go \
+		|| { echo "kernel-guard: IVF-SQ8 scan no longer uses the fused ADC batch (DistanceBatch)"; exit 1; }
+	@grep -q 'Tile(' internal/index/ivf/batch.go \
+		|| { echo "kernel-guard: IVF SearchBatch no longer uses the query-tile kernels"; exit 1; }
+	@grep -q 'index\.ScanBlocked' internal/core/segment.go \
+		|| { echo "kernel-guard: segment scan no longer uses index.ScanBlocked"; exit 1; }
+	@grep -q 'ScanBucketSQ8' internal/index/sq8h/sq8h.go \
+		|| { echo "kernel-guard: SQ8H CPU leg no longer uses the fused SQ8 bucket scan"; exit 1; }
+	$(GO) test ./internal/index -run 'TestIndexScansUseBatchKernels|TestScanBlockedUsesBatchKernels'
+	$(GO) test ./internal/core -run TestSegmentScanUsesBatchKernels
+
+# bench-smoke compiles and runs every benchmark in the repo exactly once
+# (-benchtime=1x): no timing signal, but a benchmark that panics, asserts,
+# or rots against an API change fails CI instead of rotting silently.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # cover enforces a coverage floor on the observability layer: the metrics
 # registry, exposition writer, tracer and query log are the eyes of every
@@ -47,6 +76,12 @@ stress:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-kernels regenerates BENCH_kernels.json, the Fig. 8 companion
+# artifact: blocked batch kernels vs the pre-blocking scan loop, plus the
+# CacheAware-vs-ThreadPerQuery multi-query tile gap.
+bench-kernels:
+	$(GO) run ./cmd/benchkernels -o BENCH_kernels.json
 
 # Regenerate every table and figure of the paper (Sec. 7).
 experiments:

@@ -135,8 +135,21 @@ func TestMilvusUsesNativeBatchPath(t *testing.T) {
 	for qi := 0; qi < 3; qi++ {
 		single := m.Index().Search(qs[qi*d.Dim:(qi+1)*d.Dim], searchParamsFor(5, 8))
 		for i := range single {
-			if single[i] != batch[qi][i] {
-				t.Fatalf("batch path diverges at query %d rank %d", qi, i)
+			// The batch path runs the query-tile kernels, the per-query
+			// path the early-abandon blocked kernels; summation orders
+			// differ, so compare distances within the documented 1e-5
+			// relative tolerance rather than bit-exactly.
+			da, db := single[i].Distance, batch[qi][i].Distance
+			diff := da - db
+			if diff < 0 {
+				diff = -diff
+			}
+			scale := float32(1)
+			if da > scale {
+				scale = da
+			}
+			if diff > 1e-5*scale {
+				t.Fatalf("batch path diverges at query %d rank %d: %v vs %v", qi, i, batch[qi][i], single[i])
 			}
 		}
 	}

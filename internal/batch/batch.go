@@ -26,7 +26,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"vectordb/internal/bufferpool"
 	"vectordb/internal/exec"
+	"vectordb/internal/index"
 	"vectordb/internal/topk"
 	"vectordb/internal/vec"
 )
@@ -38,12 +40,29 @@ type Request struct {
 	IDs     []int64   // optional external IDs, len n
 	Dim     int
 	K       int
-	Dist    vec.DistFunc
+	// Metric selects the distance. When it is batch-eligible (L2, IP) and
+	// Dist is nil, the engines run the blocked batch / query-tile kernels
+	// instead of the row-at-a-time pairwise loop.
+	Metric vec.Metric
+	// Dist optionally overrides Metric with an arbitrary pairwise distance,
+	// forcing the scalar path (used by ablations and custom metrics).
+	Dist vec.DistFunc
 }
 
 func (r *Request) counts() (m, n int) {
 	return len(r.Queries) / r.Dim, len(r.Data) / r.Dim
 }
+
+// dist resolves the pairwise distance for the scalar paths.
+func (r *Request) dist() vec.DistFunc {
+	if r.Dist != nil {
+		return r.Dist
+	}
+	return r.Metric.Dist()
+}
+
+// tiled reports whether the blocked/tile kernels apply to this request.
+func (r *Request) tiled() bool { return r.Dist == nil && r.Metric.BatchEligible() }
 
 func (r *Request) id(i int) int64 {
 	if r.IDs == nil {
@@ -100,27 +119,35 @@ func (e *ThreadPerQuery) MultiQuery(req *Request) [][]topk.Result {
 	return out
 }
 
-// MultiQueryCtx implements Engine: pool tasks each own a private k-heap and
-// claim one query at a time off an atomic cursor, scanning all n vectors.
+// MultiQueryCtx implements Engine: pool tasks each own a pooled k-heap and
+// claim one query at a time off an atomic cursor, scanning all n vectors
+// (through the blocked batch kernels when the metric allows).
 func (e *ThreadPerQuery) MultiQueryCtx(ctx context.Context, req *Request) ([][]topk.Result, error) {
 	m, n := req.counts()
 	out := make([][]topk.Result, m)
 	threads := threadCount(e.Threads, m)
+	tiled := req.tiled()
 	var cursor atomic.Int64
 	err := poolOf(e.Pool).Map(ctx, threads, func(int) {
-		h := topk.New(req.K)
+		h := topk.GetHeap(req.K)
 		for ctx.Err() == nil {
 			qi := int(cursor.Add(1)) - 1
 			if qi >= m {
-				return
+				break
 			}
 			h.Reset()
 			q := req.Queries[qi*req.Dim : (qi+1)*req.Dim]
-			for i := 0; i < n; i++ {
-				h.Push(req.id(i), req.Dist(q, req.Data[i*req.Dim:(i+1)*req.Dim]))
+			if tiled {
+				index.ScanBlocked(h, req.Metric, q, req.Data, req.Dim, req.IDs, nil)
+			} else {
+				dist := req.dist()
+				for i := 0; i < n; i++ {
+					h.Push(req.id(i), dist(q, req.Data[i*req.Dim:(i+1)*req.Dim]))
+				}
 			}
 			out[qi] = h.Results()
 		}
+		topk.PutHeap(h)
 	})
 	if err != nil {
 		return nil, err
@@ -181,12 +208,13 @@ func (e *SharedHeap) MultiQueryCtx(ctx context.Context, req *Request) ([][]topk.
 			if hi > n {
 				hi = n
 			}
+			dist := req.dist()
 			for i := lo; i < hi; i++ {
 				row := req.Data[i*req.Dim : (i+1)*req.Dim]
 				id := req.id(i)
 				for qj := 0; qj < blockLen; qj++ {
 					q := req.Queries[(q0+qj)*req.Dim : (q0+qj+1)*req.Dim]
-					d := req.Dist(q, row)
+					d := dist(q, row)
 					locks[qj].Lock()
 					heaps[qj].Push(id, d)
 					locks[qj].Unlock()
@@ -237,10 +265,58 @@ func (e *CacheAware) MultiQuery(req *Request) [][]topk.Result {
 	return out
 }
 
+// tileRows sizes the data chunk of the engine's query-tile inner loop so
+// the blockLen×rows distance tile stays cache-resident.
+func tileRows(blockLen int) int {
+	r := 16384 / blockLen
+	if r < 16 {
+		r = 16
+	}
+	if r > 256 {
+		r = 256
+	}
+	return r
+}
+
+// tileRange runs one thread's data range against the whole query block
+// through the query-tile kernels: the block is already contiguous in
+// req.Queries, so each chunk of rows is one kernel call producing a
+// blockLen×rows distance tile in a pooled buffer.
+func tileRange(req *Request, heaps *topk.Matrix, w, lo, hi, q0, blockLen int) {
+	dim := req.Dim
+	qblock := req.Queries[q0*dim : (q0+blockLen)*dim]
+	rows := tileRows(blockLen)
+	op := bufferpool.GetFloats(blockLen * rows)
+	out := *op
+	ip := req.Metric == vec.IP
+	for i0 := lo; i0 < hi; i0 += rows {
+		i1 := i0 + rows
+		if i1 > hi {
+			i1 = hi
+		}
+		c := i1 - i0
+		chunk := req.Data[i0*dim : i1*dim]
+		tile := out[:blockLen*c]
+		if ip {
+			vec.NegDotTile(qblock, chunk, dim, tile)
+		} else {
+			vec.L2SquaredTile(qblock, chunk, dim, tile)
+		}
+		for qj := 0; qj < blockLen; qj++ {
+			h := heaps.At(w, qj)
+			for r, d := range tile[qj*c : (qj+1)*c] {
+				h.Push(req.id(i0+r), d)
+			}
+		}
+	}
+	bufferpool.PutFloats(op)
+}
+
 // MultiQueryCtx implements Engine per Fig. 3: data is range-partitioned
 // across threads; queries are processed block-by-block; each thread
-// compares its data range against the whole in-cache block, filling its
-// private heap row; per-query heaps are merged at block end.
+// compares its data range against the whole in-cache block — through the
+// query-tile kernels when the metric allows — filling its private heap row;
+// per-query heaps are merged at block end.
 func (e *CacheAware) MultiQueryCtx(ctx context.Context, req *Request) ([][]topk.Result, error) {
 	m, n := req.counts()
 	out := make([][]topk.Result, m)
@@ -254,6 +330,7 @@ func (e *CacheAware) MultiQueryCtx(ctx context.Context, req *Request) ([][]topk.
 	chunk := (n + threads - 1) / threads
 	heaps := topk.NewMatrix(threads, s, req.K)
 	pool := poolOf(e.Pool)
+	tiled := req.tiled()
 	for q0 := 0; q0 < m; q0 += s {
 		q1 := q0 + s
 		if q1 > m {
@@ -266,12 +343,20 @@ func (e *CacheAware) MultiQueryCtx(ctx context.Context, req *Request) ([][]topk.
 			if hi > n {
 				hi = n
 			}
+			if lo >= hi {
+				return
+			}
+			if tiled {
+				tileRange(req, heaps, w, lo, hi, q0, blockLen)
+				return
+			}
+			dist := req.dist()
 			for i := lo; i < hi; i++ {
 				row := req.Data[i*req.Dim : (i+1)*req.Dim]
 				id := req.id(i)
 				for qj := 0; qj < blockLen; qj++ {
 					q := req.Queries[(q0+qj)*req.Dim : (q0+qj+1)*req.Dim]
-					heaps.At(w, qj).Push(id, req.Dist(q, row))
+					heaps.At(w, qj).Push(id, dist(q, row))
 				}
 			}
 		})

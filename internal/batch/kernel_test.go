@@ -1,0 +1,95 @@
+package batch
+
+import (
+	"math"
+	"testing"
+
+	"vectordb/internal/dataset"
+	"vectordb/internal/topk"
+	"vectordb/internal/vec"
+)
+
+// makeKernelReq builds a Request on the kernel path (Metric set, Dist nil).
+func makeKernelReq(t testing.TB, n, m, dim, k int, metric vec.Metric) *Request {
+	t.Helper()
+	d := dataset.Uniform(n, dim, 7)
+	qs := dataset.Queries(d, m, 8)
+	return &Request{Queries: qs, Data: d.Data, Dim: dim, K: k, Metric: metric}
+}
+
+func approxSame(a, b [][]topk.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] == b[i][j] {
+				continue
+			}
+			diff := float64(a[i][j].Distance) - float64(b[i][j].Distance)
+			scale := math.Max(1, math.Abs(float64(b[i][j].Distance)))
+			if math.Abs(diff) > 1e-5*scale {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestKernelPathAgreesWithScalarPath: the blocked (ThreadPerQuery) and
+// tiled (CacheAware) kernel paths must match the explicit-Dist scalar path
+// within the documented FP tolerance, for both eligible metrics.
+func TestKernelPathAgreesWithScalarPath(t *testing.T) {
+	for _, metric := range []vec.Metric{vec.L2, vec.IP} {
+		req := makeKernelReq(t, 700, 19, 24, 9, metric)
+		scalar := *req
+		scalar.Dist = metric.Dist()
+		for _, e := range []Engine{&ThreadPerQuery{}, &CacheAware{}, &CacheAware{Threads: 3, L3Bytes: 8192}} {
+			want := e.MultiQuery(&scalar)
+			got := e.MultiQuery(req)
+			if !approxSame(got, want) {
+				t.Errorf("%s metric %v: kernel path diverges from scalar path", e.Name(), metric)
+			}
+		}
+	}
+}
+
+// TestNonEligibleMetricFallsBack: cosine has no batch kernel; the engines
+// must produce correct results through the pairwise fallback.
+func TestNonEligibleMetricFallsBack(t *testing.T) {
+	req := makeKernelReq(t, 300, 7, 16, 5, vec.Cosine)
+	scalar := *req
+	scalar.Dist = vec.CosineDistance
+	a := (&ThreadPerQuery{}).MultiQuery(req)
+	b := (&CacheAware{}).MultiQuery(&scalar)
+	if !approxSame(a, b) {
+		t.Fatal("cosine fallback diverges")
+	}
+}
+
+// TestEnginesUseBatchKernels is the conformance counter guard for the
+// batch engines: a kernel-path request must dispatch through the hooked
+// batch/tile entry points, and a Dist-override request must not.
+func TestEnginesUseBatchKernels(t *testing.T) {
+	prev := vec.DispatchCounting()
+	vec.SetDispatchCounting(true)
+	defer vec.SetDispatchCounting(prev)
+	req := makeKernelReq(t, 500, 8, 16, 5, vec.L2)
+	for _, e := range []Engine{&ThreadPerQuery{}, &CacheAware{}} {
+		vec.ResetDispatchCounts()
+		e.MultiQuery(req)
+		if vec.BatchDispatchTotal() == 0 {
+			t.Errorf("%s: kernel-path request made no batch dispatches", e.Name())
+		}
+	}
+	override := *req
+	override.Dist = vec.L2Squared
+	vec.ResetDispatchCounts()
+	(&CacheAware{}).MultiQuery(&override)
+	if vec.BatchDispatchTotal() != 0 {
+		t.Error("Dist-override request went through batch kernels")
+	}
+}

@@ -1,0 +1,24 @@
+package bufferpool
+
+// Pooled float32 scratch slices for the blocked distance kernels: every scan
+// path (flat, IVF bucket, segment, batch engines) needs a per-block distance
+// buffer, and allocating it per call puts a slice-sized garbage object on
+// every query. The free list hands out the same few buffers process-wide;
+// they grow to the largest block requested and stay there.
+
+var floatSlices = NewFree(func() *[]float32 { return new([]float32) })
+
+// GetFloats returns a pooled float32 slice of length n (contents undefined —
+// callers must overwrite before reading). Release it with PutFloats.
+func GetFloats(n int) *[]float32 {
+	p := floatSlices.Get()
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// PutFloats recycles a slice obtained from GetFloats. The caller must not
+// use the slice afterwards.
+func PutFloats(p *[]float32) { floatSlices.Put(p) }

@@ -400,8 +400,23 @@ func TestDistributedAttributeFiltering(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range plain {
-		if all[i] != plain[i] {
-			t.Fatalf("covering filter changed results at %d", i)
+		if all[i] == plain[i] {
+			continue
+		}
+		// The filtered scan runs the pairwise kernels while the unfiltered
+		// scan runs the blocked batch kernels; their summation orders
+		// differ, so distances may disagree by ulps (documented 1e-5
+		// relative tolerance) and ulp-close neighbors may swap ranks.
+		diff := all[i].Distance - plain[i].Distance
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := float32(1)
+		if plain[i].Distance > scale {
+			scale = plain[i].Distance
+		}
+		if diff > 1e-5*scale {
+			t.Fatalf("covering filter changed results at %d: %v vs %v", i, all[i], plain[i])
 		}
 	}
 }

@@ -567,7 +567,7 @@ func (c *Collection) searchSnapshot(ctx context.Context, sn *Snapshot, query []f
 	// without per-query goroutines).
 	var cursor atomic.Int64
 	err := c.pool.Map(ctx, workers, func(w int) {
-		h := topk.New(opts.K)
+		h := topk.GetHeap(opts.K)
 		heaps[w] = h
 		for ctx.Err() == nil {
 			i := int(cursor.Add(1)) - 1
@@ -614,6 +614,11 @@ func (c *Collection) searchSnapshot(ctx context.Context, sn *Snapshot, query []f
 			}
 		}
 		res = topk.Merge(opts.K, lists...)
+	}
+	for _, h := range heaps {
+		if h != nil {
+			topk.PutHeap(h)
+		}
 	}
 	mergeSpan.End()
 	return res, nil

@@ -65,6 +65,8 @@ func registerRuntimeMetrics(reg *obs.Registry) {
 		l := l
 		reg.CounterFunc("vectordb_simd_dispatch_total", func() int64 { return vec.DispatchCount(l) },
 			"level", l.String())
+		reg.CounterFunc("vectordb_simd_batch_dispatch_total", func() int64 { return vec.BatchDispatchCount(l) },
+			"level", l.String())
 	}
 }
 

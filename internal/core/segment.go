@@ -3,7 +3,6 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
-	"math"
 	"sync"
 
 	"vectordb/internal/colstore"
@@ -164,18 +163,20 @@ func (s *Segment) Search(schema *Schema, field int, query []float32, p index.Sea
 	if idx := s.Index(field); idx != nil {
 		return idx.Search(query, p)
 	}
-	h := topk.New(p.K)
+	h := topk.GetHeap(p.K)
 	s.SearchInto(h, schema, field, query, p)
-	return h.Results()
+	out := h.Results()
+	topk.PutHeap(h)
+	return out
 }
 
 // SearchInto is Search accumulating into a caller-owned heap: one heap can
 // serve many segments, skipping the per-segment result allocation, sort and
 // merge, and letting the worst retained distance prune pushes across
-// segment boundaries. The scan gates each candidate on that threshold
-// inline, so a row that cannot enter the top-k costs one comparison rather
-// than a heap call — with k hits out of thousands of rows, that is almost
-// every row.
+// segment boundaries. The unindexed scan goes through the shared blocked
+// kernels (index.ScanBlocked), which feed the heap's worst distance into
+// the early-abandon kernel so a row that cannot enter the top-k costs at
+// most a prefix of its dimensions.
 func (s *Segment) SearchInto(h *topk.Heap, schema *Schema, field int, query []float32, p index.SearchParams) {
 	if idx := s.Index(field); idx != nil {
 		for _, r := range idx.Search(query, p) {
@@ -183,39 +184,8 @@ func (s *Segment) SearchInto(h *topk.Heap, schema *Schema, field int, query []fl
 		}
 		return
 	}
-	dist := schema.VectorFields[field].Metric.Dist()
 	col := s.Vectors[field]
-	dim, data := col.Dim, col.Data
-	worst := float32(math.Inf(1))
-	if w, ok := h.Worst(); ok && h.Full() {
-		worst = w
-	}
-	if p.Filter == nil {
-		for i, id := range s.IDs {
-			d := dist(query, data[i*dim:(i+1)*dim])
-			if d >= worst {
-				continue
-			}
-			h.Push(id, d)
-			if h.Full() {
-				worst, _ = h.Worst()
-			}
-		}
-		return
-	}
-	for i, id := range s.IDs {
-		if !p.Filter(id) {
-			continue
-		}
-		d := dist(query, data[i*dim:(i+1)*dim])
-		if d >= worst {
-			continue
-		}
-		h.Push(id, d)
-		if h.Full() {
-			worst, _ = h.Worst()
-		}
-	}
+	index.ScanBlocked(h, schema.VectorFields[field].Metric, query, col.Data, col.Dim, s.IDs, p.Filter)
 }
 
 // BuildIndex builds (synchronously) an index of the named type over one

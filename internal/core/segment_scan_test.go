@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"vectordb/internal/colstore"
+	"vectordb/internal/index"
+	"vectordb/internal/topk"
+	"vectordb/internal/vec"
+)
+
+func scanTestSegment(n, dim int, seed int64) (*Segment, *Schema) {
+	r := rand.New(rand.NewSource(seed))
+	data := make([]float32, n*dim)
+	for i := range data {
+		data[i] = float32(r.NormFloat64())
+	}
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = int64(i + 1)
+	}
+	schema := &Schema{VectorFields: []VectorField{{Name: "v", Dim: dim, Metric: vec.L2}}}
+	return &Segment{ID: 1, IDs: ids, Vectors: []*colstore.VectorColumn{colstore.NewVectorColumn(dim, data)}}, schema
+}
+
+// TestSegmentScanUsesBatchKernels: the unindexed segment scan is required
+// to go through the hooked batch kernels (conformance counter guard).
+func TestSegmentScanUsesBatchKernels(t *testing.T) {
+	seg, schema := scanTestSegment(900, 16, 61)
+	prev := vec.DispatchCounting()
+	vec.SetDispatchCounting(true)
+	defer vec.SetDispatchCounting(prev)
+	vec.ResetDispatchCounts()
+	q := make([]float32, 16)
+	h := topk.New(5)
+	seg.SearchInto(h, schema, 0, q, index.SearchParams{K: 5})
+	if h.Len() == 0 {
+		t.Fatal("scan found nothing")
+	}
+	if vec.BatchDispatchTotal() == 0 {
+		t.Fatal("Segment.SearchInto made no batch-kernel dispatches")
+	}
+}
+
+// TestSegmentSearchIntoAllocs: with a caller-owned heap and pooled scan
+// buffers, the steady-state unindexed segment scan is allocation-free.
+func TestSegmentSearchIntoAllocs(t *testing.T) {
+	seg, schema := scanTestSegment(900, 16, 62)
+	q := make([]float32, 16)
+	h := topk.New(10)
+	p := index.SearchParams{K: 10}
+	seg.SearchInto(h, schema, 0, q, p) // warm pools + id map
+	avg := testing.AllocsPerRun(100, func() {
+		h.Reset()
+		seg.SearchInto(h, schema, 0, q, p)
+	})
+	if avg > 0.5 {
+		t.Fatalf("SearchInto allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestBatchDispatchCountersOnMetrics: the per-tier batch kernel counters
+// ride the DB registry next to the pairwise dispatch counts, and a search
+// moves the current tier's batch counter.
+func TestBatchDispatchCountersOnMetrics(t *testing.T) {
+	db := NewDB(nil)
+	defer db.Close()
+	c, err := db.CreateCollection("m", testSchema(8), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(mkEntities(300, 8, 77)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	vec.ResetDispatchCounts()
+	if _, err := c.Search(mkEntities(1, 8, 78)[0].Vectors[0], SearchOptions{K: 5}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := db.Obs().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	want := fmt.Sprintf(`vectordb_simd_batch_dispatch_total{level=%q}`, vec.CurrentLevel().String())
+	idx := strings.Index(text, want)
+	if idx < 0 {
+		t.Fatalf("metrics exposition missing %s", want)
+	}
+	rest := strings.TrimSpace(text[idx+len(want):])
+	if nl := strings.IndexByte(rest, '\n'); nl >= 0 {
+		rest = rest[:nl]
+	}
+	if rest == "0" {
+		t.Fatalf("%s is zero after a search; batch kernels not counted", want)
+	}
+}

@@ -26,7 +26,7 @@ func ExpAblationHeaps(sc Scale) (*Table, error) {
 		nq = 128
 	}
 	queries := dataset.Queries(d, nq, 22)
-	req := &batch.Request{Queries: queries, Data: d.Data, Dim: d.Dim, K: sc.K, Dist: vec.L2Squared}
+	req := &batch.Request{Queries: queries, Data: d.Data, Dim: d.Dim, K: sc.K, Metric: vec.L2}
 	t := &Table{
 		Name:   "ablation-heaps",
 		Title:  "Per-(thread,query) heaps vs shared locked heap (Sec. 3.2.1 ablation)",

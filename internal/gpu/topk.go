@@ -34,7 +34,7 @@ func (d *Device) TopKLargeK(ids []int64, dists []float32, k int) []topk.Result {
 		}
 		// One kernel launch: selection over the pool. Charge pool size.
 		d.RunKernel(int64(len(ids)))
-		h := topk.New(need)
+		h := topk.GetHeap(need)
 		for i, id := range ids {
 			dist := dists[i]
 			if !first {
@@ -50,6 +50,7 @@ func (d *Device) TopKLargeK(ids []int64, dists []float32, k int) []topk.Result {
 			h.Push(id, dist)
 		}
 		round := h.Results()
+		topk.PutHeap(h)
 		if len(round) == 0 {
 			break // pool exhausted
 		}

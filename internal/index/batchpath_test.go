@@ -1,0 +1,55 @@
+package index_test
+
+import (
+	"testing"
+
+	"vectordb/internal/dataset"
+	"vectordb/internal/index"
+	_ "vectordb/internal/index/all"
+	"vectordb/internal/vec"
+)
+
+// TestIndexScansUseBatchKernels is the dispatch-counter conformance guard
+// of the blocked read path: an unfiltered L2 search on the brute-force and
+// IVF_FLAT indexes must go through the hooked batch kernel entry points.
+// A zero count means a scan path silently regressed to a per-pair loop
+// over its contiguous block.
+func TestIndexScansUseBatchKernels(t *testing.T) {
+	d := dataset.DeepLike(1200, 41)
+	qs := dataset.Queries(d, 2, 42)
+	prev := vec.DispatchCounting()
+	vec.SetDispatchCounting(true)
+	defer vec.SetDispatchCounting(prev)
+	for _, name := range []string{"FLAT", "IVF_FLAT"} {
+		b, err := index.NewBuilder(name, vec.L2, d.Dim, map[string]string{"iter": "4"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := b.Build(d.Data, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vec.ResetDispatchCounts()
+		res := idx.Search(qs[:d.Dim], index.SearchParams{K: 10, Nprobe: 8})
+		if len(res) == 0 {
+			t.Fatalf("%s returned no results", name)
+		}
+		if vec.BatchDispatchTotal() == 0 {
+			t.Errorf("%s: Search made no batch-kernel dispatches", name)
+		}
+	}
+	// The IVF batch scheduler must go through the query-tile kernels.
+	b, _ := index.NewBuilder("IVF_FLAT", vec.L2, d.Dim, map[string]string{"iter": "4"})
+	idx, err := b.Build(d.Data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec.ResetDispatchCounts()
+	batch := index.SearchBatch(idx, qs, index.SearchParams{K: 10, Nprobe: 8})
+	if len(batch) != 2 {
+		t.Fatalf("SearchBatch returned %d result sets", len(batch))
+	}
+	if vec.BatchDispatchTotal() == 0 {
+		t.Error("IVF SearchBatch made no batch-kernel dispatches")
+	}
+}

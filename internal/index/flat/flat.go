@@ -75,17 +75,13 @@ func (f *Flat) Data() []float32 { return f.data }
 // IDs exposes the row-ID mapping aligned with Data.
 func (f *Flat) IDs() []int64 { return f.ids }
 
-// Search implements index.Index by exhaustive scan.
+// Search implements index.Index by exhaustive scan through the blocked
+// batch kernels (pairwise fallback for filtered scans and non-batchable
+// metrics lives inside ScanBlocked).
 func (f *Flat) Search(query []float32, p index.SearchParams) []topk.Result {
-	h := topk.New(p.K)
-	n := len(f.ids)
-	for i := 0; i < n; i++ {
-		id := f.ids[i]
-		if p.Filter != nil && !p.Filter(id) {
-			continue
-		}
-		d := f.dist(query, f.data[i*f.dim:(i+1)*f.dim])
-		h.Push(id, d)
-	}
-	return h.Results()
+	h := topk.GetHeap(p.K)
+	index.ScanBlocked(h, f.metric, query, f.data, f.dim, f.ids, p.Filter)
+	out := h.Results()
+	topk.PutHeap(h)
+	return out
 }

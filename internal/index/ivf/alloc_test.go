@@ -1,0 +1,66 @@
+package ivf
+
+import (
+	"testing"
+
+	"vectordb/internal/dataset"
+	"vectordb/internal/index"
+	"vectordb/internal/vec"
+)
+
+// TestSearchAllocs pins the per-query allocation budget of the IVF read
+// path: with pooled heaps and pooled distance buffers, a steady-state
+// FLAT-bucket search allocates only the probe list, the SQ8 fused table
+// (for IVF_SQ8) and the returned results — a handful of objects, not one
+// per scanned row or per probed bucket.
+func TestSearchAllocs(t *testing.T) {
+	d := dataset.DeepLike(4000, 51)
+	q := dataset.Queries(d, 1, 52)
+	p := index.SearchParams{K: 10, Nprobe: 8}
+	for _, fine := range []Fine{FineFlat, FineSQ8} {
+		bld := &Builder{Fine: fine, Metric: vec.L2, Dim: d.Dim, Nlist: 32, MaxIter: 4}
+		idx, err := bld.Build(d.Data, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := idx.(*IVF)
+		x.Search(q, p) // warm the pools
+		avg := testing.AllocsPerRun(50, func() {
+			if len(x.Search(q, p)) == 0 {
+				t.Fatal("no results")
+			}
+		})
+		// Budget: probe-order heap + probe list + (SQ8Query tables) +
+		// sorted results. Anything O(rows) would be hundreds.
+		if avg > 15 {
+			t.Errorf("%s: Search allocates %.1f objects/op, want <= 15", x.Name(), avg)
+		}
+	}
+}
+
+// TestSearchBatchAllocs: the batch scheduler's allocations must scale with
+// queries and workers (heaps come from the pool, distance tiles from the
+// buffer pool), never with scanned rows.
+func TestSearchBatchAllocs(t *testing.T) {
+	d := dataset.DeepLike(4000, 53)
+	qs := dataset.Queries(d, 8, 54)
+	p := index.SearchParams{K: 10, Nprobe: 8}
+	bld := &Builder{Fine: FineFlat, Metric: vec.L2, Dim: d.Dim, Nlist: 32, MaxIter: 4}
+	idx, err := bld.Build(d.Data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := idx.(*IVF)
+	x.SearchBatch(qs, p) // warm the pools
+	avg := testing.AllocsPerRun(20, func() {
+		if len(x.SearchBatch(qs, p)) != 8 {
+			t.Fatal("bad batch")
+		}
+	})
+	// 8 queries × (probe list + merge snapshot + result slice) plus
+	// per-worker bookkeeping. 4000 scanned rows would dwarf this budget if
+	// any per-row allocation crept back in.
+	if avg > 220 {
+		t.Errorf("SearchBatch allocates %.1f objects/op, want <= 220", avg)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync/atomic"
 
+	"vectordb/internal/bufferpool"
 	"vectordb/internal/exec"
 	"vectordb/internal/index"
 	"vectordb/internal/quantizer"
@@ -61,15 +62,23 @@ func (x *IVF) SearchBatchCtx(ctx context.Context, queries []float32, p index.Sea
 	}
 
 	// One heap per (worker, query): lock-free accumulation (Fig. 3's
-	// H_{r,j} matrix), lazily allocated since a worker usually touches only
-	// a slice of the batch.
+	// H_{r,j} matrix), lazily drawn from the heap pool since a worker
+	// usually touches only a slice of the batch.
 	perWorker := make([][]*topk.Heap, workers)
-	// PQ amortization: one ADC table per query, built once up front.
+	// ADC amortization: one fused table per query (SQ8) or one lookup table
+	// per query (PQ), built once up front and shared by every bucket scan.
 	var tabs []*quantizer.ADCTable
-	if x.fine == FinePQ {
+	var sqqs []*quantizer.SQ8Query
+	switch x.fine {
+	case FinePQ:
 		tabs = make([]*quantizer.ADCTable, nq)
 		for qi := 0; qi < nq; qi++ {
 			tabs[qi] = x.pqTable(queries[qi*x.dim : (qi+1)*x.dim])
+		}
+	case FineSQ8:
+		sqqs = make([]*quantizer.SQ8Query, nq)
+		for qi := 0; qi < nq; qi++ {
+			sqqs[qi] = x.SQ8ScanQuery(queries[qi*x.dim : (qi+1)*x.dim])
 		}
 	}
 
@@ -83,7 +92,7 @@ func (x *IVF) SearchBatchCtx(ctx context.Context, queries []float32, p index.Sea
 		heapFor := func(qi int32) *topk.Heap {
 			h := heaps[qi]
 			if h == nil {
-				h = topk.New(p.K)
+				h = topk.GetHeap(p.K)
 				heaps[qi] = h
 			}
 			return h
@@ -94,14 +103,15 @@ func (x *IVF) SearchBatchCtx(ctx context.Context, queries []float32, p index.Sea
 				return
 			}
 			b := buckets[bi]
-			x.scanBucketForQueries(queries, b, byBucket[b], p, heapFor, tabs)
+			x.scanBucketForQueries(queries, b, byBucket[b], p, heapFor, tabs, sqqs)
 		}
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	// Merge the per-worker heaps of each query.
+	// Merge the per-worker heaps of each query, recycling them as they
+	// drain.
 	out := make([][]topk.Result, nq)
 	lists := make([][]topk.Result, 0, workers)
 	for qi := 0; qi < nq; qi++ {
@@ -113,18 +123,44 @@ func (x *IVF) SearchBatchCtx(ctx context.Context, queries []float32, p index.Sea
 		}
 		out[qi] = topk.Merge(p.K, lists...)
 	}
+	for _, heaps := range perWorker {
+		for _, h := range heaps {
+			if h != nil {
+				topk.PutHeap(h)
+			}
+		}
+	}
 	return out, nil
 }
 
+// tileChunkRows sizes the data chunk of a query-tiled bucket scan so the
+// nq×rows distance tile stays cache-resident regardless of batch width.
+func tileChunkRows(nq int) int {
+	r := 16384 / nq
+	if r < 16 {
+		r = 16
+	}
+	if r > 256 {
+		r = 256
+	}
+	return r
+}
+
 // scanBucketForQueries streams one bucket once, comparing every vector
-// against every query that probes the bucket.
-func (x *IVF) scanBucketForQueries(queries []float32, bucket int, qis []int32, p index.SearchParams, heapFor func(int32) *topk.Heap, tabs []*quantizer.ADCTable) {
+// against every query that probes the bucket. Unfiltered FLAT buckets go
+// through the query-tile kernels (the q×v register tile of Sec. 3.2.1);
+// SQ8 buckets use the per-query fused tables over contiguous code blocks.
+func (x *IVF) scanBucketForQueries(queries []float32, bucket int, qis []int32, p index.SearchParams, heapFor func(int32) *topk.Heap, tabs []*quantizer.ADCTable, sqqs []*quantizer.SQ8Query) {
 	ids := x.ids[bucket]
 	if len(ids) == 0 {
 		return
 	}
 	switch x.fine {
 	case FineFlat:
+		if p.Filter == nil && x.metric.BatchEligible() {
+			x.tileBucketFlat(queries, bucket, qis, heapFor)
+			return
+		}
 		dist := x.metric.Dist()
 		vecsB := x.vecs[bucket]
 		for i, id := range ids {
@@ -139,23 +175,38 @@ func (x *IVF) scanBucketForQueries(queries []float32, bucket int, qis []int32, p
 	case FineSQ8:
 		codes := x.codes[bucket]
 		cs := x.sq8.CodeSize()
-		ip := x.metric == vec.IP
-		for i, id := range ids {
-			if p.Filter != nil && !p.Filter(id) {
-				continue
-			}
-			code := codes[i*cs : (i+1)*cs]
-			for _, qi := range qis {
-				q := queries[int(qi)*x.dim : (int(qi)+1)*x.dim]
-				var d float32
-				if ip {
-					d = -x.sq8.Dot(q, code)
-				} else {
-					d = x.sq8.L2Squared(q, code)
+		if p.Filter != nil {
+			for i, id := range ids {
+				if !p.Filter(id) {
+					continue
 				}
-				heapFor(qi).Push(id, d)
+				code := codes[i*cs : (i+1)*cs]
+				for _, qi := range qis {
+					heapFor(qi).Push(id, sqqs[qi].Distance(code))
+				}
+			}
+			return
+		}
+		// The bucket's codes pass through the cache once for the whole
+		// query group; each query then reads them back hot through its
+		// fused table, a block at a time into a pooled buffer.
+		bp := bufferpool.GetFloats(index.ScanBlockRows)
+		buf := *bp
+		for _, qi := range qis {
+			h := heapFor(qi)
+			sq := sqqs[qi]
+			for i0 := 0; i0 < len(ids); i0 += index.ScanBlockRows {
+				i1 := i0 + index.ScanBlockRows
+				if i1 > len(ids) {
+					i1 = len(ids)
+				}
+				sq.DistanceBatch(codes[i0*cs:i1*cs], buf)
+				for r := 0; r < i1-i0; r++ {
+					h.Push(ids[i0+r], buf[r])
+				}
 			}
 		}
+		bufferpool.PutFloats(bp)
 	case FinePQ:
 		codes := x.codes[bucket]
 		cs := x.pq.CodeSize()
@@ -169,4 +220,48 @@ func (x *IVF) scanBucketForQueries(queries []float32, bucket int, qis []int32, p
 			}
 		}
 	}
+}
+
+// tileBucketFlat scans one FLAT bucket for a group of queries through the
+// query-tile kernels: the group's queries are gathered into a contiguous
+// tile (pooled), the bucket is consumed in row chunks, and each chunk's
+// nq×rows distance tile is computed in one kernel call before the heap
+// pushes.
+func (x *IVF) tileBucketFlat(queries []float32, bucket int, qis []int32, heapFor func(int32) *topk.Heap) {
+	ids := x.ids[bucket]
+	vecsB := x.vecs[bucket]
+	dim := x.dim
+	nq := len(qis)
+	qp := bufferpool.GetFloats(nq * dim)
+	qtile := *qp
+	for t, qi := range qis {
+		copy(qtile[t*dim:(t+1)*dim], queries[int(qi)*dim:(int(qi)+1)*dim])
+	}
+	rows := tileChunkRows(nq)
+	op := bufferpool.GetFloats(nq * rows)
+	out := *op
+	ip := x.metric == vec.IP
+	n := len(ids)
+	for i0 := 0; i0 < n; i0 += rows {
+		i1 := i0 + rows
+		if i1 > n {
+			i1 = n
+		}
+		c := i1 - i0
+		chunk := vecsB[i0*dim : i1*dim]
+		tile := out[:nq*c]
+		if ip {
+			vec.NegDotTile(qtile, chunk, dim, tile)
+		} else {
+			vec.L2SquaredTile(qtile, chunk, dim, tile)
+		}
+		for t, qi := range qis {
+			h := heapFor(qi)
+			for r, d := range tile[t*c : (t+1)*c] {
+				h.Push(ids[i0+r], d)
+			}
+		}
+	}
+	bufferpool.PutFloats(op)
+	bufferpool.PutFloats(qp)
 }

@@ -14,7 +14,9 @@ package ivf
 
 import (
 	"fmt"
+	"math"
 
+	"vectordb/internal/bufferpool"
 	"vectordb/internal/index"
 	"vectordb/internal/kmeans"
 	"vectordb/internal/quantizer"
@@ -289,43 +291,77 @@ func (x *IVF) ProbeOrder(query []float32, nprobe int) []int {
 }
 
 // ScanBucket scans one bucket (step 2 of Sec. 3.1), pushing candidates that
-// pass filter into h.
+// pass filter into h. FLAT buckets go through the shared blocked batch
+// kernels; SQ8 and PQ buckets build their per-query ADC tables lazily here —
+// callers scanning many buckets for one query (Search, the batch scheduler,
+// SQ8H) should build the table once via SQ8ScanQuery/ScanBucketSQ8 instead.
 func (x *IVF) ScanBucket(query []float32, bucket int, filter func(int64) bool, h *topk.Heap) {
-	ids := x.ids[bucket]
 	switch x.fine {
 	case FineFlat:
-		dist := x.metric.Dist()
-		vecsB := x.vecs[bucket]
-		for i, id := range ids {
-			if filter != nil && !filter(id) {
-				continue
-			}
-			h.Push(id, dist(query, vecsB[i*x.dim:(i+1)*x.dim]))
-		}
+		index.ScanBlocked(h, x.metric, query, x.vecs[bucket], x.dim, x.ids[bucket], filter)
 	case FineSQ8:
-		codes := x.codes[bucket]
-		cs := x.sq8.CodeSize()
-		ip := x.metric == vec.IP
-		for i, id := range ids {
-			if filter != nil && !filter(id) {
-				continue
-			}
-			code := codes[i*cs : (i+1)*cs]
-			var d float32
-			if ip {
-				d = -x.sq8.Dot(query, code)
-			} else {
-				d = x.sq8.L2Squared(query, code)
-			}
-			h.Push(id, d)
-		}
+		x.ScanBucketSQ8(x.SQ8ScanQuery(query), bucket, filter, h)
 	case FinePQ:
-		// Per-bucket table construction would dominate small buckets; the
-		// caller-side table is built once per query in Search. ScanBucket on
-		// PQ therefore builds it lazily here only when called directly.
 		tab := x.pqTable(query)
 		x.scanBucketPQ(tab, bucket, filter, h)
 	}
+}
+
+// SQ8ScanQuery builds the fused per-query ADC table for SQ8 buckets under
+// the index metric (squared L2 or negated IP). Build it once per query and
+// pass it to ScanBucketSQ8 for every probed bucket.
+func (x *IVF) SQ8ScanQuery(query []float32) *quantizer.SQ8Query {
+	return x.sq8.Query(query, x.metric == vec.IP)
+}
+
+// ScanBucketSQ8 scans one SQ8 bucket with a prebuilt fused table: distances
+// are computed directly over the code bytes (two FMAs per dimension, no
+// dequantized floats), a block at a time into a pooled buffer, gated on the
+// heap's worst distance like every other scan path.
+func (x *IVF) ScanBucketSQ8(sq *quantizer.SQ8Query, bucket int, filter func(int64) bool, h *topk.Heap) {
+	ids := x.ids[bucket]
+	codes := x.codes[bucket]
+	cs := x.sq8.CodeSize()
+	worst := float32(math.Inf(1))
+	if w, ok := h.Worst(); ok && h.Full() {
+		worst = w
+	}
+	if filter != nil {
+		for i, id := range ids {
+			if !filter(id) {
+				continue
+			}
+			d := sq.Distance(codes[i*cs : (i+1)*cs])
+			if d >= worst {
+				continue
+			}
+			h.Push(id, d)
+			if h.Full() {
+				worst, _ = h.Worst()
+			}
+		}
+		return
+	}
+	bp := bufferpool.GetFloats(index.ScanBlockRows)
+	buf := *bp
+	for i0 := 0; i0 < len(ids); i0 += index.ScanBlockRows {
+		i1 := i0 + index.ScanBlockRows
+		if i1 > len(ids) {
+			i1 = len(ids)
+		}
+		sq.DistanceBatch(codes[i0*cs:i1*cs], buf)
+		for r := 0; r < i1-i0; r++ {
+			d := buf[r]
+			if d >= worst {
+				continue
+			}
+			h.Push(ids[i0+r], d)
+			if h.Full() {
+				worst, _ = h.Worst()
+			}
+		}
+	}
+	bufferpool.PutFloats(bp)
 }
 
 func (x *IVF) pqTable(query []float32) *quantizer.ADCTable {
@@ -347,21 +383,31 @@ func (x *IVF) scanBucketPQ(tab *quantizer.ADCTable, bucket int, filter func(int6
 	}
 }
 
-// Search implements index.Index.
+// Search implements index.Index. Per-query ADC tables (SQ8 fused, PQ) are
+// built once and reused across all probed buckets; the scratch heap is
+// pooled.
 func (x *IVF) Search(query []float32, p index.SearchParams) []topk.Result {
 	probes := x.ProbeOrder(query, p.Nprobe)
-	h := topk.New(p.K)
-	if x.fine == FinePQ {
+	h := topk.GetHeap(p.K)
+	switch x.fine {
+	case FinePQ:
 		tab := x.pqTable(query)
 		for _, b := range probes {
 			x.scanBucketPQ(tab, b, p.Filter, h)
 		}
-		return h.Results()
+	case FineSQ8:
+		sq := x.SQ8ScanQuery(query)
+		for _, b := range probes {
+			x.ScanBucketSQ8(sq, b, p.Filter, h)
+		}
+	default:
+		for _, b := range probes {
+			x.ScanBucket(query, b, p.Filter, h)
+		}
 	}
-	for _, b := range probes {
-		x.ScanBucket(query, b, p.Filter, h)
-	}
-	return h.Results()
+	out := h.Results()
+	topk.PutHeap(h)
+	return out
 }
 
 // BucketIDs exposes the row IDs of a bucket (GPU scheduling, tests).

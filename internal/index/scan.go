@@ -1,0 +1,93 @@
+package index
+
+import (
+	"math"
+
+	"vectordb/internal/bufferpool"
+	"vectordb/internal/topk"
+	"vectordb/internal/vec"
+)
+
+// ScanBlockRows is the row-block size of the blocked scans: distances are
+// computed one block at a time into a pooled buffer, then pushed through the
+// heap. 256 rows keeps the buffer inside L1 while amortizing the kernel
+// dispatch and the worst-bound refresh over a whole block.
+const ScanBlockRows = 256
+
+// ScanBlocked is the shared brute-force scan of every read path (flat
+// indexes, unindexed segments, IVF_FLAT buckets): it streams the contiguous
+// row-major block data (n rows of dim floats, ids aligned; ids == nil means
+// row positions) into the caller-owned heap h.
+//
+// For L2 and IP it runs the register-blocked batch kernels one block at a
+// time with a pooled distance buffer, feeding the heap's current worst
+// distance into the L2 early-abandon kernel so top-k pruning reaches inside
+// the block; rows that cannot enter the heap cost one comparison and, for
+// L2, only a prefix of their dimensions. Filtered scans and metrics without
+// a batch kernel (cosine, binary) fall back to the pairwise kernels with
+// the same worst-distance gating.
+//
+// The heap may arrive non-empty: its retained worst carries pruning across
+// segments exactly as Segment.SearchInto documents.
+func ScanBlocked(h *topk.Heap, metric vec.Metric, query, data []float32, dim int, ids []int64, filter func(int64) bool) {
+	n := len(data) / dim
+	if ids != nil {
+		n = len(ids)
+	}
+	if n == 0 {
+		return
+	}
+	idOf := func(i int) int64 { return int64(i) }
+	if ids != nil {
+		idOf = func(i int) int64 { return ids[i] }
+	}
+	worst := float32(math.Inf(1))
+	if w, ok := h.Worst(); ok && h.Full() {
+		worst = w
+	}
+	if filter != nil || !metric.BatchEligible() {
+		dist := metric.Dist()
+		for i := 0; i < n; i++ {
+			id := idOf(i)
+			if filter != nil && !filter(id) {
+				continue
+			}
+			d := dist(query, data[i*dim:(i+1)*dim])
+			if d >= worst {
+				continue
+			}
+			h.Push(id, d)
+			if h.Full() {
+				worst, _ = h.Worst()
+			}
+		}
+		return
+	}
+	bp := bufferpool.GetFloats(ScanBlockRows)
+	buf := *bp
+	ip := metric == vec.IP
+	for i0 := 0; i0 < n; i0 += ScanBlockRows {
+		i1 := i0 + ScanBlockRows
+		if i1 > n {
+			i1 = n
+		}
+		rows := i1 - i0
+		chunk := data[i0*dim : i1*dim]
+		if ip {
+			vec.NegDotBatch(query, chunk, dim, buf)
+		} else {
+			vec.L2SquaredBatchBound(query, chunk, dim, worst, buf)
+		}
+		for r := 0; r < rows; r++ {
+			d := buf[r]
+			if d >= worst {
+				continue
+			}
+			h.Push(idOf(i0+r), d)
+			if h.Full() {
+				worst, _ = h.Worst()
+			}
+		}
+	}
+	bufferpool.PutFloats(bp)
+}

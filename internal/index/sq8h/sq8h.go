@@ -138,16 +138,20 @@ func (x *SQ8H) probeAll(queries []float32, p index.SearchParams) (probes [][]int
 	return probes, scanWork
 }
 
+// scan is the host (CPU) leg of step 2: each query builds its fused SQ8
+// ADC table once and streams every probed bucket's codes through it via the
+// batched bucket scan, accumulating into a pooled heap.
 func (x *SQ8H) scan(queries []float32, probes [][]int, p index.SearchParams) [][]topk.Result {
 	dim := x.ivf.Dim()
 	out := make([][]topk.Result, len(probes))
 	for qi := range probes {
-		h := topk.New(p.K)
-		q := queries[qi*dim : (qi+1)*dim]
+		h := topk.GetHeap(p.K)
+		sq := x.ivf.SQ8ScanQuery(queries[qi*dim : (qi+1)*dim])
 		for _, b := range probes[qi] {
-			x.ivf.ScanBucket(q, b, p.Filter, h)
+			x.ivf.ScanBucketSQ8(sq, b, p.Filter, h)
 		}
 		out[qi] = h.Results()
+		topk.PutHeap(h)
 	}
 	return out
 }

@@ -1,0 +1,106 @@
+package quantizer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randFloats(r *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(r.NormFloat64())
+	}
+	return v
+}
+
+func relClose(a, b float64, eps float64) bool {
+	if math.Abs(a-b) <= eps {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return den > 0 && math.Abs(a-b)/den <= eps
+}
+
+// TestSQ8QueryMatchesDecodeThenDistance pins the fused ADC against the
+// reference it replaces: decode the code to floats, then run the plain
+// distance. The fused form reassociates (r - t·step)² into
+// r² + t·(t·step² - 2·r·step), so agreement is within FP tolerance
+// (1e-3 relative — the coefficients square the step), not bit-exact.
+func TestSQ8QueryMatchesDecodeThenDistance(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for _, dim := range []int{1, 3, 17, 100, 131} {
+		data := randFloats(r, 200*dim)
+		q8, err := TrainSQ8(data, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		query := randFloats(r, dim)
+		l2q := q8.L2Query(query)
+		ipq := q8.IPQuery(query)
+		dec := make([]float32, dim)
+		for i := 0; i < 50; i++ {
+			code := q8.Encode(data[i*dim:(i+1)*dim], nil)
+			q8.Decode(code, dec)
+			var wantL2, wantIP float64
+			for j := 0; j < dim; j++ {
+				d := float64(query[j]) - float64(dec[j])
+				wantL2 += d * d
+				wantIP += float64(query[j]) * float64(dec[j])
+			}
+			if got := float64(l2q.Distance(code)); !relClose(got, wantL2, 1e-3) {
+				t.Fatalf("dim %d row %d: fused L2 %v, decode-then-L2 %v", dim, i, got, wantL2)
+			}
+			if got := float64(ipq.Distance(code)); !relClose(got, -wantIP, 1e-3) {
+				t.Fatalf("dim %d row %d: fused IP %v, decode-then-negdot %v", dim, i, got, -wantIP)
+			}
+			// The fused scalar entry points the quantizer already exposes
+			// must agree too (they share the decode semantics).
+			if got, want := float64(l2q.Distance(code)), float64(q8.L2Squared(query, code)); !relClose(got, want, 1e-3) {
+				t.Fatalf("dim %d row %d: fused L2 %v vs SQ8.L2Squared %v", dim, i, got, want)
+			}
+			if got, want := float64(ipq.Distance(code)), -float64(q8.Dot(query, code)); !relClose(got, want, 1e-3) {
+				t.Fatalf("dim %d row %d: fused IP %v vs -SQ8.Dot %v", dim, i, got, want)
+			}
+		}
+	}
+}
+
+// TestSQ8QueryDistanceBatch: the contiguous-block entry point must equal
+// the one-code path exactly (same arithmetic, just batched).
+func TestSQ8QueryDistanceBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	dim, n := 24, 37
+	data := randFloats(r, n*dim)
+	q8, err := TrainSQ8(data, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := make([]uint8, n*dim)
+	for i := 0; i < n; i++ {
+		q8.Encode(data[i*dim:(i+1)*dim], codes[i*dim:(i+1)*dim])
+	}
+	for _, ip := range []bool{false, true} {
+		sq := q8.Query(randFloats(r, dim), ip)
+		out := make([]float32, n)
+		sq.DistanceBatch(codes, out)
+		for i := 0; i < n; i++ {
+			if want := sq.Distance(codes[i*dim : (i+1)*dim]); out[i] != want {
+				t.Fatalf("ip=%v row %d: batch %v, single %v", ip, i, out[i], want)
+			}
+		}
+		// Empty block is a no-op.
+		sq.DistanceBatch(nil, out)
+	}
+}
+
+func TestSQ8QueryDim(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	q8, err := TrainSQ8(randFloats(r, 50*8), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q8.L2Query(randFloats(r, 8)).Dim(); got != 8 {
+		t.Fatalf("Dim = %d", got)
+	}
+}

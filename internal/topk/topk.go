@@ -167,6 +167,20 @@ func sortResults(rs []Result) {
 // measurable allocation source (see TestMergeAllocs).
 var mergeHeaps = bufferpool.NewFree(func() *Heap { return new(Heap) })
 
+// GetHeap returns a pooled heap armed for k. It serves the per-task scratch
+// heaps of the scan paths (flat search, IVF batch workers, GPU top-k
+// rounds); Results/Snapshot copy out, so the heap can be recycled with
+// PutHeap as soon as its results have been taken.
+func GetHeap(k int) *Heap {
+	h := mergeHeaps.Get()
+	h.Init(k)
+	return h
+}
+
+// PutHeap recycles a heap obtained from GetHeap (or Merge's pool). The
+// caller must not use it afterwards.
+func PutHeap(h *Heap) { mergeHeaps.Put(h) }
+
 // Merge combines several sorted-or-unsorted result lists into the global
 // top-k, as the cache-aware engine does across per-thread heaps. The
 // scratch heap is pooled; only the returned slice is allocated.

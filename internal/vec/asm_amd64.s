@@ -1,0 +1,385 @@
+// AVX2/FMA and AVX-512 batch distance kernels (amd64). These are the real
+// SIMD implementations behind the LevelAVX2/LevelAVX512 batch entry points;
+// the pure-Go register-blocked kernels remain the portable fallback and the
+// reference semantics. Layout of every kernel:
+//
+//   - outer loop over n rows of the row-major block;
+//   - inner loop over dim in 4 vector-register chunks with independent
+//     accumulators (VFMADD231PS), then single-chunk steps, then a scalar
+//     VEX tail for dim % lanes;
+//   - horizontal reduction into out[i].
+//
+// Unaligned loads (VMOVUPS) throughout: callers hand arbitrary subslices.
+// For L2 the operand order of VSUBPS is irrelevant (the difference is
+// squared). NaN/Inf propagate per IEEE exactly as in the Go kernels; only
+// summation order differs, which the package's 1e-5 relative tolerance
+// doctrine covers.
+
+#include "textflag.h"
+
+// func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func l2BatchFMA(q, data, out *float32, dim, n int)
+TEXT ·l2BatchFMA(SB), NOSPLIT, $0-40
+	MOVQ q+0(FP), SI
+	MOVQ data+8(FP), DI
+	MOVQ out+16(FP), DX
+	MOVQ dim+24(FP), CX
+	MOVQ n+32(FP), BX
+
+l2f_row:
+	TESTQ BX, BX
+	JE   l2f_done
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	MOVQ SI, R10
+	MOVQ DI, R11
+	MOVQ CX, R8
+
+l2f_chunk32:
+	CMPQ R8, $32
+	JLT  l2f_chunk8
+	VMOVUPS (R10), Y0
+	VMOVUPS (R11), Y1
+	VSUBPS  Y1, Y0, Y0
+	VFMADD231PS Y0, Y0, Y4
+	VMOVUPS 32(R10), Y1
+	VMOVUPS 32(R11), Y2
+	VSUBPS  Y2, Y1, Y1
+	VFMADD231PS Y1, Y1, Y5
+	VMOVUPS 64(R10), Y2
+	VMOVUPS 64(R11), Y3
+	VSUBPS  Y3, Y2, Y2
+	VFMADD231PS Y2, Y2, Y6
+	VMOVUPS 96(R10), Y3
+	VMOVUPS 96(R11), Y0
+	VSUBPS  Y0, Y3, Y3
+	VFMADD231PS Y3, Y3, Y7
+	ADDQ $128, R10
+	ADDQ $128, R11
+	SUBQ $32, R8
+	JMP  l2f_chunk32
+
+l2f_chunk8:
+	CMPQ R8, $8
+	JLT  l2f_reduce
+	VMOVUPS (R10), Y0
+	VMOVUPS (R11), Y1
+	VSUBPS  Y1, Y0, Y0
+	VFMADD231PS Y0, Y0, Y4
+	ADDQ $32, R10
+	ADDQ $32, R11
+	SUBQ $8, R8
+	JMP  l2f_chunk8
+
+l2f_reduce:
+	VADDPS Y5, Y4, Y4
+	VADDPS Y7, Y6, Y6
+	VADDPS Y6, Y4, Y4
+	VEXTRACTF128 $1, Y4, X1
+	VADDPS X1, X4, X4
+	VHADDPS X4, X4, X4
+	VHADDPS X4, X4, X4
+
+	TESTQ R8, R8
+	JE   l2f_store
+
+l2f_scalar:
+	VMOVSS (R10), X1
+	VMOVSS (R11), X2
+	VSUBSS X2, X1, X1
+	VMULSS X1, X1, X1
+	VADDSS X1, X4, X4
+	ADDQ $4, R10
+	ADDQ $4, R11
+	DECQ R8
+	JNE  l2f_scalar
+
+l2f_store:
+	VMOVSS X4, (DX)
+	ADDQ $4, DX
+	MOVQ R11, DI
+	DECQ BX
+	JMP  l2f_row
+
+l2f_done:
+	VZEROUPPER
+	RET
+
+// func ipBatchFMA(q, data, out *float32, dim, n int)
+TEXT ·ipBatchFMA(SB), NOSPLIT, $0-40
+	MOVQ q+0(FP), SI
+	MOVQ data+8(FP), DI
+	MOVQ out+16(FP), DX
+	MOVQ dim+24(FP), CX
+	MOVQ n+32(FP), BX
+
+ipf_row:
+	TESTQ BX, BX
+	JE   ipf_done
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	MOVQ SI, R10
+	MOVQ DI, R11
+	MOVQ CX, R8
+
+ipf_chunk32:
+	CMPQ R8, $32
+	JLT  ipf_chunk8
+	VMOVUPS (R10), Y0
+	VMOVUPS (R11), Y1
+	VFMADD231PS Y1, Y0, Y4
+	VMOVUPS 32(R10), Y2
+	VMOVUPS 32(R11), Y3
+	VFMADD231PS Y3, Y2, Y5
+	VMOVUPS 64(R10), Y0
+	VMOVUPS 64(R11), Y1
+	VFMADD231PS Y1, Y0, Y6
+	VMOVUPS 96(R10), Y2
+	VMOVUPS 96(R11), Y3
+	VFMADD231PS Y3, Y2, Y7
+	ADDQ $128, R10
+	ADDQ $128, R11
+	SUBQ $32, R8
+	JMP  ipf_chunk32
+
+ipf_chunk8:
+	CMPQ R8, $8
+	JLT  ipf_reduce
+	VMOVUPS (R10), Y0
+	VMOVUPS (R11), Y1
+	VFMADD231PS Y1, Y0, Y4
+	ADDQ $32, R10
+	ADDQ $32, R11
+	SUBQ $8, R8
+	JMP  ipf_chunk8
+
+ipf_reduce:
+	VADDPS Y5, Y4, Y4
+	VADDPS Y7, Y6, Y6
+	VADDPS Y6, Y4, Y4
+	VEXTRACTF128 $1, Y4, X1
+	VADDPS X1, X4, X4
+	VHADDPS X4, X4, X4
+	VHADDPS X4, X4, X4
+
+	TESTQ R8, R8
+	JE   ipf_store
+
+ipf_scalar:
+	VMOVSS (R10), X1
+	VMOVSS (R11), X2
+	VMULSS X2, X1, X1
+	VADDSS X1, X4, X4
+	ADDQ $4, R10
+	ADDQ $4, R11
+	DECQ R8
+	JNE  ipf_scalar
+
+ipf_store:
+	VMOVSS X4, (DX)
+	ADDQ $4, DX
+	MOVQ R11, DI
+	DECQ BX
+	JMP  ipf_row
+
+ipf_done:
+	VZEROUPPER
+	RET
+
+// func l2BatchZ(q, data, out *float32, dim, n int)
+TEXT ·l2BatchZ(SB), NOSPLIT, $0-40
+	MOVQ q+0(FP), SI
+	MOVQ data+8(FP), DI
+	MOVQ out+16(FP), DX
+	MOVQ dim+24(FP), CX
+	MOVQ n+32(FP), BX
+
+l2z_row:
+	TESTQ BX, BX
+	JE   l2z_done
+	VXORPS Z4, Z4, Z4
+	VXORPS Z5, Z5, Z5
+	VXORPS Z6, Z6, Z6
+	VXORPS Z7, Z7, Z7
+	MOVQ SI, R10
+	MOVQ DI, R11
+	MOVQ CX, R8
+
+l2z_chunk64:
+	CMPQ R8, $64
+	JLT  l2z_chunk16
+	VMOVUPS (R10), Z0
+	VMOVUPS (R11), Z1
+	VSUBPS  Z1, Z0, Z0
+	VFMADD231PS Z0, Z0, Z4
+	VMOVUPS 64(R10), Z1
+	VMOVUPS 64(R11), Z2
+	VSUBPS  Z2, Z1, Z1
+	VFMADD231PS Z1, Z1, Z5
+	VMOVUPS 128(R10), Z2
+	VMOVUPS 128(R11), Z3
+	VSUBPS  Z3, Z2, Z2
+	VFMADD231PS Z2, Z2, Z6
+	VMOVUPS 192(R10), Z3
+	VMOVUPS 192(R11), Z0
+	VSUBPS  Z0, Z3, Z3
+	VFMADD231PS Z3, Z3, Z7
+	ADDQ $256, R10
+	ADDQ $256, R11
+	SUBQ $64, R8
+	JMP  l2z_chunk64
+
+l2z_chunk16:
+	CMPQ R8, $16
+	JLT  l2z_reduce
+	VMOVUPS (R10), Z0
+	VMOVUPS (R11), Z1
+	VSUBPS  Z1, Z0, Z0
+	VFMADD231PS Z0, Z0, Z4
+	ADDQ $64, R10
+	ADDQ $64, R11
+	SUBQ $16, R8
+	JMP  l2z_chunk16
+
+l2z_reduce:
+	VADDPS Z5, Z4, Z4
+	VADDPS Z7, Z6, Z6
+	VADDPS Z6, Z4, Z4
+	VEXTRACTF64X4 $1, Z4, Y1
+	VADDPS Y1, Y4, Y4
+	VEXTRACTF128 $1, Y4, X1
+	VADDPS X1, X4, X4
+	VHADDPS X4, X4, X4
+	VHADDPS X4, X4, X4
+
+	TESTQ R8, R8
+	JE   l2z_store
+
+l2z_scalar:
+	VMOVSS (R10), X1
+	VMOVSS (R11), X2
+	VSUBSS X2, X1, X1
+	VMULSS X1, X1, X1
+	VADDSS X1, X4, X4
+	ADDQ $4, R10
+	ADDQ $4, R11
+	DECQ R8
+	JNE  l2z_scalar
+
+l2z_store:
+	VMOVSS X4, (DX)
+	ADDQ $4, DX
+	MOVQ R11, DI
+	DECQ BX
+	JMP  l2z_row
+
+l2z_done:
+	VZEROUPPER
+	RET
+
+// func ipBatchZ(q, data, out *float32, dim, n int)
+TEXT ·ipBatchZ(SB), NOSPLIT, $0-40
+	MOVQ q+0(FP), SI
+	MOVQ data+8(FP), DI
+	MOVQ out+16(FP), DX
+	MOVQ dim+24(FP), CX
+	MOVQ n+32(FP), BX
+
+ipz_row:
+	TESTQ BX, BX
+	JE   ipz_done
+	VXORPS Z4, Z4, Z4
+	VXORPS Z5, Z5, Z5
+	VXORPS Z6, Z6, Z6
+	VXORPS Z7, Z7, Z7
+	MOVQ SI, R10
+	MOVQ DI, R11
+	MOVQ CX, R8
+
+ipz_chunk64:
+	CMPQ R8, $64
+	JLT  ipz_chunk16
+	VMOVUPS (R10), Z0
+	VMOVUPS (R11), Z1
+	VFMADD231PS Z1, Z0, Z4
+	VMOVUPS 64(R10), Z2
+	VMOVUPS 64(R11), Z3
+	VFMADD231PS Z3, Z2, Z5
+	VMOVUPS 128(R10), Z0
+	VMOVUPS 128(R11), Z1
+	VFMADD231PS Z1, Z0, Z6
+	VMOVUPS 192(R10), Z2
+	VMOVUPS 192(R11), Z3
+	VFMADD231PS Z3, Z2, Z7
+	ADDQ $256, R10
+	ADDQ $256, R11
+	SUBQ $64, R8
+	JMP  ipz_chunk64
+
+ipz_chunk16:
+	CMPQ R8, $16
+	JLT  ipz_reduce
+	VMOVUPS (R10), Z0
+	VMOVUPS (R11), Z1
+	VFMADD231PS Z1, Z0, Z4
+	ADDQ $64, R10
+	ADDQ $64, R11
+	SUBQ $16, R8
+	JMP  ipz_chunk16
+
+ipz_reduce:
+	VADDPS Z5, Z4, Z4
+	VADDPS Z7, Z6, Z6
+	VADDPS Z6, Z4, Z4
+	VEXTRACTF64X4 $1, Z4, Y1
+	VADDPS Y1, Y4, Y4
+	VEXTRACTF128 $1, Y4, X1
+	VADDPS X1, X4, X4
+	VHADDPS X4, X4, X4
+	VHADDPS X4, X4, X4
+
+	TESTQ R8, R8
+	JE   ipz_store
+
+ipz_scalar:
+	VMOVSS (R10), X1
+	VMOVSS (R11), X2
+	VMULSS X2, X1, X1
+	VADDSS X1, X4, X4
+	ADDQ $4, R10
+	ADDQ $4, R11
+	DECQ R8
+	JNE  ipz_scalar
+
+ipz_store:
+	VMOVSS X4, (DX)
+	ADDQ $4, DX
+	MOVQ R11, DI
+	DECQ BX
+	JMP  ipz_row
+
+ipz_done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,20 @@
+//go:build !amd64
+
+package vec
+
+import "runtime"
+
+// Non-amd64 hosts run the pure-Go register-blocked kernels on every tier.
+
+const haveAVX2FMA = false
+const haveAVX512 = false
+
+func installASMKernels() {}
+
+func bestLevelForHost() Level {
+	if runtime.GOARCH == "arm64" {
+		// Wide NEON-class cores: the 16-wide unrolled Go tier wins.
+		return LevelAVX512
+	}
+	return LevelSSE
+}

@@ -1,0 +1,697 @@
+package vec
+
+import "math"
+
+// Blocked batch kernels. The pairwise kernels in kernels.go amortize nothing
+// across rows: every distance pays the dispatch atomic loads, the length
+// check and a function call. The batch kernels below process a whole
+// contiguous row-major block per dispatch and, like a GEMM micro-kernel,
+// register-block the computation: each step holds one query chunk in
+// registers and streams batchRows data rows against it, so query loads are
+// amortized batchRows× and the independent per-row accumulators provide the
+// instruction-level parallelism that the multi-accumulator pairwise kernels
+// get from extra accumulators. Tiers differ in the dim-chunk width (4/8/16),
+// mirroring the SSE/AVX/AVX512 register widths they stand in for.
+//
+// Three kernel families:
+//
+//   - one-query batch: distances from one query to every row (flat scans,
+//     IVF bucket scans, segment scans);
+//   - bound batch: same, but with early abandonment — L2 partial sums are
+//     monotone, so a row whose partial already exceeds the caller's bound
+//     (the current top-k worst) is abandoned mid-row and reported as +Inf;
+//   - query tile: a q×v register tile (4 queries × a data block) for the
+//     cache-aware multi-query engine, streaming each data row once per four
+//     queries instead of once per query (the blocking behind Eq. (1)).
+
+// batchRows is the register row-block of the one-query batch kernels.
+const batchRows = 4
+
+// abandonChunk is the dim granularity at which the bound kernels compare the
+// partial sum against the caller's bound. Coarse enough that the check is
+// noise, fine enough that a full heap prunes most of a 128-d row.
+const abandonChunk = 32
+
+func inf32() float32 { return float32(math.Inf(1)) }
+
+// l2c4/ipc4/ipc8 are the chunk primitives the blocked kernels compose.
+// They are sized to the gc inlining budget (l2c4 costs 68 of the 80-node
+// allowance, ipc8 exactly 80): the compiler inlines them, so every chunk
+// loop body below compiles to straight-line code. That matters because gc
+// never unrolls loops — an inner `for k` loop over the chunk would pay a
+// compare-and-branch per four multiplies and lose to the fully unrolled
+// pairwise kernels it is supposed to beat.
+
+func l2c4(x, y *[4]float32) float32 {
+	d0 := x[0] - y[0]
+	d1 := x[1] - y[1]
+	d2 := x[2] - y[2]
+	d3 := x[3] - y[3]
+	return (d0*d0 + d1*d1) + (d2*d2 + d3*d3)
+}
+
+func ipc4(x, y *[4]float32) float32 {
+	return (x[0]*y[0] + x[1]*y[1]) + (x[2]*y[2] + x[3]*y[3])
+}
+
+func ipc8(x, y *[8]float32) float32 {
+	return (x[0]*y[0] + x[1]*y[1] + x[2]*y[2] + x[3]*y[3]) +
+		(x[4]*y[4] + x[5]*y[5] + x[6]*y[6] + x[7]*y[7])
+}
+
+// ---------------------------------------------------------------------------
+// Scalar tier (reference semantics for every other tier).
+
+func l2BatchScalar(q, data []float32, dim int, out []float32) {
+	n := len(data) / dim
+	for i := 0; i < n; i++ {
+		out[i] = l2Scalar(q, data[i*dim:(i+1)*dim])
+	}
+}
+
+func ipBatchScalar(q, data []float32, dim int, out []float32) {
+	n := len(data) / dim
+	for i := 0; i < n; i++ {
+		out[i] = ipScalar(q, data[i*dim:(i+1)*dim])
+	}
+}
+
+// l2BoundScalar is the early-abandon reference: plain scalar accumulation
+// with a bound check per abandonChunk dims. An abandoned row reports +Inf;
+// NaN partial sums never satisfy s >= bound, so NaN rows complete and report
+// NaN exactly like the plain kernels (the heap rejects NaN either way).
+func l2BoundScalar(q, data []float32, dim int, bound float32, out []float32) {
+	n := len(data) / dim
+	for i := 0; i < n; i++ {
+		row := data[i*dim : (i+1)*dim]
+		var s float32
+		d := 0
+		for d < dim {
+			end := d + abandonChunk
+			if end > dim {
+				end = dim
+			}
+			for ; d < end; d++ {
+				t := q[d] - row[d]
+				s += t * t
+			}
+			if d < dim && s >= bound {
+				s = inf32()
+				break
+			}
+		}
+		out[i] = s
+	}
+}
+
+func l2TileScalar(qs, data []float32, dim, nq int, out []float32) {
+	n := len(data) / dim
+	for qi := 0; qi < nq; qi++ {
+		q := qs[qi*dim : (qi+1)*dim]
+		o := out[qi*n : (qi+1)*n]
+		for i := 0; i < n; i++ {
+			o[i] = l2Scalar(q, data[i*dim:(i+1)*dim])
+		}
+	}
+}
+
+func ipTileScalar(qs, data []float32, dim, nq int, out []float32) {
+	n := len(data) / dim
+	for qi := 0; qi < nq; qi++ {
+		q := qs[qi*dim : (qi+1)*dim]
+		o := out[qi*n : (qi+1)*n]
+		for i := 0; i < n; i++ {
+			o[i] = ipScalar(q, data[i*dim:(i+1)*dim])
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// 4-wide tier (SSE): 4 rows × 4-dim chunks.
+
+func l2Batch4x4(q, data []float32, dim int, out []float32) {
+	n := len(data) / dim
+	i := 0
+	for ; i+batchRows <= n; i += batchRows {
+		r0 := data[(i+0)*dim : (i+0)*dim+dim]
+		r1 := data[(i+1)*dim : (i+1)*dim+dim]
+		r2 := data[(i+2)*dim : (i+2)*dim+dim]
+		r3 := data[(i+3)*dim : (i+3)*dim+dim]
+		var s0, s1, s2, s3 float32
+		d := 0
+		for ; d+4 <= dim; d += 4 {
+			x := (*[4]float32)(q[d : d+4])
+			s0 += l2c4(x, (*[4]float32)(r0[d:d+4]))
+			s1 += l2c4(x, (*[4]float32)(r1[d:d+4]))
+			s2 += l2c4(x, (*[4]float32)(r2[d:d+4]))
+			s3 += l2c4(x, (*[4]float32)(r3[d:d+4]))
+		}
+		for ; d < dim; d++ {
+			xk := q[d]
+			t0 := xk - r0[d]
+			t1 := xk - r1[d]
+			t2 := xk - r2[d]
+			t3 := xk - r3[d]
+			s0 += t0 * t0
+			s1 += t1 * t1
+			s2 += t2 * t2
+			s3 += t3 * t3
+		}
+		out[i], out[i+1], out[i+2], out[i+3] = s0, s1, s2, s3
+	}
+	for ; i < n; i++ {
+		out[i] = l2Unroll4(q, data[i*dim:(i+1)*dim])
+	}
+}
+
+func ipBatch4x4(q, data []float32, dim int, out []float32) {
+	n := len(data) / dim
+	i := 0
+	for ; i+batchRows <= n; i += batchRows {
+		r0 := data[(i+0)*dim : (i+0)*dim+dim]
+		r1 := data[(i+1)*dim : (i+1)*dim+dim]
+		r2 := data[(i+2)*dim : (i+2)*dim+dim]
+		r3 := data[(i+3)*dim : (i+3)*dim+dim]
+		var s0, s1, s2, s3 float32
+		d := 0
+		for ; d+4 <= dim; d += 4 {
+			x := (*[4]float32)(q[d : d+4])
+			s0 += ipc4(x, (*[4]float32)(r0[d:d+4]))
+			s1 += ipc4(x, (*[4]float32)(r1[d:d+4]))
+			s2 += ipc4(x, (*[4]float32)(r2[d:d+4]))
+			s3 += ipc4(x, (*[4]float32)(r3[d:d+4]))
+		}
+		for ; d < dim; d++ {
+			xk := q[d]
+			s0 += xk * r0[d]
+			s1 += xk * r1[d]
+			s2 += xk * r2[d]
+			s3 += xk * r3[d]
+		}
+		out[i], out[i+1], out[i+2], out[i+3] = s0, s1, s2, s3
+	}
+	for ; i < n; i++ {
+		out[i] = ipUnroll4(q, data[i*dim:(i+1)*dim])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// 8-wide tier (AVX/AVX2): 4 rows × 8-dim chunks.
+
+func l2Batch4x8(q, data []float32, dim int, out []float32) {
+	n := len(data) / dim
+	i := 0
+	for ; i+batchRows <= n; i += batchRows {
+		r0 := data[(i+0)*dim : (i+0)*dim+dim]
+		r1 := data[(i+1)*dim : (i+1)*dim+dim]
+		r2 := data[(i+2)*dim : (i+2)*dim+dim]
+		r3 := data[(i+3)*dim : (i+3)*dim+dim]
+		var s0, s1, s2, s3 float32
+		d := 0
+		for ; d+8 <= dim; d += 8 {
+			xa := (*[4]float32)(q[d : d+4])
+			xb := (*[4]float32)(q[d+4 : d+8])
+			s0 += l2c4(xa, (*[4]float32)(r0[d:d+4])) + l2c4(xb, (*[4]float32)(r0[d+4:d+8]))
+			s1 += l2c4(xa, (*[4]float32)(r1[d:d+4])) + l2c4(xb, (*[4]float32)(r1[d+4:d+8]))
+			s2 += l2c4(xa, (*[4]float32)(r2[d:d+4])) + l2c4(xb, (*[4]float32)(r2[d+4:d+8]))
+			s3 += l2c4(xa, (*[4]float32)(r3[d:d+4])) + l2c4(xb, (*[4]float32)(r3[d+4:d+8]))
+		}
+		for ; d < dim; d++ {
+			xk := q[d]
+			t0 := xk - r0[d]
+			t1 := xk - r1[d]
+			t2 := xk - r2[d]
+			t3 := xk - r3[d]
+			s0 += t0 * t0
+			s1 += t1 * t1
+			s2 += t2 * t2
+			s3 += t3 * t3
+		}
+		out[i], out[i+1], out[i+2], out[i+3] = s0, s1, s2, s3
+	}
+	for ; i < n; i++ {
+		out[i] = l2Unroll8(q, data[i*dim:(i+1)*dim])
+	}
+}
+
+func ipBatch4x8(q, data []float32, dim int, out []float32) {
+	n := len(data) / dim
+	i := 0
+	for ; i+batchRows <= n; i += batchRows {
+		r0 := data[(i+0)*dim : (i+0)*dim+dim]
+		r1 := data[(i+1)*dim : (i+1)*dim+dim]
+		r2 := data[(i+2)*dim : (i+2)*dim+dim]
+		r3 := data[(i+3)*dim : (i+3)*dim+dim]
+		var s0, s1, s2, s3 float32
+		d := 0
+		for ; d+8 <= dim; d += 8 {
+			x := (*[8]float32)(q[d : d+8])
+			s0 += ipc8(x, (*[8]float32)(r0[d:d+8]))
+			s1 += ipc8(x, (*[8]float32)(r1[d:d+8]))
+			s2 += ipc8(x, (*[8]float32)(r2[d:d+8]))
+			s3 += ipc8(x, (*[8]float32)(r3[d:d+8]))
+		}
+		for ; d < dim; d++ {
+			xk := q[d]
+			s0 += xk * r0[d]
+			s1 += xk * r1[d]
+			s2 += xk * r2[d]
+			s3 += xk * r3[d]
+		}
+		out[i], out[i+1], out[i+2], out[i+3] = s0, s1, s2, s3
+	}
+	for ; i < n; i++ {
+		out[i] = ipUnroll8(q, data[i*dim:(i+1)*dim])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// 16-wide tier (AVX512): 4 rows × 16-dim chunks, two accumulator banks per
+// row so each row's dependency chain matches the pairwise 16-wide kernel.
+
+func l2Batch4x16(q, data []float32, dim int, out []float32) {
+	n := len(data) / dim
+	i := 0
+	for ; i+batchRows <= n; i += batchRows {
+		r0 := data[(i+0)*dim : (i+0)*dim+dim]
+		r1 := data[(i+1)*dim : (i+1)*dim+dim]
+		r2 := data[(i+2)*dim : (i+2)*dim+dim]
+		r3 := data[(i+3)*dim : (i+3)*dim+dim]
+		var s0a, s1a, s2a, s3a float32
+		var s0b, s1b, s2b, s3b float32
+		d := 0
+		for ; d+16 <= dim; d += 16 {
+			x := (*[16]float32)(q[d : d+16])
+			y := (*[16]float32)(r0[d : d+16])
+			e0 := x[0] - y[0]
+			e1 := x[1] - y[1]
+			e2 := x[2] - y[2]
+			e3 := x[3] - y[3]
+			e4 := x[4] - y[4]
+			e5 := x[5] - y[5]
+			e6 := x[6] - y[6]
+			e7 := x[7] - y[7]
+			e8 := x[8] - y[8]
+			e9 := x[9] - y[9]
+			e10 := x[10] - y[10]
+			e11 := x[11] - y[11]
+			e12 := x[12] - y[12]
+			e13 := x[13] - y[13]
+			e14 := x[14] - y[14]
+			e15 := x[15] - y[15]
+			s0a += (e0*e0 + e1*e1 + e2*e2 + e3*e3) + (e4*e4 + e5*e5 + e6*e6 + e7*e7)
+			s0b += (e8*e8 + e9*e9 + e10*e10 + e11*e11) + (e12*e12 + e13*e13 + e14*e14 + e15*e15)
+			y = (*[16]float32)(r1[d : d+16])
+			e0 = x[0] - y[0]
+			e1 = x[1] - y[1]
+			e2 = x[2] - y[2]
+			e3 = x[3] - y[3]
+			e4 = x[4] - y[4]
+			e5 = x[5] - y[5]
+			e6 = x[6] - y[6]
+			e7 = x[7] - y[7]
+			e8 = x[8] - y[8]
+			e9 = x[9] - y[9]
+			e10 = x[10] - y[10]
+			e11 = x[11] - y[11]
+			e12 = x[12] - y[12]
+			e13 = x[13] - y[13]
+			e14 = x[14] - y[14]
+			e15 = x[15] - y[15]
+			s1a += (e0*e0 + e1*e1 + e2*e2 + e3*e3) + (e4*e4 + e5*e5 + e6*e6 + e7*e7)
+			s1b += (e8*e8 + e9*e9 + e10*e10 + e11*e11) + (e12*e12 + e13*e13 + e14*e14 + e15*e15)
+			y = (*[16]float32)(r2[d : d+16])
+			e0 = x[0] - y[0]
+			e1 = x[1] - y[1]
+			e2 = x[2] - y[2]
+			e3 = x[3] - y[3]
+			e4 = x[4] - y[4]
+			e5 = x[5] - y[5]
+			e6 = x[6] - y[6]
+			e7 = x[7] - y[7]
+			e8 = x[8] - y[8]
+			e9 = x[9] - y[9]
+			e10 = x[10] - y[10]
+			e11 = x[11] - y[11]
+			e12 = x[12] - y[12]
+			e13 = x[13] - y[13]
+			e14 = x[14] - y[14]
+			e15 = x[15] - y[15]
+			s2a += (e0*e0 + e1*e1 + e2*e2 + e3*e3) + (e4*e4 + e5*e5 + e6*e6 + e7*e7)
+			s2b += (e8*e8 + e9*e9 + e10*e10 + e11*e11) + (e12*e12 + e13*e13 + e14*e14 + e15*e15)
+			y = (*[16]float32)(r3[d : d+16])
+			e0 = x[0] - y[0]
+			e1 = x[1] - y[1]
+			e2 = x[2] - y[2]
+			e3 = x[3] - y[3]
+			e4 = x[4] - y[4]
+			e5 = x[5] - y[5]
+			e6 = x[6] - y[6]
+			e7 = x[7] - y[7]
+			e8 = x[8] - y[8]
+			e9 = x[9] - y[9]
+			e10 = x[10] - y[10]
+			e11 = x[11] - y[11]
+			e12 = x[12] - y[12]
+			e13 = x[13] - y[13]
+			e14 = x[14] - y[14]
+			e15 = x[15] - y[15]
+			s3a += (e0*e0 + e1*e1 + e2*e2 + e3*e3) + (e4*e4 + e5*e5 + e6*e6 + e7*e7)
+			s3b += (e8*e8 + e9*e9 + e10*e10 + e11*e11) + (e12*e12 + e13*e13 + e14*e14 + e15*e15)
+		}
+		s0 := s0a + s0b
+		s1 := s1a + s1b
+		s2 := s2a + s2b
+		s3 := s3a + s3b
+		for ; d < dim; d++ {
+			xk := q[d]
+			t0 := xk - r0[d]
+			t1 := xk - r1[d]
+			t2 := xk - r2[d]
+			t3 := xk - r3[d]
+			s0 += t0 * t0
+			s1 += t1 * t1
+			s2 += t2 * t2
+			s3 += t3 * t3
+		}
+		out[i], out[i+1], out[i+2], out[i+3] = s0, s1, s2, s3
+	}
+	for ; i < n; i++ {
+		out[i] = l2Unroll16(q, data[i*dim:(i+1)*dim])
+	}
+}
+
+func ipBatch4x16(q, data []float32, dim int, out []float32) {
+	n := len(data) / dim
+	i := 0
+	for ; i+batchRows <= n; i += batchRows {
+		r0 := data[(i+0)*dim : (i+0)*dim+dim]
+		r1 := data[(i+1)*dim : (i+1)*dim+dim]
+		r2 := data[(i+2)*dim : (i+2)*dim+dim]
+		r3 := data[(i+3)*dim : (i+3)*dim+dim]
+		var s0a, s1a, s2a, s3a float32
+		var s0b, s1b, s2b, s3b float32
+		d := 0
+		for ; d+16 <= dim; d += 16 {
+			xa := (*[8]float32)(q[d : d+8])
+			xb := (*[8]float32)(q[d+8 : d+16])
+			s0a += ipc8(xa, (*[8]float32)(r0[d:d+8]))
+			s0b += ipc8(xb, (*[8]float32)(r0[d+8:d+16]))
+			s1a += ipc8(xa, (*[8]float32)(r1[d:d+8]))
+			s1b += ipc8(xb, (*[8]float32)(r1[d+8:d+16]))
+			s2a += ipc8(xa, (*[8]float32)(r2[d:d+8]))
+			s2b += ipc8(xb, (*[8]float32)(r2[d+8:d+16]))
+			s3a += ipc8(xa, (*[8]float32)(r3[d:d+8]))
+			s3b += ipc8(xb, (*[8]float32)(r3[d+8:d+16]))
+		}
+		s0 := s0a + s0b
+		s1 := s1a + s1b
+		s2 := s2a + s2b
+		s3 := s3a + s3b
+		for ; d < dim; d++ {
+			xk := q[d]
+			s0 += xk * r0[d]
+			s1 += xk * r1[d]
+			s2 += xk * r2[d]
+			s3 += xk * r3[d]
+		}
+		out[i], out[i+1], out[i+2], out[i+3] = s0, s1, s2, s3
+	}
+	for ; i < n; i++ {
+		out[i] = ipUnroll16(q, data[i*dim:(i+1)*dim])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Bound (early-abandon) kernels. The blocked variant accumulates each row in
+// abandonChunk-dim chunks through the tier's pairwise kernel; between chunks
+// the partial sum is compared against the bound. All L2 terms are
+// non-negative, so partial >= bound proves the full distance is too.
+
+func l2BoundChunked(l2 func(a, b []float32) float32) func(q, data []float32, dim int, bound float32, out []float32) {
+	return func(q, data []float32, dim int, bound float32, out []float32) {
+		n := len(data) / dim
+		for i := 0; i < n; i++ {
+			row := data[i*dim : (i+1)*dim]
+			var s float32
+			d := 0
+			for d+abandonChunk <= dim {
+				s += l2(q[d:d+abandonChunk], row[d:d+abandonChunk])
+				d += abandonChunk
+				if d < dim && s >= bound {
+					s = inf32()
+					break
+				}
+			}
+			if s < inf32() && d < dim {
+				s += l2(q[d:dim], row[d:dim])
+			}
+			out[i] = s
+		}
+	}
+}
+
+var l2Bound4 = l2BoundChunked(l2Unroll4)
+
+// l2Bound8 is the fully unrolled early-abandon kernel of the 8-wide
+// tier: straight-line 8-dim chunks with a bound check every
+// abandonChunk dims, and a direct pairwise call only for the sub-chunk
+// tail. Same control flow (and NaN semantics) as l2BoundChunked, minus
+// the indirect call per chunk.
+func l2Bound8(q, data []float32, dim int, bound float32, out []float32) {
+	n := len(data) / dim
+	for i := 0; i < n; i++ {
+		row := data[i*dim : (i+1)*dim]
+		var s float32
+		d := 0
+		for d+abandonChunk <= dim {
+			x := (*[8]float32)(q[d+0 : d+8])
+			y := (*[8]float32)(row[d+0 : d+8])
+			e0 := x[0] - y[0]
+			e1 := x[1] - y[1]
+			e2 := x[2] - y[2]
+			e3 := x[3] - y[3]
+			e4 := x[4] - y[4]
+			e5 := x[5] - y[5]
+			e6 := x[6] - y[6]
+			e7 := x[7] - y[7]
+			p0 := (e0*e0 + e1*e1 + e2*e2 + e3*e3) + (e4*e4 + e5*e5 + e6*e6 + e7*e7)
+			x = (*[8]float32)(q[d+8 : d+16])
+			y = (*[8]float32)(row[d+8 : d+16])
+			e0 = x[0] - y[0]
+			e1 = x[1] - y[1]
+			e2 = x[2] - y[2]
+			e3 = x[3] - y[3]
+			e4 = x[4] - y[4]
+			e5 = x[5] - y[5]
+			e6 = x[6] - y[6]
+			e7 = x[7] - y[7]
+			p1 := (e0*e0 + e1*e1 + e2*e2 + e3*e3) + (e4*e4 + e5*e5 + e6*e6 + e7*e7)
+			x = (*[8]float32)(q[d+16 : d+24])
+			y = (*[8]float32)(row[d+16 : d+24])
+			e0 = x[0] - y[0]
+			e1 = x[1] - y[1]
+			e2 = x[2] - y[2]
+			e3 = x[3] - y[3]
+			e4 = x[4] - y[4]
+			e5 = x[5] - y[5]
+			e6 = x[6] - y[6]
+			e7 = x[7] - y[7]
+			p2 := (e0*e0 + e1*e1 + e2*e2 + e3*e3) + (e4*e4 + e5*e5 + e6*e6 + e7*e7)
+			x = (*[8]float32)(q[d+24 : d+32])
+			y = (*[8]float32)(row[d+24 : d+32])
+			e0 = x[0] - y[0]
+			e1 = x[1] - y[1]
+			e2 = x[2] - y[2]
+			e3 = x[3] - y[3]
+			e4 = x[4] - y[4]
+			e5 = x[5] - y[5]
+			e6 = x[6] - y[6]
+			e7 = x[7] - y[7]
+			p3 := (e0*e0 + e1*e1 + e2*e2 + e3*e3) + (e4*e4 + e5*e5 + e6*e6 + e7*e7)
+			s += (p0 + p1) + (p2 + p3)
+			d += abandonChunk
+			if d < dim && s >= bound {
+				s = inf32()
+				break
+			}
+		}
+		if s < inf32() && d < dim {
+			s += l2Unroll8(q[d:dim], row[d:dim])
+		}
+		out[i] = s
+	}
+}
+
+// l2Bound16 is the fully unrolled early-abandon kernel of the 16-wide
+// tier: straight-line 16-dim chunks with a bound check every
+// abandonChunk dims, and a direct pairwise call only for the sub-chunk
+// tail. Same control flow (and NaN semantics) as l2BoundChunked, minus
+// the indirect call per chunk.
+func l2Bound16(q, data []float32, dim int, bound float32, out []float32) {
+	n := len(data) / dim
+	for i := 0; i < n; i++ {
+		row := data[i*dim : (i+1)*dim]
+		var s float32
+		d := 0
+		for d+abandonChunk <= dim {
+			x := (*[16]float32)(q[d+0 : d+16])
+			y := (*[16]float32)(row[d+0 : d+16])
+			e0 := x[0] - y[0]
+			e1 := x[1] - y[1]
+			e2 := x[2] - y[2]
+			e3 := x[3] - y[3]
+			e4 := x[4] - y[4]
+			e5 := x[5] - y[5]
+			e6 := x[6] - y[6]
+			e7 := x[7] - y[7]
+			e8 := x[8] - y[8]
+			e9 := x[9] - y[9]
+			e10 := x[10] - y[10]
+			e11 := x[11] - y[11]
+			e12 := x[12] - y[12]
+			e13 := x[13] - y[13]
+			e14 := x[14] - y[14]
+			e15 := x[15] - y[15]
+			p0 := (e0*e0 + e1*e1 + e2*e2 + e3*e3 + e4*e4 + e5*e5 + e6*e6 + e7*e7) + (e8*e8 + e9*e9 + e10*e10 + e11*e11 + e12*e12 + e13*e13 + e14*e14 + e15*e15)
+			x = (*[16]float32)(q[d+16 : d+32])
+			y = (*[16]float32)(row[d+16 : d+32])
+			e0 = x[0] - y[0]
+			e1 = x[1] - y[1]
+			e2 = x[2] - y[2]
+			e3 = x[3] - y[3]
+			e4 = x[4] - y[4]
+			e5 = x[5] - y[5]
+			e6 = x[6] - y[6]
+			e7 = x[7] - y[7]
+			e8 = x[8] - y[8]
+			e9 = x[9] - y[9]
+			e10 = x[10] - y[10]
+			e11 = x[11] - y[11]
+			e12 = x[12] - y[12]
+			e13 = x[13] - y[13]
+			e14 = x[14] - y[14]
+			e15 = x[15] - y[15]
+			p1 := (e0*e0 + e1*e1 + e2*e2 + e3*e3 + e4*e4 + e5*e5 + e6*e6 + e7*e7) + (e8*e8 + e9*e9 + e10*e10 + e11*e11 + e12*e12 + e13*e13 + e14*e14 + e15*e15)
+			s += (p0 + p1)
+			d += abandonChunk
+			if d < dim && s >= bound {
+				s = inf32()
+				break
+			}
+		}
+		if s < inf32() && d < dim {
+			s += l2Unroll16(q[d:dim], row[d:dim])
+		}
+		out[i] = s
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Query-tile kernels: 4 queries held in registers per data row, so a row
+// loaded into cache serves four queries before being re-streamed. Shared by
+// all unrolled tiers (the register tile, not the chunk width, is the win);
+// the scalar tier keeps a straight reference.
+
+func l2Tile4(qs, data []float32, dim, nq int, out []float32) {
+	n := len(data) / dim
+	if n == 0 {
+		return
+	}
+	qg := 0
+	for ; qg+4 <= nq; qg += 4 {
+		q0 := qs[(qg+0)*dim : (qg+0)*dim+dim]
+		q1 := qs[(qg+1)*dim : (qg+1)*dim+dim]
+		q2 := qs[(qg+2)*dim : (qg+2)*dim+dim]
+		q3 := qs[(qg+3)*dim : (qg+3)*dim+dim]
+		o0 := out[(qg+0)*n : (qg+0)*n+n]
+		o1 := out[(qg+1)*n : (qg+1)*n+n]
+		o2 := out[(qg+2)*n : (qg+2)*n+n]
+		o3 := out[(qg+3)*n : (qg+3)*n+n]
+		for i := 0; i < n; i++ {
+			row := data[i*dim : i*dim+dim]
+			var s0, s1, s2, s3 float32
+			d := 0
+			for ; d+8 <= dim; d += 8 {
+				xa := (*[4]float32)(row[d : d+4])
+				xb := (*[4]float32)(row[d+4 : d+8])
+				s0 += l2c4((*[4]float32)(q0[d:d+4]), xa) + l2c4((*[4]float32)(q0[d+4:d+8]), xb)
+				s1 += l2c4((*[4]float32)(q1[d:d+4]), xa) + l2c4((*[4]float32)(q1[d+4:d+8]), xb)
+				s2 += l2c4((*[4]float32)(q2[d:d+4]), xa) + l2c4((*[4]float32)(q2[d+4:d+8]), xb)
+				s3 += l2c4((*[4]float32)(q3[d:d+4]), xa) + l2c4((*[4]float32)(q3[d+4:d+8]), xb)
+			}
+			if d+4 <= dim {
+				x := (*[4]float32)(row[d : d+4])
+				s0 += l2c4((*[4]float32)(q0[d:d+4]), x)
+				s1 += l2c4((*[4]float32)(q1[d:d+4]), x)
+				s2 += l2c4((*[4]float32)(q2[d:d+4]), x)
+				s3 += l2c4((*[4]float32)(q3[d:d+4]), x)
+				d += 4
+			}
+			for ; d < dim; d++ {
+				xk := row[d]
+				t0 := q0[d] - xk
+				t1 := q1[d] - xk
+				t2 := q2[d] - xk
+				t3 := q3[d] - xk
+				s0 += t0 * t0
+				s1 += t1 * t1
+				s2 += t2 * t2
+				s3 += t3 * t3
+			}
+			o0[i], o1[i], o2[i], o3[i] = s0, s1, s2, s3
+		}
+	}
+	for ; qg < nq; qg++ {
+		l2Batch4x8(qs[qg*dim:(qg+1)*dim], data, dim, out[qg*n:(qg+1)*n])
+	}
+}
+
+func ipTile4(qs, data []float32, dim, nq int, out []float32) {
+	n := len(data) / dim
+	if n == 0 {
+		return
+	}
+	qg := 0
+	for ; qg+4 <= nq; qg += 4 {
+		q0 := qs[(qg+0)*dim : (qg+0)*dim+dim]
+		q1 := qs[(qg+1)*dim : (qg+1)*dim+dim]
+		q2 := qs[(qg+2)*dim : (qg+2)*dim+dim]
+		q3 := qs[(qg+3)*dim : (qg+3)*dim+dim]
+		o0 := out[(qg+0)*n : (qg+0)*n+n]
+		o1 := out[(qg+1)*n : (qg+1)*n+n]
+		o2 := out[(qg+2)*n : (qg+2)*n+n]
+		o3 := out[(qg+3)*n : (qg+3)*n+n]
+		for i := 0; i < n; i++ {
+			row := data[i*dim : i*dim+dim]
+			var s0, s1, s2, s3 float32
+			d := 0
+			for ; d+8 <= dim; d += 8 {
+				x := (*[8]float32)(row[d : d+8])
+				s0 += ipc8((*[8]float32)(q0[d:d+8]), x)
+				s1 += ipc8((*[8]float32)(q1[d:d+8]), x)
+				s2 += ipc8((*[8]float32)(q2[d:d+8]), x)
+				s3 += ipc8((*[8]float32)(q3[d:d+8]), x)
+			}
+			if d+4 <= dim {
+				x := (*[4]float32)(row[d : d+4])
+				s0 += ipc4((*[4]float32)(q0[d:d+4]), x)
+				s1 += ipc4((*[4]float32)(q1[d:d+4]), x)
+				s2 += ipc4((*[4]float32)(q2[d:d+4]), x)
+				s3 += ipc4((*[4]float32)(q3[d:d+4]), x)
+				d += 4
+			}
+			for ; d < dim; d++ {
+				xk := row[d]
+				s0 += q0[d] * xk
+				s1 += q1[d] * xk
+				s2 += q2[d] * xk
+				s3 += q3[d] * xk
+			}
+			o0[i], o1[i], o2[i], o3[i] = s0, s1, s2, s3
+		}
+	}
+	for ; qg < nq; qg++ {
+		ipBatch4x8(qs[qg*dim:(qg+1)*dim], data, dim, out[qg*n:(qg+1)*n])
+	}
+}

@@ -1,0 +1,232 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The blocked, early-abandon and tile kernels are exercised against the
+// float64 scalar references across every tier, with the dims the register
+// blocking finds hardest: 1 and 3 (pure tail), 17 (one chunk + tail at
+// every width), 100 (4/8-wide exact, 16-wide tail), 131 (tail everywhere),
+// plus the power-of-two fast path 128.
+
+var equivDims = []int{1, 3, 17, 100, 131, 128}
+
+// equivNs covers empty blocks, sub-row-block sizes and both row-tail
+// shapes of the 4-row blocking.
+var equivNs = []int{0, 1, 3, 4, 5, 7, 64}
+
+func TestBatchKernelsMatchScalarAllTiers(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, dim := range equivDims {
+		for _, n := range equivNs {
+			data := randVec(r, dim*n)
+			q := randVec(r, dim)
+			for _, l := range Levels() {
+				outL2 := make([]float32, n)
+				outIP := make([]float32, n)
+				L2SquaredBatchAt(l, q, data, dim, outL2)
+				DotBatchAt(l, q, data, dim, outIP)
+				for i := 0; i < n; i++ {
+					row := data[i*dim : (i+1)*dim]
+					if !almostEqual(float64(outL2[i]), refL2(q, row), 1e-4) {
+						t.Fatalf("dim %d n %d level %v row %d: L2 %v, want %v", dim, n, l, i, outL2[i], refL2(q, row))
+					}
+					if !almostEqual(float64(outIP[i]), refDot(q, row), 1e-4) {
+						t.Fatalf("dim %d n %d level %v row %d: IP %v, want %v", dim, n, l, i, outIP[i], refDot(q, row))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTileKernelsMatchScalarAllTiers(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	// nq values straddle the 4-query tile width (pure tile, tile+remainder,
+	// pure remainder).
+	for _, nq := range []int{1, 2, 3, 4, 5, 8, 9} {
+		for _, dim := range equivDims {
+			for _, n := range []int{0, 1, 5, 33} {
+				queries := randVec(r, nq*dim)
+				data := randVec(r, n*dim)
+				for _, l := range Levels() {
+					outL2 := make([]float32, nq*n)
+					outIP := make([]float32, nq*n)
+					L2SquaredTileAt(l, queries, data, dim, outL2)
+					DotTileAt(l, queries, data, dim, outIP)
+					for qi := 0; qi < nq; qi++ {
+						q := queries[qi*dim : (qi+1)*dim]
+						for i := 0; i < n; i++ {
+							row := data[i*dim : (i+1)*dim]
+							if !almostEqual(float64(outL2[qi*n+i]), refL2(q, row), 1e-4) {
+								t.Fatalf("nq %d dim %d n %d level %v (%d,%d): tile L2 %v, want %v",
+									nq, dim, n, l, qi, i, outL2[qi*n+i], refL2(q, row))
+							}
+							if !almostEqual(float64(outIP[qi*n+i]), refDot(q, row), 1e-4) {
+								t.Fatalf("nq %d dim %d n %d level %v (%d,%d): tile IP %v, want %v",
+									nq, dim, n, l, qi, i, outIP[qi*n+i], refDot(q, row))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBoundKernelInvariant pins the early-abandon contract on every tier:
+// rows whose true distance is below the bound come out exact (same
+// tolerance as the plain batch kernel); rows at or above the bound come
+// out >= bound (possibly +Inf when abandoned mid-row). Bounds are drawn
+// from the observed distance distribution so both outcomes occur.
+func TestBoundKernelInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for _, dim := range equivDims {
+		for _, n := range equivNs {
+			data := randVec(r, dim*n)
+			q := randVec(r, dim)
+			ref := make([]float64, n)
+			for i := 0; i < n; i++ {
+				ref[i] = refL2(q, data[i*dim:(i+1)*dim])
+			}
+			bounds := []float32{0, float32(math.Inf(1))}
+			if n > 0 {
+				bounds = append(bounds, float32(ref[n/2]), float32(ref[0]*0.5), float32(ref[0]*2))
+			}
+			for _, bound := range bounds {
+				for _, l := range Levels() {
+					out := make([]float32, n)
+					L2SquaredBatchBoundAt(l, q, data, dim, bound, out)
+					for i := 0; i < n; i++ {
+						if ref[i] < float64(bound)*(1-1e-4) {
+							if !almostEqual(float64(out[i]), ref[i], 1e-4) {
+								t.Fatalf("dim %d n %d level %v bound %v row %d: %v, want exact %v",
+									dim, n, l, bound, i, out[i], ref[i])
+							}
+						} else if ref[i] > float64(bound)*(1+1e-4) {
+							if float64(out[i]) < float64(bound)*(1-1e-4) {
+								t.Fatalf("dim %d n %d level %v bound %v row %d: %v below bound (true %v)",
+									dim, n, l, bound, i, out[i], ref[i])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchKernelsNaNInf: non-finite inputs must propagate identically to
+// the pairwise kernels — NaN rows stay NaN (the bound kernel must not
+// "abandon" them into +Inf: NaN partials never satisfy s >= bound), and
+// Inf rows produce Inf/NaN exactly as IEEE arithmetic dictates.
+func TestBatchKernelsNaNInf(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	dim := 9
+	q := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	rows := [][]float32{
+		{1, 2, 3, 4, 5, 6, 7, 8, 9},
+		{nan, 2, 3, 4, 5, 6, 7, 8, 9},
+		{1, 2, 3, 4, inf, 6, 7, 8, 9},
+		{-inf, 2, 3, 4, inf, 6, 7, 8, 9},
+		{1, 2, 3, 4, 5, 6, 7, 8, nan},
+	}
+	var data []float32
+	for _, row := range rows {
+		data = append(data, row...)
+	}
+	n := len(rows)
+	for _, l := range Levels() {
+		out := make([]float32, n)
+		outB := make([]float32, n)
+		outT := make([]float32, n)
+		L2SquaredBatchAt(l, q, data, dim, out)
+		L2SquaredBatchBoundAt(l, q, data, dim, inf, outB)
+		L2SquaredTileAt(l, q, data, dim, outT)
+		for i, row := range rows {
+			want := L2SquaredAt(LevelScalar, q, row)
+			for variant, got := range map[string]float32{"batch": out[i], "bound": outB[i], "tile": outT[i]} {
+				if (want != want) != (got != got) {
+					t.Fatalf("level %v %s row %d: NaN-ness %v, want %v", l, variant, i, got, want)
+				}
+				if want == want && !almostEqual(float64(got), float64(want), 1e-4) && !math.IsInf(float64(want), 0) {
+					t.Fatalf("level %v %s row %d: %v, want %v", l, variant, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchBoundAbandonedRowsAreInf: with a bound the first dimensions
+// already exceed, every row must be reported as +Inf, not a garbage
+// partial sum.
+func TestBatchBoundAbandonedRowsAreInf(t *testing.T) {
+	dim := 64
+	n := 8
+	q := make([]float32, dim)
+	data := make([]float32, n*dim)
+	for i := range data {
+		data[i] = 100 // distance 10000*dim from the zero query
+	}
+	for _, l := range Levels() {
+		out := make([]float32, n)
+		L2SquaredBatchBoundAt(l, q, data, dim, 1, out)
+		for i, d := range out {
+			if d < 1 {
+				t.Fatalf("level %v row %d: %v below bound 1", l, i, d)
+			}
+		}
+	}
+}
+
+func TestNegDotVariants(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	dim, n := 33, 11
+	q := randVec(r, dim)
+	data := randVec(r, n*dim)
+	out := make([]float32, n)
+	NegDotBatch(q, data, dim, out)
+	for i := 0; i < n; i++ {
+		want := -refDot(q, data[i*dim:(i+1)*dim])
+		if !almostEqual(float64(out[i]), want, 1e-4) {
+			t.Fatalf("NegDotBatch row %d: %v, want %v", i, out[i], want)
+		}
+	}
+	tile := make([]float32, n)
+	NegDotTile(q, data, dim, tile)
+	for i := 0; i < n; i++ {
+		if !almostEqual(float64(tile[i]), -refDot(q, data[i*dim:(i+1)*dim]), 1e-4) {
+			t.Fatalf("NegDotTile row %d: %v", i, tile[i])
+		}
+	}
+}
+
+// TestBatchDispatchCounters: the hooked batch entry points must count once
+// per call against the active tier, independently of the pairwise counter.
+func TestBatchDispatchCounters(t *testing.T) {
+	prev := DispatchCounting()
+	SetDispatchCounting(true)
+	defer SetDispatchCounting(prev)
+	ResetDispatchCounts()
+	q := []float32{1, 2, 3, 4}
+	data := []float32{0, 0, 0, 0, 1, 1, 1, 1}
+	out := make([]float32, 2)
+	L2SquaredBatch(q, data, 4, out)
+	DotBatch(q, data, 4, out)
+	L2SquaredBatchBound(q, data, 4, float32(math.Inf(1)), out)
+	L2SquaredTile(q, data, 4, out)
+	if got := BatchDispatchTotal(); got != 4 {
+		t.Fatalf("BatchDispatchTotal = %d, want 4", got)
+	}
+	if DispatchCount(CurrentLevel()) != 0 {
+		t.Fatalf("batch calls leaked into the pairwise counter")
+	}
+	ResetDispatchCounts()
+	if BatchDispatchTotal() != 0 {
+		t.Fatal("ResetDispatchCounts did not clear batch counters")
+	}
+}

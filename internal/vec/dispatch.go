@@ -9,8 +9,9 @@ import "sync/atomic"
 // of the enable flag and nothing else.
 
 var (
-	countDispatch  atomic.Bool
-	dispatchCounts [int(LevelAVX512) + 1]atomic.Int64
+	countDispatch       atomic.Bool
+	dispatchCounts      [int(LevelAVX512) + 1]atomic.Int64
+	batchDispatchCounts [int(LevelAVX512) + 1]atomic.Int64
 )
 
 // SetDispatchCounting turns per-tier dispatch counting on or off.
@@ -28,10 +29,34 @@ func DispatchCount(l Level) int64 {
 	return dispatchCounts[l].Load()
 }
 
-// ResetDispatchCounts zeroes all per-tier dispatch counters.
+// BatchDispatchCount returns the number of hooked *batch* kernel dispatches
+// (L2SquaredBatch/DotBatch/bound/tile entry points) served by the given tier
+// since the last reset. The internal scan paths are required to go through
+// these entry points — the conformance tests assert this count is non-zero
+// after a scan, which is the guard against a path silently regressing to a
+// per-pair loop over a contiguous block.
+func BatchDispatchCount(l Level) int64 {
+	if l < LevelScalar || l > LevelAVX512 {
+		return 0
+	}
+	return batchDispatchCounts[l].Load()
+}
+
+// BatchDispatchTotal sums batch-kernel dispatches across all tiers.
+func BatchDispatchTotal() int64 {
+	var t int64
+	for i := range batchDispatchCounts {
+		t += batchDispatchCounts[i].Load()
+	}
+	return t
+}
+
+// ResetDispatchCounts zeroes all per-tier dispatch counters, pairwise and
+// batch.
 func ResetDispatchCounts() {
 	for i := range dispatchCounts {
 		dispatchCounts[i].Store(0)
+		batchDispatchCounts[i].Store(0)
 	}
 }
 
@@ -44,5 +69,13 @@ func Levels() []Level {
 func countCurrent() {
 	if countDispatch.Load() {
 		dispatchCounts[currentLevel.Load()].Add(1)
+	}
+}
+
+// countCurrentBatch records one batch-kernel dispatch against the currently
+// hooked tier.
+func countCurrentBatch() {
+	if countDispatch.Load() {
+		batchDispatchCounts[currentLevel.Load()].Add(1)
 	}
 }

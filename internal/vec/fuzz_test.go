@@ -30,14 +30,14 @@ func FuzzKernelTiersAgree(f *testing.F) {
 		}
 		f.Add(buf)
 	}
-	add()                          // zero-length vectors
-	add(1, 2)                      // dim 1
-	add(1, 2, 3, 4, 5, 6, 7, 8)    // dim 4: exercises unroll tails
+	add()                                               // zero-length vectors
+	add(1, 2)                                           // dim 1
+	add(1, 2, 3, 4, 5, 6, 7, 8)                         // dim 4: exercises unroll tails
 	add(float32(math.NaN()), 1, 2, float32(math.NaN())) // NaN components
 	add(float32(math.Inf(1)), 1, float32(math.Inf(-1)), 2)
-	add(3e38, 3e38, -3e38, 3e38) // float32-overflow territory
+	add(3e38, 3e38, -3e38, 3e38)    // float32-overflow territory
 	add(1e-40, 1e-40, 2e-40, 3e-40) // denormals
-	f.Add([]byte{1, 2, 3}) // ragged tail bytes are dropped
+	f.Add([]byte{1, 2, 3})          // ragged tail bytes are dropped
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 8*256 {

@@ -152,19 +152,3 @@ func ipUnroll16(a, b []float32) float32 {
 	}
 	return s
 }
-
-func l2BatchGeneric(q, data []float32, dim int, out []float32) {
-	l2 := active.Load().l2
-	n := len(data) / dim
-	for i := 0; i < n; i++ {
-		out[i] = l2(q, data[i*dim:(i+1)*dim])
-	}
-}
-
-func ipBatchGeneric(q, data []float32, dim int, out []float32) {
-	ip := active.Load().ip
-	n := len(data) / dim
-	for i := 0; i < n; i++ {
-		out[i] = ip(q, data[i*dim:(i+1)*dim])
-	}
-}

@@ -90,6 +90,11 @@ func (m Metric) Dist() DistFunc {
 // NegDot is inner product negated into a distance (smaller = more similar).
 func NegDot(a, b []float32) float32 { return -Dot(a, b) }
 
+// BatchEligible reports whether the metric's distance decomposes per
+// dimension so the blocked batch and tile kernels apply (L2 and IP; cosine
+// needs per-pair norms and the binary metrics operate on packed bit words).
+func (m Metric) BatchEligible() bool { return m == L2 || m == IP }
+
 // Decomposable reports whether the metric's distance over a concatenation of
 // sub-vectors equals the sum of per-sub-vector distances. Inner product is;
 // so is L2 (squared), which the vector-fusion path exploits; cosine is not

@@ -4,25 +4,29 @@
 //
 // The paper (Sec. 3.2.2) factors every similarity-computing function into
 // four SIMD variants (SSE, AVX, AVX2, AVX512), compiles each separately and
-// hooks the right function pointers at runtime based on CPU flags. Go has no
-// stdlib SIMD intrinsics, so this package reproduces the *mechanism* — one
-// kernel per tier, selected once at startup through function pointers — with
-// unrolled multi-accumulator kernels standing in for wider registers:
+// hooks the right function pointers at runtime based on CPU flags. This
+// package reproduces that mechanism — one kernel set per tier, selected
+// once at startup through function pointers:
 //
 //	LevelScalar  — straight loop                 (no SIMD)
 //	LevelSSE     — 4-wide unroll, 1 accumulator  (128-bit registers)
 //	LevelAVX     — 8-wide unroll, 2 accumulators (256-bit registers)
-//	LevelAVX2    — 8-wide unroll, 2 accumulators + FMA-style fusion
+//	LevelAVX2    — 8-wide unroll + FMA-style fusion
 //	LevelAVX512  — 16-wide unroll, 4 accumulators (512-bit registers)
 //
-// Wider tiers expose more instruction-level parallelism and are measurably
-// faster, preserving the shape of the paper's Fig. 12 (AVX512 ≈ 1.5× AVX2).
+// Every tier has portable register-blocked pure-Go kernels (multi-
+// accumulator unrolls standing in for wider registers). On amd64, the
+// *batch* entry points of the AVX2/AVX512 tiers are additionally backed by
+// hand-written AVX2+FMA / AVX-512 assembly (asm_amd64.s), installed at
+// startup only when CPUID and XCR0 confirm host support — the Go kernels
+// remain the reference semantics the asm is fuzz-tested against, and the
+// fallback everywhere else. Wider tiers are measurably faster, preserving
+// the shape of the paper's Fig. 12.
 package vec
 
 import (
 	"fmt"
 	"os"
-	"runtime"
 	"sync/atomic"
 )
 
@@ -67,18 +71,21 @@ func ParseLevel(s string) (Level, error) {
 
 // kernelSet is the set of hooked function pointers for one tier.
 type kernelSet struct {
-	l2  func(a, b []float32) float32
-	ip  func(a, b []float32) float32
-	l2b func(q []float32, data []float32, dim int, out []float32)
-	ipb func(q []float32, data []float32, dim int, out []float32)
+	l2   func(a, b []float32) float32
+	ip   func(a, b []float32) float32
+	l2b  func(q []float32, data []float32, dim int, out []float32)
+	ipb  func(q []float32, data []float32, dim int, out []float32)
+	l2bb func(q []float32, data []float32, dim int, bound float32, out []float32)
+	l2t  func(qs []float32, data []float32, dim, nq int, out []float32)
+	ipt  func(qs []float32, data []float32, dim, nq int, out []float32)
 }
 
 var kernels = [...]kernelSet{
-	LevelScalar: {l2Scalar, ipScalar, l2BatchGeneric, ipBatchGeneric},
-	LevelSSE:    {l2Unroll4, ipUnroll4, l2BatchGeneric, ipBatchGeneric},
-	LevelAVX:    {l2Unroll8, ipUnroll8, l2BatchGeneric, ipBatchGeneric},
-	LevelAVX2:   {l2Unroll8, ipUnroll8, l2BatchGeneric, ipBatchGeneric},
-	LevelAVX512: {l2Unroll16, ipUnroll16, l2BatchGeneric, ipBatchGeneric},
+	LevelScalar: {l2Scalar, ipScalar, l2BatchScalar, ipBatchScalar, l2BoundScalar, l2TileScalar, ipTileScalar},
+	LevelSSE:    {l2Unroll4, ipUnroll4, l2Batch4x4, ipBatch4x4, l2Bound4, l2Tile4, ipTile4},
+	LevelAVX:    {l2Unroll8, ipUnroll8, l2Batch4x8, ipBatch4x8, l2Bound8, l2Tile4, ipTile4},
+	LevelAVX2:   {l2Unroll8, ipUnroll8, l2Batch4x8, ipBatch4x8, l2Bound8, l2Tile4, ipTile4},
+	LevelAVX512: {l2Unroll16, ipUnroll16, l2Batch4x16, ipBatch4x16, l2Bound16, l2Tile4, ipTile4},
 }
 
 var currentLevel atomic.Int32
@@ -90,27 +97,25 @@ var currentLevel atomic.Int32
 var active atomic.Pointer[kernelSet]
 
 func init() {
+	installASMKernels()
 	SetLevel(DetectLevel())
 }
 
-// DetectLevel picks the best tier supported by the running CPU. Real CPUID
-// probing is unavailable from the stdlib, so on amd64/arm64 the widest tier
-// is assumed (every mainstream 2020+ server CPU supports 256-bit vectors and
-// the unrolled kernels are portable Go anyway). The VECTORDB_SIMD environment
-// variable overrides detection, mirroring the paper's single-binary-many-CPUs
-// requirement: the same binary adapts per host without recompilation.
+// DetectLevel picks the best tier supported by the running CPU. On amd64
+// the decision comes from real CPUID/XCR0 probing (see asm_amd64.go):
+// AVX-512 F, else AVX2+FMA, else the portable Go tiers. Elsewhere the Go
+// kernels run everywhere and the widest useful tier is assumed. The
+// VECTORDB_SIMD environment variable overrides detection, mirroring the
+// paper's single-binary-many-CPUs requirement: the same binary adapts per
+// host without recompilation. A forced tier is always safe — the asm
+// kernels are installed per tier only when the host supports them.
 func DetectLevel() Level {
 	if s := os.Getenv("VECTORDB_SIMD"); s != "" {
 		if l, err := ParseLevel(s); err == nil {
 			return l
 		}
 	}
-	switch runtime.GOARCH {
-	case "amd64", "arm64":
-		return LevelAVX512
-	default:
-		return LevelSSE
-	}
+	return bestLevelForHost()
 }
 
 // SetLevel hooks the kernel function pointers for the given tier.
@@ -163,16 +168,95 @@ func DotAt(l Level, a, b []float32) float32 {
 }
 
 // L2SquaredBatch computes the squared L2 distance from q to every row of the
-// flat row-major matrix data (len(data) = n*dim) into out (len n).
+// flat row-major matrix data (len(data) = n*dim) into out (len >= n), using
+// the hooked tier's register-blocked batch kernel: one dispatch per block
+// instead of one per row.
 func L2SquaredBatch(q, data []float32, dim int, out []float32) {
-	countCurrent()
+	countCurrentBatch()
 	active.Load().l2b(q, data, dim, out)
 }
 
 // DotBatch computes the inner product of q with every row of data into out.
 func DotBatch(q, data []float32, dim int, out []float32) {
-	countCurrent()
+	countCurrentBatch()
 	active.Load().ipb(q, data, dim, out)
+}
+
+// NegDotBatch is DotBatch negated into distances (smaller = more similar),
+// the batch analogue of NegDot for inner-product scans.
+func NegDotBatch(q, data []float32, dim int, out []float32) {
+	countCurrentBatch()
+	active.Load().ipb(q, data, dim, out)
+	n := len(data) / dim
+	for i := 0; i < n; i++ {
+		out[i] = -out[i]
+	}
+}
+
+// L2SquaredBatchBound is L2SquaredBatch with early abandonment: a row whose
+// partial sum reaches bound part-way through its dimensions is abandoned and
+// reported as +Inf (its true distance provably >= bound, partial sums being
+// monotone). Rows whose distance is below bound are reported exactly as
+// L2SquaredBatch would. Callers feed the current top-k worst distance as
+// bound so heap pruning reaches inside the block; bound = +Inf disables
+// abandonment.
+func L2SquaredBatchBound(q, data []float32, dim int, bound float32, out []float32) {
+	countCurrentBatch()
+	active.Load().l2bb(q, data, dim, bound, out)
+}
+
+// L2SquaredTile computes the full query×data distance tile: nq =
+// len(queries)/dim contiguous queries against n = len(data)/dim rows, out
+// laid out query-major (out[qi*n+i] = distance of query qi to row i, len >=
+// nq*n). The kernel register-blocks four queries per data row, so a data
+// block loaded into cache is reused across the query block instead of being
+// re-streamed per query — the blocking mechanism behind the paper's Eq. (1).
+func L2SquaredTile(queries, data []float32, dim int, out []float32) {
+	countCurrentBatch()
+	active.Load().l2t(queries, data, dim, len(queries)/dim, out)
+}
+
+// DotTile is L2SquaredTile for inner products (not negated).
+func DotTile(queries, data []float32, dim int, out []float32) {
+	countCurrentBatch()
+	active.Load().ipt(queries, data, dim, len(queries)/dim, out)
+}
+
+// NegDotTile is DotTile negated into distances.
+func NegDotTile(queries, data []float32, dim int, out []float32) {
+	countCurrentBatch()
+	nq := len(queries) / dim
+	active.Load().ipt(queries, data, dim, nq, out)
+	n := len(data) / dim
+	for i := 0; i < nq*n; i++ {
+		out[i] = -out[i]
+	}
+}
+
+// L2SquaredBatchAt runs the batch kernel of an explicit tier (tests,
+// benchmarks).
+func L2SquaredBatchAt(l Level, q, data []float32, dim int, out []float32) {
+	kernels[l].l2b(q, data, dim, out)
+}
+
+// DotBatchAt runs the dot batch kernel of an explicit tier.
+func DotBatchAt(l Level, q, data []float32, dim int, out []float32) {
+	kernels[l].ipb(q, data, dim, out)
+}
+
+// L2SquaredBatchBoundAt runs the bound kernel of an explicit tier.
+func L2SquaredBatchBoundAt(l Level, q, data []float32, dim int, bound float32, out []float32) {
+	kernels[l].l2bb(q, data, dim, bound, out)
+}
+
+// L2SquaredTileAt runs the tile kernel of an explicit tier.
+func L2SquaredTileAt(l Level, queries, data []float32, dim int, out []float32) {
+	kernels[l].l2t(queries, data, dim, len(queries)/dim, out)
+}
+
+// DotTileAt runs the dot tile kernel of an explicit tier.
+func DotTileAt(l Level, queries, data []float32, dim int, out []float32) {
+	kernels[l].ipt(queries, data, dim, len(queries)/dim, out)
 }
 
 // Norm returns the Euclidean norm of a.
