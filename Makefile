@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-kernels bench-smoke kernel-guard ci cover stress experiments examples clean
+.PHONY: all build test race vet fmt lint bench bench-kernels bench-smoke kernel-guard ci cover stress experiments examples clean
 
 all: build test
 
@@ -18,35 +18,39 @@ race:
 vet:
 	$(GO) vet ./...
 
-# ci is the gate every change must pass: vet, build, the full test suite,
-# the race detector over internal/ — which includes the seeded
-# concurrency stress harness (internal/stress) with fault injection —
-# the cancellation/leak gate, the observability coverage floor, the
-# batch-kernel guard and the benchmark smoke run.
-ci: vet build test cover kernel-guard bench-smoke
+# fmt fails when any tracked source is not gofmt-clean (run `gofmt -w .`
+# to fix). The golden-test module under internal/lint/testdata is held to
+# the same standard, so no exclusions are needed.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "fmt: files need gofmt -w:"; echo "$$out"; exit 1; fi
+
+# lint runs vectordblint, the in-tree stdlib-only static-analysis suite
+# (internal/lint): poolfree, ctxflow, kerneldispatch, lockdiscipline,
+# atomicmix, metricreg. Intentional exceptions carry //lint:allow pragmas
+# in the source; see DESIGN.md §9.
+lint:
+	$(GO) run ./cmd/vectordblint ./...
+
+# ci is the gate every change must pass: vet, gofmt cleanliness, build,
+# the static-analysis suite, the full test suite, the race detector over
+# internal/ — which includes the seeded concurrency stress harness
+# (internal/stress) with fault injection — the cancellation/leak gate,
+# the observability coverage floor, the batch-kernel guard and the
+# benchmark smoke run.
+ci: vet fmt build lint test cover kernel-guard bench-smoke
 	$(GO) test -race ./internal/...
 	$(GO) test -race ./internal/stress -run TestStressCancel -short -faults=cancel
 	$(GO) test -race ./internal/core -run 'TestSearchCtx|TestAdmission'
 
 # kernel-guard keeps every hot read path on the blocked batch kernels.
-# First a grep gate: each scan site must still reference its blocked entry
-# point (a revert to per-row pairwise loops deletes the symbol and fails
-# here before any benchmark would catch the regression). Then the
-# conformance tests assert the batch-dispatch counters actually tick — the
-# symbol being present is not enough, the scan must route through it.
+# The static half — no per-tier kernel calls outside internal/vec — is
+# the kerneldispatch analyzer in `make lint` (it replaced the old grep
+# gate with a type-aware check). What remains here is the dynamic half:
+# conformance tests asserting the batch-dispatch counters actually tick
+# during scans — symbols being referenced is not enough, the scan must
+# route through them.
 kernel-guard:
-	@grep -q 'index\.ScanBlocked' internal/index/flat/flat.go \
-		|| { echo "kernel-guard: flat scan no longer uses index.ScanBlocked"; exit 1; }
-	@grep -q 'index\.ScanBlocked' internal/index/ivf/ivf.go \
-		|| { echo "kernel-guard: IVF bucket scan no longer uses index.ScanBlocked"; exit 1; }
-	@grep -q 'DistanceBatch' internal/index/ivf/ivf.go \
-		|| { echo "kernel-guard: IVF-SQ8 scan no longer uses the fused ADC batch (DistanceBatch)"; exit 1; }
-	@grep -q 'Tile(' internal/index/ivf/batch.go \
-		|| { echo "kernel-guard: IVF SearchBatch no longer uses the query-tile kernels"; exit 1; }
-	@grep -q 'index\.ScanBlocked' internal/core/segment.go \
-		|| { echo "kernel-guard: segment scan no longer uses index.ScanBlocked"; exit 1; }
-	@grep -q 'ScanBucketSQ8' internal/index/sq8h/sq8h.go \
-		|| { echo "kernel-guard: SQ8H CPU leg no longer uses the fused SQ8 bucket scan"; exit 1; }
 	$(GO) test ./internal/index -run 'TestIndexScansUseBatchKernels|TestScanBlockedUsesBatchKernels'
 	$(GO) test ./internal/core -run TestSegmentScanUsesBatchKernels
 

@@ -1,0 +1,89 @@
+// Command vectordblint runs vectordb's custom static-analysis suite
+// (internal/lint) over the module: a stdlib-only analyzer driver that
+// loads packages with `go list -json`, parses and type-checks them with
+// go/parser and go/types, and reports violations of the codebase's
+// concurrency, pooling and kernel-dispatch invariants as
+//
+//	file:line:col: [analyzer] message
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on driver
+// errors. Intentional exceptions are waived in the source with
+// `//lint:allow <analyzer> <reason>`.
+//
+// Usage:
+//
+//	vectordblint [-C dir] [-run list] [-q] [packages...]
+//
+// packages default to ./...; -run selects a comma-separated subset of
+// analyzers; -list prints the suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vectordb/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		dir    = flag.String("C", ".", "directory to resolve package patterns in (the module root)")
+		runSel = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list   = flag.Bool("list", false, "list analyzers and exit")
+		quiet  = flag.Bool("q", false, "suppress the summary line, print findings only")
+	)
+	flag.Parse()
+
+	var names []string
+	if *runSel != "" {
+		names = strings.Split(*runSel, ",")
+	}
+	analyzers, unknown := lint.Select(names)
+	if len(unknown) > 0 {
+		fmt.Fprintf(os.Stderr, "vectordblint: unknown analyzers: %s\n", strings.Join(unknown, ", "))
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.Run(*dir, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vectordblint: %v\n", err)
+		return 2
+	}
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", name, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "vectordblint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "vectordblint: clean (%d analyzers)\n", len(analyzers))
+	}
+	return 0
+}

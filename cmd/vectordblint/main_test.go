@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// buildDriver compiles the vectordblint binary once into the test's temp
+// dir and returns its path.
+func buildDriver(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "vectordblint")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building driver: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestDriverEndToEnd runs the built binary against the golden module and
+// checks the three exit statuses and the canonical output line format.
+func TestDriverEndToEnd(t *testing.T) {
+	bin := buildDriver(t)
+	golden := filepath.Join("..", "..", "internal", "lint", "testdata", "src", "lintest")
+
+	// Findings: exit 1, file:line:col: [analyzer] message lines.
+	out, err := exec.Command(bin, "-C", golden, "-q", "./internal/query/ctxbad").CombinedOutput()
+	if code := exitCode(err); code != 1 {
+		t.Fatalf("ctxbad run: exit %d (err %v), want 1\n%s", code, err, out)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("ctxbad run printed %d lines, want 5:\n%s", len(lines), out)
+	}
+	for _, ln := range lines {
+		if !strings.Contains(ln, "ctxbad.go:") || !strings.Contains(ln, ": [ctxflow] ") {
+			t.Errorf("malformed finding line: %q", ln)
+		}
+	}
+
+	// Clean: exit 0 (kernelbad has no atomicmix findings).
+	out, err = exec.Command(bin, "-C", golden, "-run", "atomicmix", "./internal/index/kernelbad").CombinedOutput()
+	if code := exitCode(err); code != 0 {
+		t.Fatalf("clean run: exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "clean") {
+		t.Errorf("clean run summary missing: %q", out)
+	}
+
+	// Driver error: exit 2 on an unknown analyzer.
+	out, err = exec.Command(bin, "-run", "nosuch", "./...").CombinedOutput()
+	if code := exitCode(err); code != 2 {
+		t.Fatalf("unknown-analyzer run: exit %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "unknown analyzers: nosuch") {
+		t.Errorf("unknown-analyzer message missing: %q", out)
+	}
+
+	// -list prints the suite without loading anything.
+	out, err = exec.Command(bin, "-list").CombinedOutput()
+	if code := exitCode(err); code != 0 {
+		t.Fatalf("-list: exit %d, want 0\n%s", code, out)
+	}
+	for _, name := range []string{"poolfree", "ctxflow", "kerneldispatch", "lockdiscipline", "atomicmix", "metricreg"} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	return -1
+}

@@ -128,6 +128,7 @@ func (cl *Cluster) Reader(id string) (*Reader, bool) {
 // shard results. A dead reader is detected, deregistered (its shards
 // redistribute), and the query retries — the availability path of Sec. 5.3.
 func (cl *Cluster) Search(collection string, query []float32, opts core.SearchOptions) ([]topk.Result, error) {
+	//lint:allow ctxflow ctx-less compat wrapper: public API without a context anchors at Background
 	return cl.SearchFilteredCtx(context.Background(), collection, query, opts, nil)
 }
 
@@ -140,6 +141,7 @@ func (cl *Cluster) SearchCtx(ctx context.Context, collection string, query []flo
 // SearchFiltered is Search with an attribute range pushed down to every
 // reader (distributed attribute filtering).
 func (cl *Cluster) SearchFiltered(collection string, query []float32, opts core.SearchOptions, rf *RangeFilter) ([]topk.Result, error) {
+	//lint:allow ctxflow ctx-less compat wrapper: public API without a context anchors at Background
 	return cl.SearchFilteredCtx(context.Background(), collection, query, opts, rf)
 }
 

@@ -215,6 +215,7 @@ type RangeFilter struct {
 // reflect (snapshot consistency across the fleet). rf, when non-nil, is an
 // attribute constraint evaluated shard-locally.
 func (r *Reader) SearchOwned(collection string, version int64, ring *Ring, query []float32, opts core.SearchOptions, rf ...*RangeFilter) ([]topk.Result, error) {
+	//lint:allow ctxflow ctx-less compat wrapper: public API without a context anchors at Background
 	return r.SearchOwnedCtx(context.Background(), collection, version, ring, query, opts, rf...)
 }
 

@@ -94,6 +94,7 @@ func (v *SourceView) ctx() context.Context {
 	if v.Ctx != nil {
 		return v.Ctx
 	}
+	//lint:allow ctxflow nil-Ctx view means detached-from-request by documented contract
 	return context.Background()
 }
 
@@ -138,6 +139,7 @@ func (v *MultiView) Fields() int { return len(v.c.schema.VectorFields) }
 func (v *MultiView) FieldQuery(field int, q []float32, k int) []topk.Result {
 	ctx := v.Ctx
 	if ctx == nil {
+		//lint:allow ctxflow nil-Ctx view means detached-from-request by documented contract
 		ctx = context.Background()
 	}
 	res, err := v.c.searchSnapshot(ctx, v.sn, q, SearchOptions{
@@ -160,6 +162,7 @@ func (v *MultiView) FieldDistance(field int, q []float32, id int64) (float32, bo
 // cost-based strategy D over the current snapshot — the default filtering
 // path of the public API and the REST server.
 func (c *Collection) SearchFiltered(queryVec []float32, attrName string, lo, hi int64, opts SearchOptions) ([]topk.Result, error) {
+	//lint:allow ctxflow ctx-less compat wrapper: public API without a context anchors at Background
 	return c.SearchFilteredCtx(context.Background(), queryVec, attrName, lo, hi, opts)
 }
 
@@ -206,6 +209,7 @@ func (c *Collection) SearchFilteredCtx(ctx context.Context, queryVec []float32, 
 // current snapshot (falls back from vector fusion when the metric is not
 // decomposable, mirroring Sec. 4.2's guidance).
 func (c *Collection) SearchMultiVector(queries [][]float32, weights []float32, k int) ([]topk.Result, error) {
+	//lint:allow ctxflow ctx-less compat wrapper: public API without a context anchors at Background
 	return c.SearchMultiVectorCtx(context.Background(), queries, weights, k)
 }
 
@@ -274,6 +278,7 @@ func (v *SourceView) CatRows(cat int, values ...string) []int64 {
 // the Sec. 2.1 extension, using the bitmap strategy (strategy B) since
 // equality predicates resolve to exact postings.
 func (c *Collection) SearchCategorical(queryVec []float32, catName string, values []string, opts SearchOptions) ([]topk.Result, error) {
+	//lint:allow ctxflow ctx-less compat wrapper: public API without a context anchors at Background
 	return c.SearchCategoricalCtx(context.Background(), queryVec, catName, values, opts)
 }
 

@@ -493,6 +493,7 @@ func (o *SearchOptions) Params() index.SearchParams {
 // is searched (index or scan) and per-segment results are merged — the
 // segment is the unit of searching (Sec. 2.3).
 func (c *Collection) Search(query []float32, opts SearchOptions) ([]topk.Result, error) {
+	//lint:allow ctxflow ctx-less compat wrapper: public API without a context anchors at Background
 	return c.SearchCtx(context.Background(), query, opts)
 }
 
@@ -516,6 +517,7 @@ func (c *Collection) SearchCtx(ctx context.Context, query []float32, opts Search
 
 // SearchSnapshot is Search against an explicitly pinned snapshot.
 func (c *Collection) SearchSnapshot(sn *Snapshot, query []float32, opts SearchOptions) ([]topk.Result, error) {
+	//lint:allow ctxflow ctx-less compat wrapper: public API without a context anchors at Background
 	return c.searchSnapshot(context.Background(), sn, query, opts)
 }
 

@@ -145,17 +145,22 @@ func (db *DB) ListCollections() []string {
 	return out
 }
 
-// Close closes every collection, then stops the execution pool.
+// Close closes every collection, then stops the execution pool. The
+// collection map is detached under db.mu, but the closes themselves —
+// collection flushes and the pool's drain, which blocks until every
+// worker exits — run after the mutex is released so a slow shutdown
+// cannot convoy concurrent Get/List callers.
 func (db *DB) Close() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	cols := db.collections
+	db.collections = map[string]*Collection{}
+	db.mu.Unlock()
 	var first error
-	for _, c := range db.collections {
+	for _, c := range cols {
 		if err := c.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
-	db.collections = map[string]*Collection{}
 	db.pool.Close()
 	return first
 }

@@ -107,6 +107,7 @@ func (c *Collection) BuildFusedIndex(indexType string, params map[string]string)
 // SearchFused runs the vector-fusion multi-vector query: one top-k search
 // of the aggregated query against the concatenated vectors.
 func (c *Collection) SearchFused(queries [][]float32, weights []float32, opts SearchOptions) ([]topk.Result, error) {
+	//lint:allow ctxflow ctx-less compat wrapper: public API without a context anchors at Background
 	return c.SearchFusedCtx(context.Background(), queries, weights, opts)
 }
 

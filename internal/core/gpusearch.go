@@ -45,6 +45,7 @@ type GPUSearchStats struct {
 // PCIe on a miss), the scan kernel is charged, and per-segment results are
 // merged on the host.
 func (g *GPUSearcher) Search(query []float32, opts SearchOptions) ([]topk.Result, GPUSearchStats, error) {
+	//lint:allow ctxflow ctx-less compat wrapper: public API without a context anchors at Background
 	return g.SearchCtx(context.Background(), query, opts)
 }
 

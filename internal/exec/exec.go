@@ -47,9 +47,9 @@ type Config struct {
 	// AdmitQueue bounds queries waiting for admission (default
 	// 4×MaxInflight); one more waiter is rejected with ErrRejected.
 	AdmitQueue int
-	// Obs, when set, receives the exec_* series: exec_inflight,
-	// exec_queue_depth, exec_rejected_total, exec_task_wait_seconds,
-	// exec_tasks_total, exec_workers.
+	// Obs, when set, receives the vectordb_exec_* series: vectordb_exec_inflight,
+	// vectordb_exec_queue_depth, vectordb_exec_rejected_total, vectordb_exec_task_wait_seconds,
+	// vectordb_exec_tasks_total, vectordb_exec_workers.
 	Obs *obs.Registry
 }
 
@@ -101,21 +101,21 @@ func NewPool(cfg Config) *Pool {
 		tasks: make(chan task, cfg.QueueDepth),
 		sem:   make(chan struct{}, cfg.MaxInflight),
 		// A nil-registry histogram works but is scraped nowhere.
-		taskWait: cfg.Obs.Histogram("exec_task_wait_seconds", nil),
+		taskWait: cfg.Obs.Histogram("vectordb_exec_task_wait_seconds", nil),
 	}
 	p.release = func() { <-p.sem }
 	if reg := cfg.Obs; reg != nil {
-		reg.Help("exec_inflight", "Admitted in-flight queries in the shared execution pool.")
-		reg.GaugeFunc("exec_inflight", func() int64 { return int64(len(p.sem)) })
-		reg.Help("exec_queue_depth", "Segment tasks waiting in the shared execution pool queue.")
-		reg.GaugeFunc("exec_queue_depth", func() int64 { return int64(len(p.tasks)) })
-		reg.Help("exec_rejected_total", "Queries fast-failed by admission control.")
-		reg.CounterFunc("exec_rejected_total", func() int64 { return p.rejected.Load() })
-		reg.Help("exec_tasks_total", "Segment tasks executed by the shared pool (queued + inline).")
-		reg.CounterFunc("exec_tasks_total", func() int64 { return p.ran.Load() })
-		reg.Help("exec_workers", "Resident workers in the shared execution pool.")
-		reg.GaugeFunc("exec_workers", func() int64 { return int64(cfg.Workers) })
-		reg.Help("exec_task_wait_seconds", "Queue wait of segment tasks before a worker picks them up.")
+		reg.Help("vectordb_exec_inflight", "Admitted in-flight queries in the shared execution pool.")
+		reg.GaugeFunc("vectordb_exec_inflight", func() int64 { return int64(len(p.sem)) })
+		reg.Help("vectordb_exec_queue_depth", "Segment tasks waiting in the shared execution pool queue.")
+		reg.GaugeFunc("vectordb_exec_queue_depth", func() int64 { return int64(len(p.tasks)) })
+		reg.Help("vectordb_exec_rejected_total", "Queries fast-failed by admission control.")
+		reg.CounterFunc("vectordb_exec_rejected_total", func() int64 { return p.rejected.Load() })
+		reg.Help("vectordb_exec_tasks_total", "Segment tasks executed by the shared pool (queued + inline).")
+		reg.CounterFunc("vectordb_exec_tasks_total", func() int64 { return p.ran.Load() })
+		reg.Help("vectordb_exec_workers", "Resident workers in the shared execution pool.")
+		reg.GaugeFunc("vectordb_exec_workers", func() int64 { return int64(cfg.Workers) })
+		reg.Help("vectordb_exec_task_wait_seconds", "Queue wait of segment tasks before a worker picks them up.")
 	}
 	p.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {

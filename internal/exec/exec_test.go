@@ -209,8 +209,8 @@ func TestMetricsExported(t *testing.T) {
 	}
 	text := buf.String()
 	for _, series := range []string{
-		"exec_inflight", "exec_queue_depth", "exec_rejected_total",
-		"exec_task_wait_seconds", "exec_tasks_total", "exec_workers",
+		"vectordb_exec_inflight", "vectordb_exec_queue_depth", "vectordb_exec_rejected_total",
+		"vectordb_exec_task_wait_seconds", "vectordb_exec_tasks_total", "vectordb_exec_workers",
 	} {
 		if !strings.Contains(text, series) {
 			t.Errorf("exposition missing %s:\n%s", series, text)

@@ -81,6 +81,7 @@ func ExpFig12(sc Scale) (*Table, error) {
 				var sink float32
 				for qi := 0; qi < nq; qi++ {
 					q := queries[qi*d.Dim : (qi+1)*d.Dim]
+					//lint:allow kerneldispatch the figure measures each SIMD tier explicitly; dispatch must not re-select
 					vec.L2SquaredBatchAt(l, q, d.Data, d.Dim, out)
 					sink += out[d.N-1]
 				}

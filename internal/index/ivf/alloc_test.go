@@ -1,6 +1,8 @@
 package ivf
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"vectordb/internal/dataset"
@@ -62,5 +64,60 @@ func TestSearchBatchAllocs(t *testing.T) {
 	// any per-row allocation crept back in.
 	if avg > 220 {
 		t.Errorf("SearchBatch allocates %.1f objects/op, want <= 220", avg)
+	}
+}
+
+// TestSearchBatchCancelAllocs pins the allocation budget of the batch
+// scheduler's *error* path: a batch cancelled mid-flight has already drawn
+// per-(worker,query) heaps from the topk pool, and they must go back even
+// though the merge phase is skipped. Before the deferred recycle was
+// added, every cancelled batch leaked those heaps — two allocations each
+// on the next draw — which this budget catches.
+//
+// The setup is made deterministic: nq identical queries with Nprobe 1
+// probe exactly one bucket, so Map takes its inline single-worker path
+// (no per-task closures, worker count independent of GOMAXPROCS) and the
+// scan draws exactly nq heaps before the cancellation — raised by the
+// filter on the first row — is noticed after the bucket completes.
+func TestSearchBatchCancelAllocs(t *testing.T) {
+	const nq = 32
+	d := dataset.DeepLike(4000, 57)
+	q := dataset.Queries(d, 1, 58)
+	qs := make([]float32, 0, nq*d.Dim)
+	for i := 0; i < nq; i++ {
+		qs = append(qs, q...)
+	}
+	bld := &Builder{Fine: FineFlat, Metric: vec.L2, Dim: d.Dim, Nlist: 32, MaxIter: 4}
+	idx, err := bld.Build(d.Data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := idx.(*IVF)
+
+	// A filtered FLAT scan avoids the tile fast path, so every admitted
+	// row goes through heapFor and all nq heaps are drawn.
+	cancelled := func() (int, error) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		p := index.SearchParams{K: 10, Nprobe: 1, Filter: func(int64) bool {
+			cancel()
+			return true
+		}}
+		out, err := x.SearchBatchCtx(ctx, qs, p)
+		return len(out), err
+	}
+	if _, err := cancelled(); !errors.Is(err, context.Canceled) { // warm the pools
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		n, err := cancelled()
+		if n != 0 || !errors.Is(err, context.Canceled) {
+			t.Fatalf("n=%d err=%v, want cancelled empty batch", n, err)
+		}
+	})
+	// Budget: nq probe lists, the bucket->queries inversion and context
+	// machinery. Leaking the nq pooled heaps adds ~2*nq on top.
+	if avg > 140 {
+		t.Errorf("cancelled SearchBatchCtx allocates %.1f objects/op, want <= 140", avg)
 	}
 }

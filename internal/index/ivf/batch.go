@@ -21,6 +21,7 @@ import (
 // therefore pass through the CPU caches once per batch rather than once per
 // query, with no locks on the hot path.
 func (x *IVF) SearchBatch(queries []float32, p index.SearchParams) [][]topk.Result {
+	//lint:allow ctxflow ctx-less compat wrapper: public API without a context anchors at Background
 	out, _ := x.SearchBatchCtx(context.Background(), queries, p)
 	return out
 }
@@ -63,8 +64,19 @@ func (x *IVF) SearchBatchCtx(ctx context.Context, queries []float32, p index.Sea
 
 	// One heap per (worker, query): lock-free accumulation (Fig. 3's
 	// H_{r,j} matrix), lazily drawn from the heap pool since a worker
-	// usually touches only a slice of the batch.
+	// usually touches only a slice of the batch. Every heap drawn goes
+	// back on every exit path — a cancelled batch has already populated
+	// part of the matrix by the time Map returns the ctx error.
 	perWorker := make([][]*topk.Heap, workers)
+	defer func() {
+		for _, heaps := range perWorker {
+			for _, h := range heaps {
+				if h != nil {
+					topk.PutHeap(h)
+				}
+			}
+		}
+	}()
 	// ADC amortization: one fused table per query (SQ8) or one lookup table
 	// per query (PQ), built once up front and shared by every bucket scan.
 	var tabs []*quantizer.ADCTable
@@ -110,8 +122,8 @@ func (x *IVF) SearchBatchCtx(ctx context.Context, queries []float32, p index.Sea
 		return nil, err
 	}
 
-	// Merge the per-worker heaps of each query, recycling them as they
-	// drain.
+	// Merge the per-worker heaps of each query (the deferred recycle
+	// returns them to the pool once the snapshots are merged).
 	out := make([][]topk.Result, nq)
 	lists := make([][]topk.Result, 0, workers)
 	for qi := 0; qi < nq; qi++ {
@@ -122,13 +134,6 @@ func (x *IVF) SearchBatchCtx(ctx context.Context, queries []float32, p index.Sea
 			}
 		}
 		out[qi] = topk.Merge(p.K, lists...)
-	}
-	for _, heaps := range perWorker {
-		for _, h := range heaps {
-			if h != nil {
-				topk.PutHeap(h)
-			}
-		}
 	}
 	return out, nil
 }

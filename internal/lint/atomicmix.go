@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewAtomicMix returns the atomicmix analyzer: once any access to a
+// variable or struct field goes through the legacy sync/atomic functions
+// (atomic.LoadInt64(&x.n), atomic.AddInt64(&x.n, 1), ...), every access
+// must — a plain read races with the atomic writers, and a plain write can
+// be lost entirely. The analyzer collects every `&v` handed to a
+// sync/atomic call in the package, then flags any other mention of the
+// same variable that is not itself inside an atomic call.
+//
+// The check is per package, which matches how such fields can be reached:
+// they are almost always unexported. Typed atomics (atomic.Int64 et al.)
+// need no check — their value is unreachable except through methods — and
+// are the recommended fix for any finding.
+func NewAtomicMix() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicmix",
+		Doc:  "variables accessed via sync/atomic must never be read or written plainly",
+	}
+	a.Run = func(pass *Pass) {
+		// Pass 1: variables used atomically, and the exact AST mentions
+		// that occur inside atomic calls (sanctioned uses).
+		atomicVars := map[*types.Var]token.Pos{}
+		sanctioned := map[*ast.Ident]bool{}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.Info, call)
+				if fn == nil || funcPkgPath(fn) != "sync/atomic" {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Recv() != nil {
+					return true // typed-atomic method: safe by construction
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					id := baseIdent(un.X)
+					if id == nil {
+						continue
+					}
+					if v, ok := objectOf(pass.Info, id).(*types.Var); ok {
+						if _, seen := atomicVars[v]; !seen {
+							atomicVars[v] = call.Pos()
+						}
+						sanctioned[id] = true
+					}
+				}
+				return true
+			})
+		}
+		if len(atomicVars) == 0 {
+			return
+		}
+		// Struct-literal keys (S{n: 0}) resolve to the field object but
+		// are initializers, not accesses: the struct is not shared yet.
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				cl, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				t := pass.Info.TypeOf(cl)
+				if t == nil {
+					return true
+				}
+				if ptr, ok := t.Underlying().(*types.Pointer); ok {
+					t = ptr.Elem()
+				}
+				if _, ok := t.Underlying().(*types.Struct); !ok {
+					return true
+				}
+				for _, elt := range cl.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							sanctioned[id] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+		// Pass 2: every other mention is a mixed access.
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || sanctioned[id] {
+					return true
+				}
+				v, ok := objectOf(pass.Info, id).(*types.Var)
+				if !ok {
+					return true
+				}
+				firstPos, tracked := atomicVars[v]
+				if !tracked || id.Pos() == v.Pos() {
+					return true // not tracked, or the declaration itself
+				}
+				pass.Reportf(id.Pos(), "%s is accessed with sync/atomic (e.g. line %d) but plainly here: use sync/atomic for every access, or migrate to a typed atomic",
+					id.Name, pass.Fset.Position(firstPos).Line)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// baseIdent returns the field identifier of a selector chain (x.y.z -> z)
+// or a bare identifier.
+func baseIdent(e ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}
+
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NewCtxFlow returns the ctxflow analyzer, enforcing the read path's
+// cancellation discipline from PR 3:
+//
+//  1. Inside the internal/{core,index,query,exec,gpu,cluster} families,
+//     no function may mint a fresh context with context.Background() or
+//     context.TODO(): the caller's context must be threaded down, or
+//     cancellation and deadlines silently stop propagating. Compatibility
+//     wrappers that intentionally anchor a background context carry a
+//     //lint:allow ctxflow pragma.
+//  2. A function whose name ends in "Ctx" advertises that it threads a
+//     context; one that declares a context.Context parameter and then
+//     never uses it has dropped the caller's cancellation on the floor.
+func NewCtxFlow() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxflow",
+		Doc:  "read-path packages must thread context.Context, not mint Background/TODO or drop ctx params",
+	}
+	a.Run = func(pass *Pass) {
+		restricted := inRestrictedReadPath(pass.PkgPath)
+		for _, f := range pass.Files {
+			if restricted {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := calleeFunc(pass.Info, call)
+					if fn == nil || funcPkgPath(fn) != "context" {
+						return true
+					}
+					if fn.Name() == "Background" || fn.Name() == "TODO" {
+						pass.Reportf(call.Pos(), "context.%s() inside a read-path package severs cancellation: thread the caller's ctx instead",
+							fn.Name())
+					}
+					return true
+				})
+			}
+			enclosingFuncs(f, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+				checkCtxVariant(pass, name, decl, body)
+			})
+		}
+	}
+	return a
+}
+
+// checkCtxVariant flags *Ctx functions that accept a context parameter but
+// never consult it.
+func checkCtxVariant(pass *Pass, name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+	if !strings.HasSuffix(name, "Ctx") || len(name) == len("Ctx") {
+		return
+	}
+	var ctxParam *types.Var
+	var paramName string
+	if decl.Type.Params == nil {
+		return
+	}
+	for _, field := range decl.Type.Params.List {
+		t := pass.Info.Types[field.Type].Type
+		if t == nil || !typeIs(t, "context", "Context") {
+			continue
+		}
+		if len(field.Names) == 0 {
+			pass.Reportf(field.Pos(), "%s declares an unnamed context.Context parameter it cannot use: name it and thread it down", name)
+			return
+		}
+		for _, id := range field.Names {
+			if id.Name == "_" {
+				pass.Reportf(id.Pos(), "%s discards its context.Context parameter (_): thread it down or drop the Ctx suffix", name)
+				return
+			}
+			if v, ok := pass.Info.Defs[id].(*types.Var); ok {
+				ctxParam = v
+				paramName = id.Name
+			}
+		}
+		break
+	}
+	if ctxParam == nil {
+		return
+	}
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == ctxParam {
+			used = true
+		}
+		return !used
+	})
+	if !used {
+		pass.Reportf(decl.Name.Pos(), "%s never uses its context parameter %q: cancellation and deadlines are silently dropped",
+			name, paramName)
+	}
+}

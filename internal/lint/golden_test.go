@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRE matches golden expectations in testdata sources:
+//
+//	// want <analyzer> "substring"        — finding expected on this line
+//	// want-below <analyzer> "substring"  — finding expected one line down
+//	// want-above <analyzer> "substring"  — finding expected one line up
+//
+// The quoted text is matched as a substring of the finding's message.
+// want-below marks declarations whose finding lands on the code line
+// under a doc comment; want-above marks pragma findings, which are
+// reported at the pragma comment itself (where no second comment fits).
+var wantRE = regexp.MustCompile(`// want(-below|-above)? ([a-z]+) "([^"]+)"`)
+
+type expectation struct {
+	file     string
+	line     int
+	analyzer string
+	substr   string
+	matched  bool
+}
+
+func collectWants(t *testing.T, root string) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for ln := 1; sc.Scan(); ln++ {
+			for _, m := range wantRE.FindAllStringSubmatch(sc.Text(), -1) {
+				line := ln
+				switch m[1] {
+				case "-below":
+					line++
+				case "-above":
+					line--
+				}
+				wants = append(wants, &expectation{file: path, line: line, analyzer: m[2], substr: m[3]})
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wants) == 0 {
+		t.Fatal("no // want expectations found under", root)
+	}
+	return wants
+}
+
+// TestGolden runs the full suite over the synthetic module in testdata
+// and requires an exact match between findings and // want comments:
+// every seeded violation must be caught on its annotated line, and
+// nothing else may be reported (so the legal control shapes in each
+// fixture double as false-positive tests, and the //lint:allow fixtures
+// prove suppression works end to end).
+func TestGolden(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "lintest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(root, []string{"./..."}, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, root)
+
+	byAnalyzer := map[string]int{}
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer]++
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line &&
+				w.analyzer == f.Analyzer && strings.Contains(f.Message, w.substr) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing finding: want [%s] %q at %s:%d", w.analyzer, w.substr, w.file, w.line)
+		}
+	}
+
+	// Every shipped analyzer (and the pragma validator) must be exercised
+	// by at least one golden finding, so a silently-broken analyzer cannot
+	// pass as "clean".
+	for _, a := range Defaults() {
+		if byAnalyzer[a.Name] == 0 {
+			t.Errorf("analyzer %s produced no golden findings", a.Name)
+		}
+	}
+	if byAnalyzer["pragma"] == 0 {
+		t.Error("malformed-pragma validation produced no golden findings")
+	}
+}
+
+// TestGoldenSelect runs a single analyzer over the whole golden module
+// and checks the subsetting: only that analyzer's findings appear, except
+// that genuinely malformed pragmas are still reported (they are broken
+// regardless of which analyzers run), while valid pragmas naming
+// unselected analyzers must not be.
+func TestGoldenSelect(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "lintest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers, unknown := Select([]string{"kerneldispatch"})
+	if len(unknown) > 0 || len(analyzers) != 1 {
+		t.Fatalf("Select(kerneldispatch) = %d analyzers, unknown %v", len(analyzers), unknown)
+	}
+	findings, err := Run(root, []string{"./..."}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, f := range findings {
+		counts[f.Analyzer]++
+		switch f.Analyzer {
+		case "kerneldispatch":
+			if !strings.HasSuffix(filepath.Dir(f.Pos.Filename), filepath.FromSlash("internal/index/kernelbad")) {
+				t.Errorf("kerneldispatch finding outside the kernelbad fixture: %s", f)
+			}
+		case "pragma":
+			if !strings.HasSuffix(filepath.Dir(f.Pos.Filename), filepath.FromSlash("internal/core/allowok")) {
+				t.Errorf("pragma finding outside the allowok fixture: %s", f)
+			}
+		default:
+			t.Errorf("selected run leaked a %s finding: %s", f.Analyzer, f)
+		}
+	}
+	if counts["kerneldispatch"] != 2 || counts["pragma"] != 2 || len(findings) != 4 {
+		t.Fatalf("got %v, want 2 kerneldispatch + 2 pragma:\n%s", counts, renderFindings(findings))
+	}
+}
+
+// TestSelectUnknown verifies the driver's unknown-analyzer handling.
+func TestSelectUnknown(t *testing.T) {
+	analyzers, unknown := Select([]string{"poolfree", "nosuch"})
+	if len(analyzers) != 1 || analyzers[0].Name != "poolfree" {
+		t.Errorf("Select kept %d analyzers", len(analyzers))
+	}
+	if len(unknown) != 1 || unknown[0] != "nosuch" {
+		t.Errorf("unknown = %v, want [nosuch]", unknown)
+	}
+}
+
+// TestFindingString pins the canonical driver output format.
+func TestFindingString(t *testing.T) {
+	f := Finding{Analyzer: "ctxflow", Message: "msg"}
+	f.Pos.Filename = "a/b.go"
+	f.Pos.Line = 3
+	f.Pos.Column = 7
+	if got, want := f.String(), "a/b.go:3:7: [ctxflow] msg"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func renderFindings(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		fmt.Fprintln(&b, f)
+	}
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves the static callee of a call expression: a package
+// function, a method (through the selection), or nil for calls through
+// function-typed values, built-ins and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Fn.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.IndexExpr: // generic instantiation Fn[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if fn, ok := info.Uses[id].(*types.Func); ok {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// funcPkgPath returns the package path a function belongs to ("" for
+// builtins and methods on types from no package).
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// pathHasSuffix reports whether an import path is, or ends with, the given
+// slash-separated suffix. Matching by suffix rather than exact path lets
+// the analyzers recognize both the real packages ("vectordb/internal/vec")
+// and the stub packages of the golden-test module
+// ("vectordb/internal/lint/testdata/...", "lintest.example/internal/vec").
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// isCallTo reports whether call statically resolves to a function named
+// name in a package whose path ends with pkgSuffix.
+func isCallTo(info *types.Info, call *ast.CallExpr, pkgSuffix, name string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Name() == name && pathHasSuffix(funcPkgPath(fn), pkgSuffix)
+}
+
+// restrictedReadPathPkgs are the package families whose hot paths must
+// thread context.Context (ctxflow) — the read-path layers PR 3 converted.
+var restrictedReadPathPkgs = []string{"core", "index", "query", "exec", "gpu", "cluster"}
+
+// inRestrictedReadPath reports whether pkgPath is one of the
+// internal/{core,index,query,exec,gpu,cluster} families (subpackages
+// included, e.g. internal/index/ivf).
+func inRestrictedReadPath(pkgPath string) bool {
+	segs := strings.Split(pkgPath, "/")
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i] != "internal" {
+			continue
+		}
+		for _, fam := range restrictedReadPathPkgs {
+			if segs[i+1] == fam {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// namedTypePath returns (package path, type name) of t's core named type,
+// unwrapping pointers and aliases; ok is false for unnamed types.
+func namedTypePath(t types.Type) (pkgPath, name string, ok bool) {
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := types.Unalias(t).(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name(), true
+	}
+	return obj.Pkg().Path(), obj.Name(), true
+}
+
+// typeIs reports whether t (or *t) is the named type pkgSuffix.name.
+func typeIs(t types.Type, pkgSuffix, name string) bool {
+	p, n, ok := namedTypePath(t)
+	return ok && n == name && pathHasSuffix(p, pkgSuffix)
+}
+
+// enclosingFuncs yields every function body in the file: declarations and
+// function literals, each visited exactly once as its own scope.
+func enclosingFuncs(f *ast.File, visit func(name string, decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd.Name.Name, fd, fd.Body)
+	}
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NewKernelDispatch returns the kerneldispatch analyzer: outside
+// internal/vec itself, distance kernels may only be reached through the
+// hooked dispatch entry points (L2Squared, Dot, the Batch/Bound/Tile
+// family, Metric.Dist) — never through the tier-explicit *At variants,
+// which take an explicit vec.Level and bypass both the CPU-feature
+// dispatch table and the per-tier dispatch counters the conformance tests
+// assert on. Pinning a tier (vec.SetLevel) is likewise a process-level
+// decision reserved for main packages and the VECTORDB_SIMD override.
+//
+// This is the type-aware replacement for the old grep-based
+// `make kernel-guard` symbol check: instead of grepping for entry-point
+// names, any call that statically resolves into internal/vec, takes a
+// vec.Level and operates on float32 data is flagged wherever it appears.
+// The dynamic half of the old guard — conformance tests asserting the
+// batch dispatch counters tick during scans — still runs in CI.
+func NewKernelDispatch() *Analyzer {
+	a := &Analyzer{
+		Name: "kerneldispatch",
+		Doc:  "distance kernels are called only via the internal/vec dispatch table, never per-tier",
+	}
+	a.Run = func(pass *Pass) {
+		if pathHasSuffix(pass.PkgPath, "internal/vec") {
+			return
+		}
+		mainPkg := pass.Pkg != nil && pass.Pkg.Name() == "main"
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.Info, call)
+				if fn == nil || !pathHasSuffix(funcPkgPath(fn), "internal/vec") {
+					return true
+				}
+				if isTierExplicitKernel(fn) {
+					pass.Reportf(call.Pos(), "%s bypasses the SIMD dispatch table: call the hooked entry point (%s) so tier selection and dispatch counting stay centralized",
+						fn.Name(), strings.TrimSuffix(fn.Name(), "At"))
+				} else if fn.Name() == "SetLevel" && !mainPkg {
+					pass.Reportf(call.Pos(), "SetLevel pins the kernel tier process-wide: only main packages (or the VECTORDB_SIMD override) may do that")
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// isTierExplicitKernel reports whether fn is a vec kernel entry that takes
+// an explicit Level alongside float32 vector data — i.e. a per-tier
+// kernel, as opposed to Level-typed metadata accessors like DispatchCount.
+func isTierExplicitKernel(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	hasLevel, hasFloats := false, false
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		if typeIs(t, "internal/vec", "Level") {
+			hasLevel = true
+		}
+		if sl, ok := types.Unalias(t).(*types.Slice); ok {
+			if b, ok := sl.Elem().(*types.Basic); ok && b.Kind() == types.Float32 {
+				hasFloats = true
+			}
+		}
+	}
+	return hasLevel && hasFloats
+}

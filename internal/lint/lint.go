@@ -1,0 +1,231 @@
+// Package lint is vectordb's in-tree static-analysis framework: a small
+// analyzer API over the standard library's go/ast and go/types (no
+// golang.org/x/tools dependency — the repo is stdlib-only), plus a package
+// loader driven by `go list -json` and a runner with module-wide
+// aggregation for cross-package invariants.
+//
+// The shipped analyzers machine-check the hot-path conventions PRs 1–4
+// established by hand: pooled scratch must be released on every path
+// (poolfree), the read path must thread context.Context instead of minting
+// background contexts (ctxflow), distance kernels are only reached through
+// the internal/vec dispatch table (kerneldispatch), locks are not held
+// across blocking operations and lock-bearing structs are not copied
+// (lockdiscipline), fields touched with sync/atomic are never accessed
+// plainly (atomicmix), and obs metric names are namespaced and uniquely
+// registered (metricreg).
+//
+// Intentional exceptions are annotated in the source with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the offending line or the line directly above it; the runner drops
+// findings covered by a pragma and reports pragmas that are malformed.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one reported violation.
+type Finding struct {
+	Pos      token.Position // file:line:col of the violation
+	Analyzer string         // analyzer name, e.g. "poolfree"
+	Message  string
+}
+
+// String renders the canonical driver output line.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named invariant check. Run is invoked once per loaded
+// package; Finish, when set, is invoked once after every package has been
+// visited and is where cross-package state (collected by Run closures) is
+// checked. Analyzer values returned by the constructors in this package
+// carry per-instance state, so build a fresh set per run (see Defaults).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+	// Finish reports module-wide findings after all packages ran.
+	Finish func(report func(pos token.Position, format string, args ...any))
+}
+
+// Pass hands one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	PkgPath  string
+
+	runner *Runner
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.runner.report(p.Fset.Position(pos), p.Analyzer.Name, fmt.Sprintf(format, args...))
+}
+
+// Runner executes a set of analyzers over loaded packages, applying
+// //lint:allow pragmas and collecting findings.
+type Runner struct {
+	Analyzers []*Analyzer
+
+	findings   []Finding
+	suppressed int
+	// allow maps filename -> line -> analyzer names allowed there.
+	allow map[string]map[int]map[string]bool
+}
+
+// NewRunner returns a runner over the given analyzers.
+func NewRunner(analyzers []*Analyzer) *Runner {
+	return &Runner{Analyzers: analyzers, allow: map[string]map[int]map[string]bool{}}
+}
+
+// report records a finding unless an allow pragma covers it. Pragmas are
+// collected per file before any analyzer runs on it, and the only
+// reporting entry points (Pass.Reportf, Finish's report func) funnel here,
+// so suppression is uniform.
+func (r *Runner) report(pos token.Position, analyzer, msg string) {
+	if lines, ok := r.allow[pos.Filename]; ok {
+		// A pragma suppresses findings on its own line (trailing comment)
+		// and on the line directly below it (preceding-line comment).
+		if lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer] {
+			r.suppressed++
+			return
+		}
+	}
+	r.findings = append(r.findings, Finding{Pos: pos, Analyzer: analyzer, Message: msg})
+}
+
+// Findings returns all findings sorted by position.
+func (r *Runner) Findings() []Finding {
+	sort.Slice(r.findings, func(i, j int) bool {
+		a, b := r.findings[i], r.findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return r.findings
+}
+
+// Suppressed reports how many findings allow pragmas dropped.
+func (r *Runner) Suppressed() int { return r.suppressed }
+
+// RunPackage collects pragmas from pkg's files, then runs every analyzer
+// on it.
+func (r *Runner) RunPackage(pkg *LoadedPackage) {
+	// Pragmas are validated against every shipped analyzer, not just the
+	// selected subset: running `-run kerneldispatch` must not flag a
+	// legitimate `//lint:allow ctxflow ...` as malformed.
+	known := map[string]bool{}
+	for _, a := range Defaults() {
+		known[a.Name] = true
+	}
+	for _, a := range r.Analyzers {
+		known[a.Name] = true
+	}
+	for _, f := range pkg.Syntax {
+		r.collectPragmas(pkg.Fset, f, known)
+	}
+	for _, a := range r.Analyzers {
+		if a.Run == nil {
+			continue
+		}
+		a.Run(&Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Syntax,
+			Pkg:      pkg.Types,
+			Info:     pkg.TypesInfo,
+			PkgPath:  pkg.ImportPath,
+			runner:   r,
+		})
+	}
+}
+
+// Finish runs every analyzer's module-wide phase.
+func (r *Runner) Finish() {
+	for _, a := range r.Analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		name := a.Name
+		a.Finish(func(pos token.Position, format string, args ...any) {
+			r.report(pos, name, fmt.Sprintf(format, args...))
+		})
+	}
+}
+
+// collectPragmas scans a file's comments for //lint:allow directives.
+// Malformed pragmas (unknown analyzer, missing reason) are themselves
+// findings under the reserved name "pragma" and cannot be suppressed.
+func (r *Runner) collectPragmas(fset *token.FileSet, f *ast.File, known map[string]bool) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(text)
+			if len(fields) == 0 || !known[fields[0]] {
+				r.findings = append(r.findings, Finding{
+					Pos:      pos,
+					Analyzer: "pragma",
+					Message:  fmt.Sprintf("malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\" with a known analyzer, got %q", strings.TrimSpace(text)),
+				})
+				continue
+			}
+			if len(fields) < 2 {
+				r.findings = append(r.findings, Finding{
+					Pos:      pos,
+					Analyzer: "pragma",
+					Message:  fmt.Sprintf("//lint:allow %s needs a reason: the next reader must learn why the invariant is waived here", fields[0]),
+				})
+				continue
+			}
+			lines := r.allow[pos.Filename]
+			if lines == nil {
+				lines = map[int]map[string]bool{}
+				r.allow[pos.Filename] = lines
+			}
+			set := lines[pos.Line]
+			if set == nil {
+				set = map[string]bool{}
+				lines[pos.Line] = set
+			}
+			set[fields[0]] = true
+		}
+	}
+}
+
+// Run is the one-call entry point used by cmd/vectordblint and the tests:
+// load patterns relative to dir, run analyzers over every loaded package,
+// then the cross-package Finish phase.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	prog, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	r := NewRunner(analyzers)
+	for _, pkg := range prog.Packages {
+		r.RunPackage(pkg)
+	}
+	r.Finish()
+	return r.Findings(), nil
+}

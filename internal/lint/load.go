@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	osexec "os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// LoadedPackage is one parsed and type-checked package of the module under
+// analysis.
+type LoadedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Program is the loaded analysis universe: every package matched by the
+// load patterns, sharing one FileSet.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*LoadedPackage
+}
+
+// listedPackage mirrors the fields of `go list -json` the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// Load resolves patterns (e.g. "./...") with the go tool, parses the
+// matched packages' non-test sources, and type-checks them against
+// compiler export data.
+//
+// The pipeline is the classic stdlib-only driver shape: `go list -export
+// -deps -json` both enumerates packages and compiles export data for every
+// dependency (stdlib included) into the build cache; the matched packages
+// are then parsed with go/parser and checked with go/types, whose gc
+// importer reads dependencies from that export data instead of
+// re-type-checking them from source. Test files are deliberately not
+// loaded: the invariants the analyzers enforce are hot-path production
+// conventions (tests may mint background contexts, re-resolve metrics by
+// name, and so on).
+func Load(dir string, patterns []string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly"}, patterns...)
+	cmd := osexec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{} // import path -> export data file
+	var targets []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && p.Name != "" {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	// The gc importer resolves every import through the export data files
+	// go list just produced; one importer instance caches packages across
+	// all target checks so shared dependencies load once.
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	prog := &Program{Fset: fset}
+	for _, t := range targets {
+		lp, err := checkPackage(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, lp)
+	}
+	return prog, nil
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, t listedPackage) (*LoadedPackage, error) {
+	lp := &LoadedPackage{
+		ImportPath: t.ImportPath,
+		Name:       t.Name,
+		Dir:        t.Dir,
+		GoFiles:    t.GoFiles,
+		Fset:       fset,
+	}
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", name, err)
+		}
+		lp.Syntax = append(lp.Syntax, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, _ := conf.Check(t.ImportPath, fset, lp.Syntax, info)
+	if len(typeErrs) > 0 {
+		// Analysis on a package that does not type-check would report
+		// nonsense; the tree is expected to build before linting.
+		return nil, fmt.Errorf("lint: type-checking %s: %v", t.ImportPath, typeErrs[0])
+	}
+	lp.Types = pkg
+	lp.TypesInfo = info
+	return lp, nil
+}

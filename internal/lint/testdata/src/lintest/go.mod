@@ -1,0 +1,3 @@
+module lintest.example
+
+go 1.22

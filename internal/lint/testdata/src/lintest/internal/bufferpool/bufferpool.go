@@ -1,0 +1,13 @@
+// Package bufferpool stubs the real module's pooled float buffers: the
+// analyzers match packages by import-path suffix, so this stand-in
+// triggers the same poolfree tracking as vectordb/internal/bufferpool.
+package bufferpool
+
+// GetFloats draws a pooled float slice of length n.
+func GetFloats(n int) *[]float32 {
+	s := make([]float32, n)
+	return &s
+}
+
+// PutFloats returns a slice drawn with GetFloats.
+func PutFloats(p *[]float32) { _ = p }

@@ -1,0 +1,81 @@
+// Package lockbad seeds lockdiscipline violations: blocking operations
+// under a held mutex and by-value copies of lock-bearing structs.
+package lockbad
+
+import (
+	"sync"
+
+	"lintest.example/internal/exec"
+)
+
+// Guarded couples a mutex with a channel, inviting every mistake below.
+type Guarded struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// SendUnder sends on a channel between Lock and Unlock.
+func (g *Guarded) SendUnder() {
+	g.mu.Lock()
+	g.ch <- 1 // want lockdiscipline "channel send while holding"
+	g.mu.Unlock()
+}
+
+// RecvUnderDefer holds via defer for the whole body.
+func (g *Guarded) RecvUnderDefer() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch // want lockdiscipline "channel receive while holding"
+}
+
+// DeclRecv hides the receive inside a var declaration.
+func (g *Guarded) DeclRecv() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var v = <-g.ch // want lockdiscipline "channel receive while holding"
+	return v
+}
+
+// WaitUnder parks on a WaitGroup with the lock held.
+func (g *Guarded) WaitUnder(wg *sync.WaitGroup) {
+	g.mu.Lock()
+	wg.Wait() // want lockdiscipline "sync.WaitGroup.Wait while holding"
+	g.mu.Unlock()
+}
+
+// SubmitUnder blocks on the shared execution pool's drain under the lock.
+func (g *Guarded) SubmitUnder(p *exec.Pool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	p.Close() // want lockdiscipline "exec pool Close while holding"
+}
+
+// SendAfter releases before the send: no finding.
+func (g *Guarded) SendAfter() {
+	g.mu.Lock()
+	g.mu.Unlock()
+	g.ch <- 1
+}
+
+// Copies receives the lock-bearing struct by value. // want-below lockdiscipline "by value, copying"
+func Copies(g Guarded) int {
+	return cap(g.ch)
+}
+
+// Deref copies through a pointer dereference.
+func Deref(g *Guarded) int {
+	cp := *g // want lockdiscipline "assignment copies a value"
+	return cap(cp.ch)
+}
+
+// RangeCopy copies each element out of a slice of lock-bearing values.
+func RangeCopy(gs []Guarded) int {
+	n := 0
+	for _, g := range gs { // want lockdiscipline "range clause copies a value"
+		n += cap(g.ch)
+	}
+	return n
+}
+
+// PointerParam shares through a pointer: no finding.
+func PointerParam(g *Guarded) {}

@@ -1,0 +1,31 @@
+// Package allowok exercises the //lint:allow pragma: correctly-waived
+// violations stay silent, malformed pragmas are findings themselves.
+package allowok
+
+import "context"
+
+// Detached anchors a background context deliberately; the pragma on the
+// preceding line waives the ctxflow finding.
+func Detached() context.Context {
+	//lint:allow ctxflow test fixture deliberately anchors a background context
+	return context.Background()
+}
+
+// Inline carries the pragma as a trailing comment on the offending line.
+func Inline() context.Context {
+	return context.Background() //lint:allow ctxflow trailing pragma on the offending line
+}
+
+// Unknown analyzer name: the pragma itself is reported and cannot be
+// suppressed.
+//lint:allow bogusname some reason
+// want-above pragma "malformed //lint:allow"
+
+// Missing reason: likewise reported.
+//lint:allow ctxflow
+// want-above pragma "needs a reason"
+
+// Unwaived keeps one live finding so suppression is visibly selective.
+func Unwaived() context.Context {
+	return context.TODO() // want ctxflow "severs cancellation"
+}

@@ -1,0 +1,36 @@
+// Package exec stubs the real module's shared execution pool; the
+// lockdiscipline analyzer flags its blocking methods when called under a
+// mutex.
+package exec
+
+import "context"
+
+// Pool is a bounded worker pool.
+type Pool struct{}
+
+// Default returns the shared pool.
+func Default() *Pool { return &Pool{} }
+
+// Map runs fn(0)..fn(n-1) on the pool, blocking until all complete.
+func (p *Pool) Map(ctx context.Context, n int, fn func(int)) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		fn(i)
+	}
+	return ctx.Err()
+}
+
+// Run runs worker-loop bodies, blocking until all return.
+func (p *Pool) Run(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// Admit blocks for an in-flight slot and returns its release.
+func (p *Pool) Admit() func() { return func() {} }
+
+// Close drains the pool, blocking until every worker exits.
+func (p *Pool) Close() {}

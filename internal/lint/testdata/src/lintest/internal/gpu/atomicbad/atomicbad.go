@@ -1,0 +1,47 @@
+// Package atomicbad seeds atomicmix violations: a field accessed through
+// sync/atomic in one place and plainly in another.
+package atomicbad
+
+import "sync/atomic"
+
+// Hits counts through the legacy atomic functions.
+type Hits struct {
+	n int64
+}
+
+// Inc is the atomic writer that puts n under atomicmix tracking.
+func (h *Hits) Inc() { atomic.AddInt64(&h.n, 1) }
+
+// Racy reads the same field without atomic.
+func (h *Hits) Racy() int64 {
+	return h.n // want atomicmix "accessed with sync/atomic"
+}
+
+// RacyWrite loses updates entirely.
+func (h *Hits) RacyWrite() {
+	h.n = 0 // want atomicmix "accessed with sync/atomic"
+}
+
+// Load is a sanctioned atomic read: no finding.
+func (h *Hits) Load() int64 { return atomic.LoadInt64(&h.n) }
+
+// NewHits initializes via a struct literal, which is construction, not a
+// shared access: no finding.
+func NewHits() *Hits { return &Hits{n: 0} }
+
+// Plain has its own field n that is never touched atomically: plain
+// access to it is fine, proving tracking is per-object, not per-name.
+type Plain struct {
+	n int64
+}
+
+// Bump writes Plain.n plainly: no finding.
+func (p *Plain) Bump() { p.n++ }
+
+// Typed uses atomic.Int64, safe by construction: no finding.
+type Typed struct {
+	n atomic.Int64
+}
+
+// Inc bumps through the typed atomic's method.
+func (t *Typed) Inc() { t.n.Add(1) }

@@ -1,0 +1,25 @@
+// Package kernelbad seeds kerneldispatch violations: tier-explicit
+// kernel calls and a tier pin outside a main package.
+package kernelbad
+
+import "lintest.example/internal/vec"
+
+// Scan bypasses the dispatch table with an explicit tier.
+func Scan(q, data []float32, dim int, out []float32) {
+	vec.L2SquaredBatchAt(vec.AVX2, q, data, dim, out) // want kerneldispatch "bypasses the SIMD dispatch table"
+}
+
+// Pin pins the process-wide tier from a library package.
+func Pin() {
+	vec.SetLevel(vec.Generic) // want kerneldispatch "pins the kernel tier process-wide"
+}
+
+// Hooked uses the dispatch entry point: no finding.
+func Hooked(q, data []float32, dim int, out []float32) {
+	vec.L2SquaredBatch(q, data, dim, out)
+}
+
+// Meta reads Level-typed metadata, which is not a kernel: no finding.
+func Meta() int64 {
+	return vec.DispatchCount(vec.Generic)
+}

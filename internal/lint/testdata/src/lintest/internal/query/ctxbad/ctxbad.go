@@ -1,0 +1,35 @@
+// Package ctxbad seeds ctxflow violations: minted background contexts in
+// a read-path package and *Ctx functions that drop their context.
+package ctxbad
+
+import "context"
+
+// Mint severs cancellation by creating a fresh root context.
+func Mint() context.Context {
+	return context.Background() // want ctxflow "severs cancellation"
+}
+
+// MintTODO does the same with TODO.
+func MintTODO() context.Context {
+	return context.TODO() // want ctxflow "severs cancellation"
+}
+
+// SearchCtx declares a context and never consults it. // want-below ctxflow "never uses its context parameter"
+func SearchCtx(ctx context.Context, q []float32) int {
+	return len(q)
+}
+
+// ScanCtx explicitly discards its context. // want-below ctxflow "discards its context.Context parameter"
+func ScanCtx(_ context.Context) {}
+
+// ReadCtx cannot even name its context. // want-below ctxflow "unnamed context.Context parameter"
+func ReadCtx(context.Context) {}
+
+// FilterCtx threads its context properly: no finding.
+func FilterCtx(ctx context.Context, q []float32) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_ = q
+	return nil
+}

@@ -1,0 +1,26 @@
+// Package topk stubs the real module's pooled result heaps.
+package topk
+
+// Result is one scored neighbor.
+type Result struct {
+	ID       int64
+	Distance float32
+}
+
+// Heap is a bounded top-k accumulator.
+type Heap struct {
+	k   int
+	res []Result
+}
+
+// GetHeap draws a pooled heap of capacity k.
+func GetHeap(k int) *Heap { return &Heap{k: k} }
+
+// PutHeap returns a heap drawn with GetHeap.
+func PutHeap(h *Heap) { _ = h }
+
+// Push offers one candidate.
+func (h *Heap) Push(id int64, d float32) { h.res = append(h.res, Result{id, d}) }
+
+// Snapshot copies out the current contents.
+func (h *Heap) Snapshot() []Result { return append([]Result(nil), h.res...) }

@@ -1,0 +1,25 @@
+// Package vec stubs the real module's kernel dispatch table: hooked
+// entry points, tier-explicit *At variants and the process-wide tier pin.
+package vec
+
+// Level is a SIMD tier.
+type Level int
+
+// Tiers.
+const (
+	Generic Level = iota
+	AVX2
+)
+
+// L2SquaredBatch is a hooked dispatch entry point.
+func L2SquaredBatch(q, data []float32, dim int, out []float32) { _ = q }
+
+// L2SquaredBatchAt is the tier-explicit variant of L2SquaredBatch.
+func L2SquaredBatchAt(l Level, q, data []float32, dim int, out []float32) { _ = l }
+
+// SetLevel pins the dispatch tier process-wide.
+func SetLevel(l Level) { _ = l }
+
+// DispatchCount is Level-typed metadata, not a kernel: it must not be
+// flagged by kerneldispatch (no float32 data parameter).
+func DispatchCount(l Level) int64 { return int64(l) }

@@ -74,11 +74,11 @@ func TestRegistryOddLabelsPanics(t *testing.T) {
 
 func TestHistogramBuckets(t *testing.T) {
 	h := newHistogram([]time.Duration{10 * time.Millisecond, time.Millisecond}) // unsorted on purpose
-	h.Observe(500 * time.Microsecond)                                          // ≤ 1ms
-	h.Observe(time.Millisecond)                                                // boundary: ≤ 1ms
-	h.Observe(5 * time.Millisecond)                                            // ≤ 10ms
-	h.Observe(time.Second)                                                     // +Inf
-	h.Observe(-time.Second)                                                    // clamped to 0 → ≤ 1ms
+	h.Observe(500 * time.Microsecond)                                           // ≤ 1ms
+	h.Observe(time.Millisecond)                                                 // boundary: ≤ 1ms
+	h.Observe(5 * time.Millisecond)                                             // ≤ 10ms
+	h.Observe(time.Second)                                                      // +Inf
+	h.Observe(-time.Second)                                                     // clamped to 0 → ≤ 1ms
 	if got := h.buckets[0].Load(); got != 3 {
 		t.Fatalf("bucket ≤1ms = %d, want 3", got)
 	}

@@ -228,6 +228,7 @@ func BoundedNRA(ms MultiSource, queries [][]float32, weights []float32, k, x int
 // k′ until the threshold. On fallback it returns the top-k of the candidate
 // union ∪Rᵢ, scored exactly.
 func IterativeMerging(ms MultiSource, queries [][]float32, weights []float32, k, threshold int) []topk.Result {
+	//lint:allow ctxflow ctx-less compat wrapper: public API without a context anchors at Background
 	return IterativeMergingCtx(context.Background(), ms, queries, weights, k, threshold)
 }
 

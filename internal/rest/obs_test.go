@@ -184,10 +184,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		"vectordb_segment_gc_total",
 		"vectordb_gpu_transfer_bytes_total",
 		"vectordb_insert_rows_total",
-		"exec_inflight",
-		"exec_queue_depth",
-		"exec_rejected_total",
-		"exec_task_wait_seconds",
+		"vectordb_exec_inflight",
+		"vectordb_exec_queue_depth",
+		"vectordb_exec_rejected_total",
+		"vectordb_exec_task_wait_seconds",
 	} {
 		if !byName[want] {
 			t.Errorf("series %q missing from /metrics", want)

@@ -9,12 +9,12 @@ import (
 type OpKind int
 
 const (
-	OpInsert OpKind = iota // insert a batch of N new entities
-	OpDelete               // delete up to N previously acknowledged IDs
-	OpSearch               // run one top-k query
-	OpFlush                // force a flush barrier
-	OpSnapshot             // acquire + release a snapshot (monotonicity probe)
-	OpIndex                // manual index build over current segments
+	OpInsert   OpKind = iota // insert a batch of N new entities
+	OpDelete                 // delete up to N previously acknowledged IDs
+	OpSearch                 // run one top-k query
+	OpFlush                  // force a flush barrier
+	OpSnapshot               // acquire + release a snapshot (monotonicity probe)
+	OpIndex                  // manual index build over current segments
 )
 
 func (k OpKind) String() string {

@@ -542,6 +542,7 @@ func (h *harness) quiesce(states []*writerState, rep *Report) {
 // carrying the run's real series.
 func (h *harness) obsInvariants(rep *Report) {
 	counter := func(name string, labels ...string) int64 {
+		//lint:allow metricreg read-side scrape helper re-resolves already-registered families by name
 		return h.reg.Counter(name, labels...).Value()
 	}
 	if got := counter("vectordb_insert_rows_total", "collection", "stress"); got != rep.Inserted {

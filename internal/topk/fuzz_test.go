@@ -24,12 +24,12 @@ func FuzzHeapPush(f *testing.F) {
 		return out
 	}
 	f.Add(mk(3, 1, math.Float32bits(1.5), 2, math.Float32bits(0.5), 3, math.Float32bits(2.5)))
-	f.Add(mk(1, 7, nan, 8, math.Float32bits(1)))              // NaN first, then finite
-	f.Add(mk(4, 1, posInf, 2, negInf, 3, nan, 4, nan))        // all the specials
+	f.Add(mk(1, 7, nan, 8, math.Float32bits(1)))                 // NaN first, then finite
+	f.Add(mk(4, 1, posInf, 2, negInf, 3, nan, 4, nan))           // all the specials
 	f.Add(mk(2, 5, math.Float32bits(0), 5, math.Float32bits(0))) // duplicate id, tied distance
-	f.Add(mk(0))       // k byte maps to minimum 1
-	f.Add([]byte{255}) // large k, no pushes
-	f.Add(mk(8, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7)) // denormal distances
+	f.Add(mk(0))                                                 // k byte maps to minimum 1
+	f.Add([]byte{255})                                           // large k, no pushes
+	f.Add(mk(8, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7))       // denormal distances
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) == 0 {
