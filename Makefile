@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt lint bench bench-kernels bench-smoke kernel-guard ci cover stress experiments examples clean
+.PHONY: all build test race vet fmt lint bench bench-kernels bench-batchform bench-smoke kernel-guard ci cover stress experiments examples clean
 
 all: build test
 
@@ -56,9 +56,12 @@ kernel-guard:
 
 # bench-smoke compiles and runs every benchmark in the repo exactly once
 # (-benchtime=1x): no timing signal, but a benchmark that panics, asserts,
-# or rots against an API change fails CI instead of rotting silently.
+# or rots against an API change fails CI instead of rotting silently. The
+# dynamic-batching bench rides along at its -quick sizing for the same
+# reason (it fails hard on any search error).
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/benchbatchform -quick -o /dev/null
 
 # cover enforces a coverage floor on the observability layer: the metrics
 # registry, exposition writer, tracer and query log are the eyes of every
@@ -86,6 +89,13 @@ bench:
 # CacheAware-vs-ThreadPerQuery multi-query tile gap.
 bench-kernels:
 	$(GO) run ./cmd/benchkernels -o BENCH_kernels.json
+
+# bench-batchform regenerates BENCH_batchform.json: the batch former
+# coalescing live concurrent searches into tile batches vs the per-query
+# path, at c = 8 / 64 / 256 (the online companion to bench-kernels'
+# offline tile numbers).
+bench-batchform:
+	$(GO) run ./cmd/benchbatchform -o BENCH_batchform.json
 
 # Regenerate every table and figure of the paper (Sec. 7).
 experiments:

@@ -4,9 +4,12 @@
 // Usage:
 //
 //	vectordbd [-addr :19530] [-data DIR] [-query-timeout 0]
+//	          [-batch-window 0] [-batch-size 0]
 //
 // With -data, segments persist to the directory; otherwise storage is
 // in-memory. -query-timeout bounds each search request (0 = unbounded).
+// -batch-window bounds the server-side dynamic-batching window (0 = engine
+// default, negative disables batching); -batch-size caps a formed batch.
 package main
 
 import (
@@ -23,6 +26,8 @@ func main() {
 	addr := flag.String("addr", ":19530", "listen address")
 	data := flag.String("data", "", "data directory (empty = in-memory)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-search deadline (0 = none)")
+	batchWindow := flag.Duration("batch-window", 0, "dynamic-batching window ceiling (0 = engine default, <0 disables)")
+	batchSize := flag.Int("batch-size", 0, "formed-batch size cap (0 = engine default)")
 	flag.Parse()
 
 	var store objstore.Store
@@ -36,7 +41,11 @@ func main() {
 	db := core.NewDB(store)
 	defer db.Close()
 
-	srv := rest.NewServerWithConfig(db, rest.ServerConfig{QueryTimeout: *queryTimeout})
+	srv := rest.NewServerWithConfig(db, rest.ServerConfig{
+		QueryTimeout: *queryTimeout,
+		BatchWindow:  *batchWindow,
+		BatchSize:    *batchSize,
+	})
 	log.Printf("vectordbd listening on %s (data: %s)", *addr, dataDesc(*data))
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		log.Fatalf("vectordbd: %v", err)

@@ -1,0 +1,126 @@
+// Package batchform coalesces concurrent single-query searches into small
+// compatible batches executed through the cache-aware tile kernels — the
+// paper's Fig. 11 / Eq. (1) offline batching win applied to live serving.
+// A Former sits between admission and the worker pool: it holds a query
+// for a short auto-tuned window (or until enough compatible peers arrive),
+// runs the group as one batch, and fans results back per caller with each
+// query's own cancellation still honored.
+package batchform
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts every time source the former consults, so trigger logic
+// (size trip, window trip, auto-tune) is deterministic under test: the
+// production clock is Wall, tests inject a Fake and advance it explicitly.
+// vectordblint's clockinject analyzer keeps the rest of this package off
+// the time package; the two pragmas below are the only sanctioned callers.
+type Clock interface {
+	Now() time.Time
+	// AfterFunc arms a one-shot timer that runs fn after d elapses.
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// Timer is an armed one-shot timer. Stop reports whether the call
+// prevented the timer from firing.
+type Timer interface{ Stop() bool }
+
+// Wall returns the process wall clock.
+func Wall() Clock { return wallClock{} }
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time {
+	//lint:allow clockinject the wall Clock implementation is the one sanctioned time caller
+	return time.Now()
+}
+
+func (wallClock) AfterFunc(d time.Duration, fn func()) Timer {
+	//lint:allow clockinject the wall Clock implementation is the one sanctioned time caller
+	return time.AfterFunc(d, fn)
+}
+
+// Fake is a deterministic Clock for tests: time moves only via Advance,
+// and due timers fire synchronously on the advancing goroutine, so trigger
+// tests need no wall-clock sleeps at all.
+type Fake struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+	armed  []time.Duration
+}
+
+// NewFake returns a Fake clock starting at the Unix epoch.
+func NewFake() *Fake { return &Fake{now: time.Unix(0, 0)} }
+
+type fakeTimer struct {
+	c       *Fake
+	when    time.Time
+	fn      func()
+	stopped bool
+	fired   bool
+}
+
+func (t *fakeTimer) Stop() bool {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	active := !t.stopped && !t.fired
+	t.stopped = true
+	return active
+}
+
+func (c *Fake) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *Fake) AfterFunc(d time.Duration, fn func()) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{c: c, when: c.now.Add(d), fn: fn}
+	c.timers = append(c.timers, t)
+	c.armed = append(c.armed, d)
+	return t
+}
+
+// Advance moves the clock forward by d, firing due timers in deadline
+// order on the calling goroutine. The clock's lock is released around each
+// callback so a timer body may re-enter the clock (arm, stop, read Now).
+func (c *Fake) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	for {
+		var next *fakeTimer
+		for _, t := range c.timers {
+			if t.stopped || t.fired || t.when.After(target) {
+				continue
+			}
+			if next == nil || t.when.Before(next.when) {
+				next = t
+			}
+		}
+		if next == nil {
+			break
+		}
+		next.fired = true
+		if next.when.After(c.now) {
+			c.now = next.when
+		}
+		c.mu.Unlock()
+		next.fn()
+		c.mu.Lock()
+	}
+	c.now = target
+	c.mu.Unlock()
+}
+
+// Armed returns the duration of every timer armed so far, in arming order
+// — the auto-tune tests' window probe.
+func (c *Fake) Armed() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.armed...)
+}

@@ -1,0 +1,603 @@
+package batchform
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vectordb/internal/topk"
+)
+
+// testRunner delivers a per-slot sentinel result (ID = slot index) to
+// every live item and records each batch it ran.
+type testRunner struct {
+	mu      sync.Mutex
+	batches [][]*Item
+	ctxErrs []error // joined-ctx state observed at run time
+}
+
+func (r *testRunner) run(ctx context.Context, key Key, items []*Item) {
+	r.mu.Lock()
+	r.batches = append(r.batches, items)
+	r.ctxErrs = append(r.ctxErrs, ctx.Err())
+	r.mu.Unlock()
+	for i, it := range items {
+		if it.Live() {
+			it.Deliver([]topk.Result{{ID: int64(i)}}, nil)
+		}
+	}
+}
+
+func (r *testRunner) batchCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.batches)
+}
+
+// waitPending spins (yielding, never sleeping) until n queries are parked
+// in forming groups.
+func waitPending(t *testing.T, f *Former, n int) {
+	t.Helper()
+	for i := 0; i < 1<<24; i++ {
+		if f.Pending() == n {
+			return
+		}
+		runtime.Gosched()
+	}
+	t.Fatalf("pending never reached %d (now %d)", n, f.Pending())
+}
+
+type submitResult struct {
+	res []topk.Result
+	occ int
+	err error
+}
+
+// submitAsync runs one Submit on its own goroutine and returns the
+// channel its outcome lands on.
+func submitAsync(ctx context.Context, f *Former, key Key, q []float32) chan submitResult {
+	ch := make(chan submitResult, 1)
+	go func() {
+		res, occ, err := f.Submit(ctx, key, q)
+		ch <- submitResult{res, occ, err}
+	}()
+	return ch
+}
+
+func testKey() Key { return Key{Collection: "c", Dim: 1, Metric: "L2", K: 1} }
+
+func newTestFormer(r *testRunner, clock Clock, load *atomic.Int64) *Former {
+	return New(Config{
+		MaxBatch:  4,
+		MinWindow: 500 * time.Microsecond,
+		MaxWindow: 2 * time.Millisecond,
+		LoadScale: 16,
+		Clock:     clock,
+		Load:      func() int { return int(load.Load()) },
+		Run:       r.run,
+	})
+}
+
+func TestPassThroughWhenIdle(t *testing.T) {
+	r := &testRunner{}
+	var load atomic.Int64 // 0: idle
+	f := newTestFormer(r, NewFake(), &load)
+	defer f.Close()
+	_, _, err := f.Submit(context.Background(), testKey(), []float32{1})
+	if !errors.Is(err, ErrPassThrough) {
+		t.Fatalf("idle Submit err = %v, want ErrPassThrough", err)
+	}
+	if got := f.Pending(); got != 0 {
+		t.Fatalf("pending after pass-through = %d, want 0", got)
+	}
+	if r.batchCount() != 0 {
+		t.Fatalf("pass-through formed %d batches, want 0", r.batchCount())
+	}
+	if w := f.Window(); w != 0 {
+		t.Fatalf("idle window = %v, want 0", w)
+	}
+}
+
+func TestSizeTrip(t *testing.T) {
+	r := &testRunner{}
+	var load atomic.Int64
+	load.Store(16) // saturated: trip = MaxBatch = 4
+	clock := NewFake()
+	f := newTestFormer(r, clock, &load)
+	defer f.Close()
+	key := testKey()
+	var chs []chan submitResult
+	for i := 0; i < 3; i++ {
+		chs = append(chs, submitAsync(context.Background(), f, key, []float32{1}))
+	}
+	waitPending(t, f, 3)
+	if r.batchCount() != 0 {
+		t.Fatalf("batch ran before the size trip")
+	}
+	// The 4th submitter trips the batch and runs it inline — the fake
+	// clock never advances, proving the trigger was size, not window.
+	res, occ, err := f.Submit(context.Background(), key, []float32{1})
+	if err != nil || occ != 4 || len(res) != 1 {
+		t.Fatalf("tripping Submit = (%v, %d, %v), want (1 result, occupancy 4, nil)", res, occ, err)
+	}
+	for _, ch := range chs {
+		out := <-ch
+		if out.err != nil || out.occ != 4 || len(out.res) != 1 {
+			t.Fatalf("co-batched Submit = (%v, %d, %v), want (1 result, occupancy 4, nil)", out.res, out.occ, out.err)
+		}
+	}
+	if r.batchCount() != 1 {
+		t.Fatalf("ran %d batches, want 1", r.batchCount())
+	}
+}
+
+func TestWindowTrip(t *testing.T) {
+	r := &testRunner{}
+	var load atomic.Int64
+	load.Store(2) // trip = 3, so two members must ride the window
+	clock := NewFake()
+	f := newTestFormer(r, clock, &load)
+	defer f.Close()
+	key := testKey()
+	ch1 := submitAsync(context.Background(), f, key, []float32{1})
+	ch2 := submitAsync(context.Background(), f, key, []float32{2})
+	waitPending(t, f, 2)
+	if r.batchCount() != 0 {
+		t.Fatalf("batch ran before the window elapsed")
+	}
+	clock.Advance(f.cfg.MaxWindow)
+	for _, ch := range []chan submitResult{ch1, ch2} {
+		out := <-ch
+		if out.err != nil || out.occ != 2 || len(out.res) != 1 {
+			t.Fatalf("window-tripped Submit = (%v, %d, %v), want (1 result, occupancy 2, nil)", out.res, out.occ, out.err)
+		}
+	}
+	if r.batchCount() != 1 {
+		t.Fatalf("ran %d batches, want 1", r.batchCount())
+	}
+}
+
+func TestAutoTuneWidensAndNarrows(t *testing.T) {
+	r := &testRunner{}
+	var load atomic.Int64
+	clock := NewFake()
+	f := newTestFormer(r, clock, &load)
+	defer f.Close()
+	key := testKey()
+
+	// Backlog 1 → the window narrows to MinWindow.
+	load.Store(1)
+	ch := submitAsync(context.Background(), f, key, []float32{1})
+	waitPending(t, f, 1)
+	if w := f.Window(); w != f.cfg.MinWindow {
+		t.Fatalf("window at load 1 = %v, want MinWindow %v", w, f.cfg.MinWindow)
+	}
+	clock.Advance(f.cfg.MaxWindow)
+	<-ch
+
+	// Backlog ≥ LoadScale → the window widens to MaxWindow.
+	load.Store(16)
+	ch = submitAsync(context.Background(), f, key, []float32{1})
+	waitPending(t, f, 1)
+	if w := f.Window(); w != f.cfg.MaxWindow {
+		t.Fatalf("window at load 16 = %v, want MaxWindow %v", w, f.cfg.MaxWindow)
+	}
+	clock.Advance(f.cfg.MaxWindow)
+	<-ch
+
+	// The armed timers must match the tuned windows, in order.
+	armed := clock.Armed()
+	if len(armed) != 2 || armed[0] != f.cfg.MinWindow || armed[1] != f.cfg.MaxWindow {
+		t.Fatalf("armed windows = %v, want [%v %v]", armed, f.cfg.MinWindow, f.cfg.MaxWindow)
+	}
+	// Mid-range backlog lands strictly between the bounds.
+	load.Store(8)
+	ch = submitAsync(context.Background(), f, key, []float32{1})
+	waitPending(t, f, 1)
+	if w := f.Window(); w <= f.cfg.MinWindow || w >= f.cfg.MaxWindow {
+		t.Fatalf("window at load 8 = %v, want strictly inside (%v, %v)", w, f.cfg.MinWindow, f.cfg.MaxWindow)
+	}
+	clock.Advance(f.cfg.MaxWindow)
+	<-ch
+}
+
+// deadlineCtx advertises a deadline in fake-clock time without ever
+// expiring on its own.
+type deadlineCtx struct {
+	context.Context
+	dl time.Time
+}
+
+func (d deadlineCtx) Deadline() (time.Time, bool) { return d.dl, true }
+
+func TestWindowClampedByDeadline(t *testing.T) {
+	r := &testRunner{}
+	var load atomic.Int64
+	load.Store(16) // wants MaxWindow = 2ms
+	clock := NewFake()
+	f := newTestFormer(r, clock, &load)
+	defer f.Close()
+	// A fake-time deadline: context.WithDeadline would arm a real-clock
+	// timer (and 1ms past the fake epoch is decades in the past), so the
+	// deadline is declared on a wrapper the clamp reads with clock.Now.
+	ctx := deadlineCtx{Context: context.Background(), dl: clock.Now().Add(1 * time.Millisecond)}
+	ch := submitAsync(ctx, f, testKey(), []float32{1})
+	waitPending(t, f, 1)
+	armed := clock.Armed()
+	// Half the remaining deadline (500µs) beats the tuned 2ms window: the
+	// coalesce wait must never push a live query into its timeout.
+	if len(armed) != 1 || armed[0] != 500*time.Microsecond {
+		t.Fatalf("armed = %v, want [500µs] (half the 1ms deadline)", armed)
+	}
+	clock.Advance(500 * time.Microsecond)
+	out := <-ch
+	if out.err != nil || out.occ != 1 {
+		t.Fatalf("deadline-clamped Submit = (%d, %v), want occupancy 1, nil err", out.occ, out.err)
+	}
+}
+
+func TestCancelledMemberDoesNotAbortPeers(t *testing.T) {
+	r := &testRunner{}
+	var load atomic.Int64
+	load.Store(2) // trip = 3: both members wait on the window
+	clock := NewFake()
+	f := newTestFormer(r, clock, &load)
+	defer f.Close()
+	key := testKey()
+	ctxA, cancelA := context.WithCancel(context.Background())
+	chA := submitAsync(ctxA, f, key, []float32{1})
+	chB := submitAsync(context.Background(), f, key, []float32{2})
+	waitPending(t, f, 2)
+	cancelA()
+	outA := <-chA // A abandons its slot immediately, before the batch runs
+	if !errors.Is(outA.err, context.Canceled) {
+		t.Fatalf("cancelled Submit err = %v, want context.Canceled", outA.err)
+	}
+	clock.Advance(f.cfg.MaxWindow)
+	outB := <-chB
+	if outB.err != nil || len(outB.res) != 1 {
+		t.Fatalf("peer Submit = (%v, %v), want its result and nil err", outB.res, outB.err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.batches) != 1 || len(r.batches[0]) != 2 {
+		t.Fatalf("batches = %d (sizes %v), want one batch of 2", len(r.batches), r.batches)
+	}
+	// The joined batch context stays live while any member is: B was.
+	if r.ctxErrs[0] != nil {
+		t.Fatalf("joined ctx already dead with a live member: %v", r.ctxErrs[0])
+	}
+}
+
+func TestJoinedContextDiesWithAllMembers(t *testing.T) {
+	r := &testRunner{}
+	var load atomic.Int64
+	load.Store(2)
+	clock := NewFake()
+	f := newTestFormer(r, clock, &load)
+	defer f.Close()
+	key := testKey()
+	ctxA, cancelA := context.WithCancel(context.Background())
+	ctxB, cancelB := context.WithCancel(context.Background())
+	chA := submitAsync(ctxA, f, key, []float32{1})
+	chB := submitAsync(ctxB, f, key, []float32{2})
+	waitPending(t, f, 2)
+	cancelA()
+	cancelB()
+	<-chA
+	<-chB
+	clock.Advance(f.cfg.MaxWindow)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ctxErrs) != 1 || r.ctxErrs[0] == nil {
+		t.Fatalf("joined ctx errs = %v, want one cancelled batch", r.ctxErrs)
+	}
+}
+
+func TestCloseFlushesFormingGroups(t *testing.T) {
+	r := &testRunner{}
+	var load atomic.Int64
+	load.Store(2)
+	clock := NewFake()
+	f := newTestFormer(r, clock, &load)
+	key := testKey()
+	ch := submitAsync(context.Background(), f, key, []float32{1})
+	waitPending(t, f, 1)
+	f.Close()
+	out := <-ch
+	if out.err != nil || len(out.res) != 1 {
+		t.Fatalf("flushed Submit = (%v, %v), want its result", out.res, out.err)
+	}
+	// A closed former is a permanent pass-through.
+	if _, _, err := f.Submit(context.Background(), key, []float32{1}); !errors.Is(err, ErrPassThrough) {
+		t.Fatalf("Submit after Close err = %v, want ErrPassThrough", err)
+	}
+}
+
+func TestStaleTimerDoesNotDoubleFire(t *testing.T) {
+	r := &testRunner{}
+	var load atomic.Int64
+	load.Store(3) // trip = 4 = MaxBatch
+	clock := NewFake()
+	f := newTestFormer(r, clock, &load)
+	defer f.Close()
+	key := testKey()
+	var chs []chan submitResult
+	for i := 0; i < 4; i++ {
+		chs = append(chs, submitAsync(context.Background(), f, key, []float32{1}))
+		waitPending(t, f, (i+1)%4) // 4th submit size-trips back to 0 pending
+	}
+	for _, ch := range chs {
+		if out := <-ch; out.err != nil || out.occ != 4 {
+			t.Fatalf("Submit = (%d, %v), want occupancy 4", out.occ, out.err)
+		}
+	}
+	// The group's window timer was armed, then obsoleted by the size trip;
+	// advancing past it must not re-run the (already-taken) group.
+	clock.Advance(10 * f.cfg.MaxWindow)
+	if r.batchCount() != 1 {
+		t.Fatalf("ran %d batches, want 1 (stale timer fired)", r.batchCount())
+	}
+}
+
+// TestGroupsAreKeyHomogeneous: items submitted under different keys must
+// never land in the same batch, no matter how interleaved their arrival.
+func TestGroupsAreKeyHomogeneous(t *testing.T) {
+	r := &testRunner{}
+	var load atomic.Int64
+	load.Store(16)
+	clock := NewFake()
+	f := newTestFormer(r, clock, &load) // MaxBatch 4
+	defer f.Close()
+	keyA := Key{Collection: "c", K: 1}
+	keyB := Key{Collection: "c", K: 2} // one knob differs → incompatible
+	var chs []chan submitResult
+	for i := 0; i < 8; i++ {
+		key, q := keyA, []float32{1}
+		if i%2 == 1 {
+			key, q = keyB, []float32{2}
+		}
+		chs = append(chs, submitAsync(context.Background(), f, key, q))
+	}
+	// 4 of each key: both groups size-trip at MaxBatch.
+	for _, ch := range chs {
+		if out := <-ch; out.err != nil || out.occ != 4 {
+			t.Fatalf("Submit = (%d, %v), want occupancy 4", out.occ, out.err)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.batches) != 2 {
+		t.Fatalf("ran %d batches, want 2", len(r.batches))
+	}
+	for _, b := range r.batches {
+		for _, it := range b {
+			if it.Query()[0] != b[0].Query()[0] {
+				t.Fatalf("batch mixes keys: queries %v and %v", b[0].Query(), it.Query())
+			}
+		}
+	}
+}
+
+func TestRunnerMissingSlotIsBackstopped(t *testing.T) {
+	var load atomic.Int64
+	load.Store(16)
+	f := New(Config{
+		MaxBatch: 2,
+		Clock:    NewFake(),
+		Load:     func() int { return int(load.Load()) },
+		Run:      func(ctx context.Context, key Key, items []*Item) {}, // delivers nothing
+	})
+	defer f.Close()
+	ch := submitAsync(context.Background(), f, testKey(), []float32{1})
+	waitPending(t, f, 1)
+	_, _, err := f.Submit(context.Background(), testKey(), []float32{2})
+	if err == nil {
+		t.Fatal("missed slot returned nil error")
+	}
+	if out := <-ch; out.err == nil {
+		t.Fatal("missed slot returned nil error on the co-batched member")
+	}
+}
+
+// probeFormer is a Former at load 0 with a fake clock: the only way it can
+// batch is the bootstrap (dense-arrival probe → occupancy boost).
+func probeFormer(r *testRunner) (*Former, *Fake) {
+	clock := NewFake()
+	var load atomic.Int64 // stays 0: the pool signal never sees anything
+	return newTestFormer(r, clock, &load), clock
+}
+
+// TestBootstrapProbeFormsPair: at pool-load zero, a run of close-spaced
+// arrivals earns one probe — the prober is held in a forming group and a
+// hidden peer trips the pair at size 2, proving scheduler-hidden
+// concurrency that the load signal cannot see. All timing is fake-clock;
+// the submits never advance time, so their spacing reads as dense.
+func TestBootstrapProbeFormsPair(t *testing.T) {
+	r := &testRunner{}
+	f, clock := probeFormer(r)
+	defer f.Close()
+	key := testKey()
+
+	// First arrival has no history; the next three build the dense run.
+	// All four pass through untouched — the probe must not fire early.
+	for i := 0; i < 4; i++ {
+		if _, _, err := f.Submit(context.Background(), key, []float32{1}); !errors.Is(err, ErrPassThrough) {
+			t.Fatalf("pre-probe submit %d: err = %v, want ErrPassThrough", i, err)
+		}
+	}
+	// The 5th dense arrival probes: held in a group, window MinWindow and
+	// the arrival-gap close MinWindow/gapDiv armed behind it.
+	probe := submitAsync(context.Background(), f, key, []float32{1})
+	waitPending(t, f, 1)
+	armed := clock.Armed()
+	if len(armed) != 2 || armed[0] != f.cfg.MinWindow || armed[1] != f.cfg.MinWindow/gapDiv {
+		t.Fatalf("armed after probe = %v, want [%v %v]", armed, f.cfg.MinWindow, f.cfg.MinWindow/gapDiv)
+	}
+	// A hidden peer joins and trips the pair at size 2 — no clock advance:
+	// the trigger is size, not any timer.
+	peer := submitAsync(context.Background(), f, key, []float32{2})
+	for _, ch := range []chan submitResult{probe, peer} {
+		if out := <-ch; out.err != nil || out.occ != 2 {
+			t.Fatalf("probe pair Submit = (%d, %v), want occupancy 2", out.occ, out.err)
+		}
+	}
+	if r.batchCount() != 1 {
+		t.Fatalf("ran %d batches, want 1", r.batchCount())
+	}
+
+	// Occupancy 2 turned the boost on: the next submits batch without any
+	// probing, and the arrival-gap close fires a formed pair when the
+	// supply dries up mid-group.
+	a := submitAsync(context.Background(), f, key, []float32{3})
+	waitPending(t, f, 1)
+	b := submitAsync(context.Background(), f, key, []float32{4})
+	waitPending(t, f, 2)
+	clock.Advance(f.cfg.MinWindow / gapDiv)
+	for _, ch := range []chan submitResult{a, b} {
+		if out := <-ch; out.err != nil || out.occ != 2 {
+			t.Fatalf("boosted Submit = (%d, %v), want occupancy 2", out.occ, out.err)
+		}
+	}
+
+	// The trip tracks discovered supply with headroom (2 → trip 3): three
+	// boosted submits size-trip at 3 with no timer involved.
+	var chs []chan submitResult
+	for i := 0; i < 3; i++ {
+		chs = append(chs, submitAsync(context.Background(), f, key, []float32{5}))
+		if i < 2 {
+			waitPending(t, f, i+1)
+		}
+	}
+	for _, ch := range chs {
+		if out := <-ch; out.err != nil || out.occ != 3 {
+			t.Fatalf("grown Submit = (%d, %v), want occupancy 3", out.occ, out.err)
+		}
+	}
+	if r.batchCount() != 3 {
+		t.Fatalf("ran %d batches, want 3", r.batchCount())
+	}
+}
+
+// TestBootstrapProbeBacksOff: a probe that stays alone costs one
+// arrival-gap wait and is followed by ever-longer pass-through spans —
+// cooldown 16 after the first failure, 32 after the second — so a
+// genuinely sequential client pays a vanishing amortized tax.
+func TestBootstrapProbeBacksOff(t *testing.T) {
+	r := &testRunner{}
+	f, clock := probeFormer(r)
+	defer f.Close()
+	key := testKey()
+
+	// probeRound drives wantPT dense pass-through submits, then the probe:
+	// held alone, closed by the arrival gap as a singleton.
+	probeRound := func(wantPT int) {
+		t.Helper()
+		for i := 0; i < wantPT; i++ {
+			if _, _, err := f.Submit(context.Background(), key, []float32{1}); !errors.Is(err, ErrPassThrough) {
+				t.Fatalf("submit %d of %d: err = %v, want ErrPassThrough", i, wantPT, err)
+			}
+		}
+		ch := submitAsync(context.Background(), f, key, []float32{1})
+		waitPending(t, f, 1)
+		clock.Advance(f.cfg.MinWindow / gapDiv)
+		if out := <-ch; out.err != nil || out.occ != 1 {
+			t.Fatalf("failed probe Submit = (%d, %v), want occupancy 1", out.occ, out.err)
+		}
+	}
+
+	probeRound(4)  // no history + 3 dense arrivals, probe on the 5th
+	probeRound(18) // dense rebuild (3) + cooldown 16, probe next
+	probeRound(34) // each failure doubled the backoff: cooldown 32
+	probeRound(66) // and again: cooldown 64
+	if got := r.batchCount(); got != 4 {
+		t.Fatalf("ran %d batches, want 4 singleton probes", got)
+	}
+}
+
+// TestWindowDeferredWhileRunningChains: a window trip that lands while a
+// batch for the same key is executing must not chop the forming group —
+// it keeps accumulating and runs when the in-flight batch completes
+// (group commit), on its own goroutine.
+func TestWindowDeferredWhileRunningChains(t *testing.T) {
+	r := &testRunner{}
+	gate := make(chan struct{})
+	var gated atomic.Bool
+	blockFirst := func(ctx context.Context, key Key, items []*Item) {
+		if gated.CompareAndSwap(false, true) {
+			r.mu.Lock()
+			r.batches = append(r.batches, items)
+			r.mu.Unlock()
+			<-gate
+			for i, it := range items {
+				if it.Live() {
+					it.Deliver([]topk.Result{{ID: int64(i)}}, nil)
+				}
+			}
+			return
+		}
+		r.run(ctx, key, items)
+	}
+	var load atomic.Int64
+	load.Store(3) // trip = 4 = MaxBatch
+	clock := NewFake()
+	f := New(Config{
+		MaxBatch:  4,
+		MinWindow: 500 * time.Microsecond,
+		MaxWindow: 2 * time.Millisecond,
+		LoadScale: 16,
+		Clock:     clock,
+		Load:      func() int { return int(load.Load()) },
+		Run:       blockFirst,
+	})
+	defer f.Close()
+	key := testKey()
+
+	// Four submits size-trip; the runner parks inside Run holding the
+	// batch (the gate), like a long scan occupying the CPU.
+	var first []chan submitResult
+	for i := 0; i < 4; i++ {
+		first = append(first, submitAsync(context.Background(), f, key, []float32{1}))
+		if i < 3 {
+			waitPending(t, f, i+1)
+		}
+	}
+	for i := 0; i < 1<<24 && r.batchCount() == 0; i++ {
+		runtime.Gosched()
+	}
+	if r.batchCount() != 1 {
+		t.Fatal("first batch never started")
+	}
+
+	// Two more queries form the next group; its window fires mid-run and
+	// must defer, not execute.
+	var second []chan submitResult
+	for i := 0; i < 2; i++ {
+		second = append(second, submitAsync(context.Background(), f, key, []float32{2}))
+		waitPending(t, f, i+1)
+	}
+	clock.Advance(f.cfg.MaxWindow)
+	if got := r.batchCount(); got != 1 {
+		t.Fatalf("deferred window ran a batch mid-run: %d batches", got)
+	}
+
+	// Completion of the in-flight batch chains the deferred group.
+	close(gate)
+	for _, ch := range first {
+		if out := <-ch; out.err != nil || out.occ != 4 {
+			t.Fatalf("first batch Submit = (%d, %v), want occupancy 4", out.occ, out.err)
+		}
+	}
+	for _, ch := range second {
+		if out := <-ch; out.err != nil || out.occ != 2 {
+			t.Fatalf("chained Submit = (%d, %v), want occupancy 2", out.occ, out.err)
+		}
+	}
+	if got := r.batchCount(); got != 2 {
+		t.Fatalf("ran %d batches, want 2 (size + chain)", got)
+	}
+}

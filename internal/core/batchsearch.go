@@ -1,0 +1,234 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"vectordb/internal/batchform"
+	"vectordb/internal/bufferpool"
+	"vectordb/internal/index"
+	"vectordb/internal/topk"
+	"vectordb/internal/vec"
+)
+
+// tileChunkRows is how many data rows each tile-kernel call covers on the
+// formed-batch scan path: big enough to amortize the dispatch, small
+// enough that the queries×rows distance tile stays cache-resident
+// (mirrors the offline engine's batch.tileRows sizing).
+const tileChunkRows = 256
+
+// batchFormKey is the former's compatibility key for a plain (unfiltered)
+// vector query against field f: queries may only share a batch when every
+// plan-shaping knob matches.
+func (c *Collection) batchFormKey(f int, opts *SearchOptions) batchform.Key {
+	vf := &c.schema.VectorFields[f]
+	return batchform.Key{
+		Collection: c.Name,
+		Field:      f,
+		Dim:        vf.Dim,
+		Metric:     vf.Metric.String(),
+		K:          opts.K,
+		Nprobe:     opts.Nprobe,
+		Ef:         opts.Ef,
+		SearchL:    opts.SearchL,
+	}
+}
+
+// searchBatched offers an eligible query to the batch former. handled
+// false means the caller must run the query on the per-query path —
+// either the query is ineligible (filtered, invalid, non-decomposable
+// metric) or the former passed it through because the pool is idle.
+// Validation failures also fall through so the per-query path stays the
+// single source of the canonical error messages.
+func (c *Collection) searchBatched(ctx context.Context, query []float32, opts SearchOptions) (res []topk.Result, handled bool, err error) {
+	bf := c.former
+	if bf == nil || opts.Filter != nil {
+		return nil, false, nil
+	}
+	f := 0
+	if opts.Field != "" {
+		var ferr error
+		if f, ferr = c.schema.VectorFieldIndex(opts.Field); ferr != nil {
+			return nil, false, nil
+		}
+	}
+	vf := &c.schema.VectorFields[f]
+	if len(query) != vf.Dim || opts.K <= 0 || !vf.Metric.BatchEligible() {
+		return nil, false, nil
+	}
+	sp := opts.Trace.StartSpan("batch_form")
+	res, occ, err := bf.Submit(ctx, c.batchFormKey(f, &opts), query)
+	sp.End()
+	if errors.Is(err, batchform.ErrPassThrough) {
+		return nil, false, nil
+	}
+	opts.Trace.AnnotateInt("batch_occupancy", int64(occ))
+	return res, true, err
+}
+
+// runFormedBatch is the former's Runner: it executes one compatible batch
+// against a single snapshot, sharing one segment sweep across all members.
+// Indexed segments are searched once per live member; scan segments go
+// through the m-query tile kernels, so each cached data block is reused
+// across the whole batch — the paper's Fig. 11 cache-aware batching,
+// applied to coalesced online traffic. A member whose context died gets
+// its own ctx error; live members are never aborted by dead peers (ctx
+// here is the joined batch context).
+func (c *Collection) runFormedBatch(ctx context.Context, key batchform.Key, items []*batchform.Item) {
+	m := len(items)
+	vf := &c.schema.VectorFields[key.Field]
+	metric := vf.Metric
+	dim := vf.Dim
+	qs := make([]float32, 0, m*dim)
+	for _, it := range items {
+		qs = append(qs, it.Query()...)
+	}
+	p := index.SearchParams{K: key.K, Nprobe: key.Nprobe, Ef: key.Ef, SearchL: key.SearchL}
+	sn := c.snaps.acquire()
+	defer c.snaps.release(sn)
+	segs := sn.Segments
+	if len(segs) == 0 {
+		for _, it := range items {
+			it.Deliver(nil, it.Context().Err())
+		}
+		return
+	}
+	workers := poolTasks(c.pool, len(segs))
+	heaps := topk.NewMatrix(workers, m, key.K)
+	var cursor atomic.Int64
+	var nIdx atomic.Int64
+	_ = c.pool.Map(ctx, workers, func(w int) {
+		tile := bufferpool.GetFloats(m * tileChunkRows)
+		for ctx.Err() == nil {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(segs) {
+				break
+			}
+			if c.batchSegment(sn, segs[i], key.Field, metric, qs, items, heaps, w, p, *tile) {
+				nIdx.Add(1)
+			}
+		}
+		bufferpool.PutFloats(tile)
+	})
+	c.met.segIndex.Add(nIdx.Load())
+	c.met.segScan.Add(int64(len(segs)) - nIdx.Load())
+	for qj, it := range items {
+		if cerr := it.Context().Err(); cerr != nil {
+			it.Deliver(nil, cerr)
+			continue
+		}
+		it.Deliver(heaps.MergeQuery(qj, key.K), nil)
+	}
+}
+
+// batchSegment searches one segment for every live batch member, pushing
+// candidates into each member's (worker, query) heap. It reports whether
+// the segment was served by its index. tile is the worker's scratch
+// distance tile (m × tileChunkRows).
+func (c *Collection) batchSegment(sn *Snapshot, seg *Segment, field int, metric vec.Metric, qs []float32, items []*batchform.Item, heaps *topk.Matrix, w int, p index.SearchParams, tile []float32) bool {
+	dim := c.schema.VectorFields[field].Dim
+	filter := sn.FilterFor(seg.ID, nil)
+	if idx := seg.Index(field); idx != nil {
+		sp := p
+		sp.Filter = filter
+		for qj, it := range items {
+			if !it.Live() {
+				continue
+			}
+			h := heaps.At(w, qj)
+			for _, r := range idx.Search(qs[qj*dim:(qj+1)*dim], sp) {
+				h.Push(r.ID, r.Distance)
+			}
+		}
+		return true
+	}
+	col := seg.Vectors[field]
+	m := len(items)
+	n := seg.Rows()
+	for i0 := 0; i0 < n; i0 += tileChunkRows {
+		i1 := i0 + tileChunkRows
+		if i1 > n {
+			i1 = n
+		}
+		rows := i1 - i0
+		chunk := col.Data[i0*dim : i1*dim]
+		t := tile[:m*rows]
+		if metric == vec.IP {
+			vec.NegDotTile(qs, chunk, dim, t)
+		} else {
+			vec.L2SquaredTile(qs, chunk, dim, t)
+		}
+		for qj, it := range items {
+			if !it.Live() {
+				continue
+			}
+			h := heaps.At(w, qj)
+			for r, d := range t[qj*rows : (qj+1)*rows] {
+				id := seg.IDs[i0+r]
+				if filter != nil && !filter(id) {
+					continue
+				}
+				h.Push(id, d)
+			}
+		}
+	}
+	return false
+}
+
+// SearchBatchCtx answers len(queries) top-k queries in one formed batch
+// over a single snapshot — the deterministic entry to the same executor
+// the former routes concurrent SearchCtx traffic through. All queries
+// share opts (field, K, index knobs; a filter is rejected — filtered
+// strategies are per-query plans); per-query result lists come back in
+// input order. The batch holds one admission slot, like any other
+// top-level query.
+func (c *Collection) SearchBatchCtx(ctx context.Context, queries [][]float32, opts SearchOptions) ([][]topk.Result, error) {
+	done := c.beginQuery("batch", &opts.Trace)
+	defer done()
+	opts.Trace.Annotate("placement", "cpu")
+	release, err := c.admit(ctx, opts.Trace)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	f := 0
+	if opts.Field != "" {
+		if f, err = c.schema.VectorFieldIndex(opts.Field); err != nil {
+			return nil, err
+		}
+	}
+	vf := &c.schema.VectorFields[f]
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("core: K must be positive")
+	}
+	if opts.Filter != nil {
+		return nil, fmt.Errorf("core: batched search does not take a filter; filtered queries are per-query plans")
+	}
+	if !vf.Metric.BatchEligible() {
+		return nil, fmt.Errorf("core: metric %s does not decompose per query block", vf.Metric)
+	}
+	for _, q := range queries {
+		if len(q) != vf.Dim {
+			return nil, fmt.Errorf("core: query dim %d, field %q wants %d", len(q), vf.Name, vf.Dim)
+		}
+	}
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	items := make([]*batchform.Item, len(queries))
+	for i, q := range queries {
+		items[i] = batchform.NewItem(ctx, q)
+	}
+	c.runFormedBatch(ctx, c.batchFormKey(f, &opts), items)
+	out := make([][]topk.Result, len(items))
+	for i, it := range items {
+		res, _, err := it.Outcome()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}

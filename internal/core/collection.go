@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vectordb/internal/batchform"
 	"vectordb/internal/colstore"
 	"vectordb/internal/exec"
 	"vectordb/internal/index"
@@ -58,6 +59,17 @@ type Config struct {
 	// schedule against fixed threads instead of spawning per query).
 	// Nil means the process-wide exec.Default() pool.
 	Exec *exec.Pool
+	// BatchWindow bounds the batch former's coalescing window (the
+	// paper's Fig. 11 batching applied to live traffic): under load,
+	// concurrent compatible queries wait up to this long to share a
+	// cache-aware tile sweep. Zero means the 2ms default; negative
+	// disables dynamic batching entirely.
+	BatchWindow time.Duration
+	// BatchSize caps a formed batch (the former's size trip; default 16).
+	BatchSize int
+	// BatchClock injects the former's time source; nil means the wall
+	// clock. Tests pass batchform.NewFake for deterministic triggers.
+	BatchClock batchform.Clock
 }
 
 func (c *Config) defaults() {
@@ -110,6 +122,7 @@ type Collection struct {
 	met    *colMetrics
 	qlog   *obs.QueryLog
 	pool   *exec.Pool
+	former *batchform.Former // nil when dynamic batching is disabled
 
 	mu       sync.Mutex // guards mem, nextSeg/nextSnap, flushErr, snapshot installs
 	mem      *memTable
@@ -178,10 +191,34 @@ func NewCollection(name string, schema Schema, store objstore.Store, cfg Config)
 		defer c.snaps.release(sn)
 		return int64(sn.LiveRows())
 	}, "collection", name)
+	if cfg.BatchWindow >= 0 {
+		c.former = batchform.New(batchform.Config{
+			Collection: name,
+			MaxBatch:   cfg.BatchSize,
+			MaxWindow:  cfg.BatchWindow,
+			Clock:      cfg.BatchClock,
+			Load:       c.readLoad,
+			Obs:        cfg.Obs,
+			Run:        c.runFormedBatch,
+		})
+	}
 	go c.flushTimer()
 	c.indexWG.Add(1)
 	go c.indexBuilder()
 	return c, nil
+}
+
+// readLoad is the former's live backlog signal: segment tasks queued on
+// the shared pool plus queries waiting at admission plus OTHER in-flight
+// queries. The submitting query already holds its own admission slot, so
+// one is subtracted — a lone query on an idle pool must see load 0 and
+// pass through with zero added latency.
+func (c *Collection) readLoad() int {
+	load := c.pool.QueueDepth() + int(c.pool.Waiting()) + c.pool.Inflight() - 1
+	if load < 0 {
+		load = 0
+	}
+	return load
 }
 
 // Schema returns the collection schema.
@@ -510,6 +547,12 @@ func (c *Collection) SearchCtx(ctx context.Context, query []float32, opts Search
 		return nil, err
 	}
 	defer release()
+	// Under concurrent load, compatible queries coalesce into one
+	// cache-aware tile sweep; an idle pool (or an ineligible query)
+	// falls through to the per-query path below.
+	if res, handled, err := c.searchBatched(ctx, query, opts); handled {
+		return res, err
+	}
 	sn := c.snaps.acquire()
 	defer c.snaps.release(sn)
 	return c.searchSnapshot(ctx, sn, query, opts)
@@ -715,6 +758,9 @@ func (c *Collection) Stats() Stats {
 func (c *Collection) Close() error {
 	var err error
 	c.closeOnce.Do(func() {
+		if c.former != nil {
+			c.former.Close() // flush forming groups while the pool is still up
+		}
 		err = c.Flush()
 		close(c.stopTimer)
 		c.log.Close()
@@ -729,6 +775,9 @@ func (c *Collection) Close() error {
 // be recovered by replaying the write-ahead log from shared storage.
 func (c *Collection) Abandon() {
 	c.closeOnce.Do(func() {
+		if c.former != nil {
+			c.former.Close()
+		}
 		close(c.stopTimer)
 		c.log.Close()
 		close(c.indexCh)

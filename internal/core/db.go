@@ -28,6 +28,14 @@ type DB struct {
 
 // NewDB creates a database over store (in-memory store when nil).
 func NewDB(store objstore.Store) *DB {
+	return NewDBWithExec(store, exec.Config{})
+}
+
+// NewDBWithExec creates a database whose shared execution pool uses the
+// given sizing (worker count, admission limits); the pool's Obs is always
+// this DB's registry. It exists for deployments — and tests — that need
+// admission control bounds tighter or looser than the machine defaults.
+func NewDBWithExec(store objstore.Store, pcfg exec.Config) *DB {
 	if store == nil {
 		store = objstore.NewMemory()
 	}
@@ -39,7 +47,8 @@ func NewDB(store objstore.Store) *DB {
 	}
 	// One shared execution pool per DB: every collection's queries run on
 	// it and its exec_* series land in this DB's registry (and /metrics).
-	db.pool = exec.NewPool(exec.Config{Obs: db.reg})
+	pcfg.Obs = db.reg
+	db.pool = exec.NewPool(pcfg)
 	registerRuntimeMetrics(db.reg)
 	return db
 }

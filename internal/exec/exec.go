@@ -151,6 +151,11 @@ func (p *Pool) Inflight() int { return len(p.sem) }
 // Waiting returns the number of queries blocked in Admit.
 func (p *Pool) Waiting() int64 { return p.waiting.Load() }
 
+// QueueDepth returns the number of segment tasks waiting in the queue —
+// the instantaneous value behind vectordb_exec_queue_depth, exposed so the
+// batch former can tune its coalescing window off live backlog.
+func (p *Pool) QueueDepth() int { return len(p.tasks) }
+
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	for t := range p.tasks {

@@ -11,6 +11,7 @@ func Defaults() []*Analyzer {
 		NewLockDiscipline(),
 		NewAtomicMix(),
 		NewMetricReg(),
+		NewClockInject(),
 	}
 }
 

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// clockForbidden are the time-package entry points that read or schedule
+// wall-clock time. Pure conversions and constructors (time.Unix,
+// time.Date, time.Duration arithmetic) are fine — they do not make the
+// code's behaviour depend on when it runs.
+var clockForbidden = map[string]bool{
+	"Now":       true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+}
+
+// NewClockInject returns the clockinject analyzer: inside
+// internal/batchform (subpackages included), every timing decision must go
+// through the package's injectable Clock interface — calling the time
+// package directly would make the former's trigger logic (size trip,
+// window trip, auto-tune) untestable without wall-clock sleeps, which is
+// exactly the flakiness the Clock abstraction exists to prevent. The Wall
+// clock implementation is the one sanctioned caller and carries
+// //lint:allow clockinject pragmas.
+func NewClockInject() *Analyzer {
+	a := &Analyzer{
+		Name: "clockinject",
+		Doc:  "internal/batchform reads time only through its injectable Clock, never the time package directly",
+	}
+	a.Run = func(pass *Pass) {
+		if !inClockInjectedPkg(pass.PkgPath) {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.Info, call)
+				if fn == nil || funcPkgPath(fn) != "time" || !clockForbidden[fn.Name()] {
+					return true
+				}
+				// Methods like time.Time.After or time.Time.Since are pure
+				// value arithmetic; only the package-level functions touch
+				// the process clock.
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true
+				}
+				pass.Reportf(call.Pos(), "time.%s bypasses the injected Clock: route every timing decision through Config.Clock so tests stay deterministic",
+					fn.Name())
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// inClockInjectedPkg reports whether pkgPath is internal/batchform or a
+// subpackage of it.
+func inClockInjectedPkg(pkgPath string) bool {
+	segs := strings.Split(pkgPath, "/")
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i] == "internal" && segs[i+1] == "batchform" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,43 @@
+// Package batchform seeds clockinject violations: direct time-package
+// calls inside the package that must route all timing through its
+// injectable Clock.
+package batchform
+
+import "time"
+
+// WindowElapsed reads the wall clock directly.
+func WindowElapsed(start time.Time) bool {
+	return time.Since(start) > time.Millisecond // want clockinject "time.Since bypasses the injected Clock"
+}
+
+// ArmTrip schedules on the global timer wheel.
+func ArmTrip(fn func()) *time.Timer {
+	return time.AfterFunc(time.Millisecond, fn) // want clockinject "time.AfterFunc bypasses the injected Clock"
+}
+
+// Stamp reads absolute time.
+func Stamp() time.Time {
+	return time.Now() // want clockinject "time.Now bypasses the injected Clock"
+}
+
+// Elapsed uses a time.Time METHOD named like a forbidden function: value
+// arithmetic, not a clock read — no finding.
+func Elapsed(a, b time.Time) bool {
+	return b.After(a)
+}
+
+// CoalesceWait sleeps on the wall clock.
+func CoalesceWait() {
+	time.Sleep(time.Microsecond) // want clockinject "time.Sleep bypasses the injected Clock"
+}
+
+// SanctionedWall is the one legitimate caller, waived by pragma.
+func SanctionedWall() time.Time {
+	//lint:allow clockinject the wall Clock implementation is the sanctioned caller
+	return time.Now()
+}
+
+// BuildEpoch is fine: time.Unix is a pure conversion, not a clock read.
+func BuildEpoch() time.Time {
+	return time.Unix(0, 0)
+}

@@ -116,6 +116,16 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// RejectedResponse is the 503 body when admission control sheds a search:
+// the error plus the live pool pressure that caused the rejection, so a
+// client can tell a saturated server from a transient blip and back off
+// proportionally.
+type RejectedResponse struct {
+	Error      string `json:"error"`
+	QueueDepth int    `json:"queue_depth"` // queries waiting for an admission slot
+	Inflight   int    `json:"inflight"`    // queries currently executing
+}
+
 // Server -----------------------------------------------------------------
 
 // ServerConfig tunes the REST server.
@@ -123,7 +133,18 @@ type ServerConfig struct {
 	// QueryTimeout bounds each search request: the query's context expires
 	// after this duration and the request answers 504. Zero means no
 	// server-imposed deadline (the client disconnect still cancels).
+	// Batching never converts a live query into a timeout: the former
+	// clamps its coalescing window well inside this deadline.
 	QueryTimeout time.Duration
+
+	// BatchWindow bounds the dynamic-batching coalescing window for
+	// collections created through this server: zero keeps the engine
+	// default (2ms ceiling, auto-tuned down to pass-through when idle),
+	// negative disables server-side batching entirely.
+	BatchWindow time.Duration
+	// BatchSize caps how many compatible queries one formed batch may
+	// carry (0 = engine default).
+	BatchSize int
 }
 
 // Server serves the REST API over a core database.
@@ -239,7 +260,10 @@ func (s *Server) handleCollections(w http.ResponseWriter, r *http.Request) {
 		}
 		schema.AttrFields = req.AttrFields
 		schema.CatFields = req.CatFields
-		cfg := core.Config{IndexType: req.IndexType, IndexParams: req.IndexParams}
+		cfg := core.Config{
+			IndexType: req.IndexType, IndexParams: req.IndexParams,
+			BatchWindow: s.cfg.BatchWindow, BatchSize: s.cfg.BatchSize,
+		}
 		if _, err := s.db.CreateCollection(req.Name, schema, cfg); err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
@@ -387,6 +411,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, col *core.
 		rs, err = col.SearchCtx(ctx, req.Vector, opts)
 	}
 	if err != nil {
+		if errors.Is(err, exec.ErrRejected) {
+			pool := s.db.Exec()
+			writeJSON(w, searchStatus(err), RejectedResponse{
+				Error:      err.Error(),
+				QueueDepth: int(pool.Waiting()),
+				Inflight:   pool.Inflight(),
+			})
+			return
+		}
 		writeErr(w, searchStatus(err), err)
 		return
 	}

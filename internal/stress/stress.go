@@ -9,6 +9,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -219,6 +220,7 @@ func Run(cfg Config) (*Report, error) {
 		h.violate("close: %v", err)
 	}
 	h.checkGoroutines(baseGoroutines)
+	h.batchformInvariants(rep)
 	rep.Injected = faults.Injected()
 	rep.Violations = h.violations
 	if len(rep.Violations) > 0 {
@@ -350,7 +352,7 @@ func (h *harness) search(who string, qseed int64) {
 		return
 	}
 	h.searches.add(1)
-	h.checkResults(who, res)
+	h.checkResults(who, query, res)
 }
 
 // searchCancel runs one query under a context that dies mid-flight: half of
@@ -375,7 +377,7 @@ func (h *harness) searchCancel(who string, rng *rand.Rand) {
 	switch {
 	case err == nil:
 		h.searches.add(1)
-		h.checkResults(who, res)
+		h.checkResults(who, query, res)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		h.cancelled.add(1)
 		if res != nil {
@@ -407,8 +409,12 @@ func (h *harness) checkGoroutines(base int) {
 }
 
 // checkResults validates the structural invariants every search result set
-// must satisfy regardless of interleaving.
-func (h *harness) checkResults(who string, res []topk.Result) {
+// must satisfy regardless of interleaving. Every distance is recomputed
+// against the deterministic vector stored for its ID: with queries now
+// riding formed batches, a result row served from a co-batched peer's tile
+// column would carry that peer's distance — this check is the cross-query
+// bleed detector.
+func (h *harness) checkResults(who string, query []float32, res []topk.Result) {
 	if len(res) > h.cfg.K {
 		h.violate("%s: %d results for k=%d", who, len(res), h.cfg.K)
 	}
@@ -428,6 +434,14 @@ func (h *harness) checkResults(who string, res []topk.Result) {
 		seen[r.ID] = true
 		if w := r.ID >> idShift; w < 1 || w > int64(h.cfg.Writers) || r.ID&(1<<idShift-1) == 0 {
 			h.violate("%s: id %d outside valid id space", who, r.ID)
+			continue
+		}
+		// Tolerance covers float32 accumulation-order drift between the
+		// scalar, blocked and tile kernels — orders of magnitude below the
+		// distance shift a wrong query column would produce.
+		want := vec.L2Squared(query, VectorForID(r.ID, h.cfg.Dim))
+		if diff := math.Abs(float64(r.Distance) - float64(want)); diff > 1e-3*math.Max(1, float64(want)) {
+			h.violate("%s: id %d distance %g, but query-to-row distance is %g (cross-query bleed?)", who, r.ID, r.Distance, want)
 		}
 	}
 }
@@ -576,6 +590,67 @@ func (h *harness) obsInvariants(rep *Report) {
 	}
 	if len(fams) == 0 {
 		h.violate("obs: exposition is empty after a full run")
+	}
+}
+
+// batchformInvariants checks the batch former's conservation laws from the
+// final exposition. It runs after Close (which flushes forming groups) and
+// after the goroutine check (which has waited out any window timer still
+// executing a batch), so the counters are final: every query that entered
+// a forming group must have ridden exactly one formed batch, every formed
+// batch must carry exactly one trigger, and the two paths together must
+// account for at least every search the run completed — a shortfall means
+// a query was acked without being counted, an excess means double
+// delivery.
+func (h *harness) batchformInvariants(rep *Report) {
+	var buf bytes.Buffer
+	if err := h.reg.WritePrometheus(&buf); err != nil {
+		h.violate("batchform: final scrape failed: %v", err)
+		return
+	}
+	fams, err := promtext.Parse(buf.Bytes())
+	if err != nil {
+		h.violate("batchform: exposition does not parse: %v", err)
+		return
+	}
+	series := map[string][]promtext.Sample{}
+	for _, f := range fams {
+		series[f.Name] = f.Samples
+	}
+	var batched, passthrough int64
+	for _, s := range series["vectordb_batchform_queries_total"] {
+		switch s.Labels["path"] {
+		case "batched":
+			batched = int64(s.Value)
+		case "passthrough":
+			passthrough = int64(s.Value)
+		}
+	}
+	var riders, sized int64
+	for _, s := range series["vectordb_batchform_occupancy_total"] {
+		size, err := strconv.Atoi(s.Labels["size"])
+		if err != nil || size < 1 {
+			h.violate("batchform: malformed occupancy size label %q", s.Labels["size"])
+			continue
+		}
+		riders += int64(size) * int64(s.Value)
+		sized += int64(s.Value)
+	}
+	var triggered int64
+	for _, s := range series["vectordb_batchform_batches_total"] {
+		triggered += int64(s.Value)
+	}
+	if riders != batched {
+		h.violate("batchform: occupancy series account for %d queries but %d entered forming groups", riders, batched)
+	}
+	if triggered != sized {
+		h.violate("batchform: %d batches by trigger vs %d by occupancy", triggered, sized)
+	}
+	// Quiesce's recall queries run sequentially (idle pool → passthrough),
+	// so the paths can exceed rep.Searches; falling short of it means a
+	// search completed without being counted on either path.
+	if got := batched + passthrough; got < rep.Searches {
+		h.violate("batchform: %d queries counted across both paths but %d searches completed", got, rep.Searches)
 	}
 }
 
