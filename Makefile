@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt lint bench bench-kernels bench-batchform bench-smoke kernel-guard ci cover stress experiments examples clean
+.PHONY: all build test race vet fmt lint bench bench-kernels bench-batchform bench-filter bench-smoke kernel-guard conformance-filter ci cover stress experiments examples clean
 
 all: build test
 
@@ -27,7 +27,7 @@ fmt:
 
 # lint runs vectordblint, the in-tree stdlib-only static-analysis suite
 # (internal/lint): poolfree, ctxflow, kerneldispatch, lockdiscipline,
-# atomicmix, metricreg. Intentional exceptions carry //lint:allow pragmas
+# atomicmix, metricreg, clockinject. Intentional exceptions carry //lint:allow pragmas
 # in the source; see DESIGN.md §9.
 lint:
 	$(GO) run ./cmd/vectordblint ./...
@@ -36,12 +36,25 @@ lint:
 # the static-analysis suite, the full test suite, the race detector over
 # internal/ — which includes the seeded concurrency stress harness
 # (internal/stress) with fault injection — the cancellation/leak gate,
-# the observability coverage floor, the batch-kernel guard and the
-# benchmark smoke run.
-ci: vet fmt build lint test cover kernel-guard bench-smoke
+# the filtered-search gates (ground-truth conformance plus the concurrent
+# filtered stress mode), the observability coverage floor, the
+# batch-kernel guard and the benchmark smoke run.
+ci: vet fmt build lint test cover kernel-guard conformance-filter bench-smoke
 	$(GO) test -race ./internal/...
 	$(GO) test -race ./internal/stress -run TestStressCancel -short -faults=cancel
+	$(GO) test -race ./internal/stress -run TestStressFiltered -short -faults=filtered
 	$(GO) test -race ./internal/core -run 'TestSearchCtx|TestAdmission'
+
+# conformance-filter is the filtered-ANN ground-truth gate: every index
+# type × metric × selectivity against the exact filter-then-scan oracle
+# (internal/index), every strategy A–E against the oracle over a pushdown
+# Table with the dense/sparse crossover audited from trace annotations
+# (internal/query), and the multi-segment + tombstone pushdown paths
+# (internal/core).
+conformance-filter:
+	$(GO) test ./internal/index -run TestFiltered
+	$(GO) test ./internal/query -run 'TestStrategyFilteredConformance|TestSelectivitySweep|TestStrategyBPushedAllocs'
+	$(GO) test ./internal/core -run TestPushdown
 
 # kernel-guard keeps every hot read path on the blocked batch kernels.
 # The static half — no per-tier kernel calls outside internal/vec — is
@@ -62,6 +75,7 @@ kernel-guard:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/benchbatchform -quick -o /dev/null
+	$(GO) run ./cmd/benchfilter -quick -o /dev/null
 
 # cover enforces a coverage floor on the observability layer: the metrics
 # registry, exposition writer, tracer and query log are the eyes of every
@@ -89,6 +103,13 @@ bench:
 # CacheAware-vs-ThreadPerQuery multi-query tile gap.
 bench-kernels:
 	$(GO) run ./cmd/benchkernels -o BENCH_kernels.json
+
+# bench-filter regenerates BENCH_filter.json: the filtered-scan pushdown
+# (dense bitsets beneath the batch kernels) against the legacy per-row
+# callback filter, swept over selectivity for both flat scans and IVF
+# probes, on clustered and shuffled attribute layouts.
+bench-filter:
+	$(GO) run ./cmd/benchfilter -o BENCH_filter.json
 
 # bench-batchform regenerates BENCH_batchform.json: the batch former
 # coalescing live concurrent searches into tile batches vs the per-query

@@ -118,7 +118,7 @@ func main() {
 	after := testing.Benchmark(func(b *testing.B) {
 		for it := 0; it < b.N; it++ {
 			h := topk.GetHeap(*k)
-			index.ScanBlocked(h, vec.L2, q, data, *dim, ids, nil)
+			index.ScanBlocked(h, vec.L2, q, data, *dim, ids, index.Selection{})
 			sink = h.Results()
 			topk.PutHeap(h)
 		}

@@ -138,7 +138,7 @@ func (e *ThreadPerQuery) MultiQueryCtx(ctx context.Context, req *Request) ([][]t
 			h.Reset()
 			q := req.Queries[qi*req.Dim : (qi+1)*req.Dim]
 			if tiled {
-				index.ScanBlocked(h, req.Metric, q, req.Data, req.Dim, req.IDs, nil)
+				index.ScanBlocked(h, req.Metric, q, req.Data, req.Dim, req.IDs, index.Selection{})
 			} else {
 				dist := req.dist()
 				for i := 0; i < n; i++ {

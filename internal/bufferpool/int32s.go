@@ -1,0 +1,22 @@
+package bufferpool
+
+// Pooled int32 scratch slices for the sparse gather path: the scan driver
+// accumulates surviving row indices per block before handing them to the
+// gather kernels, and that list must not be a per-block allocation.
+
+var int32Slices = NewFree(func() *[]int32 { return new([]int32) })
+
+// GetInt32s returns a pooled int32 slice of length n (contents undefined —
+// callers must overwrite before reading). Release it with PutInt32s.
+func GetInt32s(n int) *[]int32 {
+	p := int32Slices.Get()
+	if cap(*p) < n {
+		*p = make([]int32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// PutInt32s recycles a slice obtained from GetInt32s. The caller must not
+// use the slice afterwards.
+func PutInt32s(p *[]int32) { int32Slices.Put(p) }

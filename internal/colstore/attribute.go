@@ -88,15 +88,22 @@ func (c *AttributeColumn) MinMax() (min, max int64, ok bool) {
 // RangeRows returns the row IDs with lo ≤ key ≤ hi, pruning pages whose
 // skip-pointer range misses [lo, hi] and binary-searching within the rest.
 func (c *AttributeColumn) RangeRows(lo, hi int64) []int64 {
+	var out []int64
+	c.RangeEach(lo, hi, func(row int64) { out = append(out, row) })
+	return out
+}
+
+// RangeEach calls fn for each row ID with lo ≤ key ≤ hi, using the same
+// skip-pointer pruning as RangeRows but without materializing a slice —
+// the predicate compiler sets bitset bits straight from the visit.
+func (c *AttributeColumn) RangeEach(lo, hi int64, fn func(row int64)) {
 	if lo > hi || len(c.entries) == 0 {
-		return nil
+		return
 	}
-	// Binary search over pages via skip pointers: first page whose max ≥ lo.
 	firstPage := sort.Search(len(c.pageMax), func(p int) bool { return c.pageMax[p] >= lo })
 	if firstPage == len(c.pageMax) {
-		return nil
+		return
 	}
-	var out []int64
 	for p := firstPage; p < len(c.pageMin); p++ {
 		if c.pageMin[p] > hi {
 			break // later pages only contain larger keys
@@ -107,13 +114,11 @@ func (c *AttributeColumn) RangeRows(lo, hi int64) []int64 {
 			end = len(c.entries)
 		}
 		page := c.entries[start:end]
-		// within-page binary search for the first key ≥ lo
 		i := sort.Search(len(page), func(i int) bool { return page[i].Key >= lo })
 		for ; i < len(page) && page[i].Key <= hi; i++ {
-			out = append(out, page[i].Row)
+			fn(page[i].Row)
 		}
 	}
-	return out
 }
 
 // CountRange counts entries with lo ≤ key ≤ hi without materializing rows —

@@ -1,0 +1,103 @@
+package colstore
+
+import (
+	"testing"
+
+	"vectordb/internal/bitset"
+)
+
+// predDecoder turns a fuzz byte tape into a predicate tree. Every byte
+// sequence decodes to some valid tree (exhausted tape degrades to leaves)
+// so the fuzzer explores structure, not parse failures.
+type predDecoder struct {
+	tape []byte
+	pos  int
+}
+
+func (d *predDecoder) byte() byte {
+	if d.pos >= len(d.tape) {
+		return 0
+	}
+	b := d.tape[d.pos]
+	d.pos++
+	return b
+}
+
+func (d *predDecoder) int64() int64 {
+	// Two tape bytes give a signed value spanning the dataset's key ranges
+	// (ages 0..99, scores -1000..999) with room outside both.
+	v := int64(d.byte())<<8 | int64(d.byte())
+	return v%3000 - 1500
+}
+
+var fuzzPalette = []string{"red", "green", "blue", "cyan", "plum", "absent"}
+
+func (d *predDecoder) pred(depth int) Pred {
+	op := d.byte()
+	if depth >= 5 {
+		op %= 2 // leaves only
+	}
+	switch op % 5 {
+	case 0:
+		lo := d.int64()
+		hi := lo + int64(d.byte())*8
+		if d.byte()%8 == 0 {
+			lo, hi = hi, lo // occasionally inverted (empty) ranges
+		}
+		return RangePred{Attr: int(d.byte() % 2), Lo: lo, Hi: hi}
+	case 1:
+		n := int(d.byte() % 4)
+		vals := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			vals = append(vals, fuzzPalette[int(d.byte())%len(fuzzPalette)])
+		}
+		return InPred{Cat: 0, Values: vals}
+	case 2:
+		n := int(d.byte() % 4)
+		ps := make([]Pred, 0, n)
+		for i := 0; i < n; i++ {
+			ps = append(ps, d.pred(depth+1))
+		}
+		return AndPred{Preds: ps}
+	case 3:
+		n := int(d.byte() % 4)
+		ps := make([]Pred, 0, n)
+		for i := 0; i < n; i++ {
+			ps = append(ps, d.pred(depth+1))
+		}
+		return OrPred{Preds: ps}
+	default:
+		return NotPred{Pred: d.pred(depth + 1)}
+	}
+}
+
+// FuzzPredCompile cross-checks the bitset compiler against per-row naive
+// evaluation for arbitrary predicate trees.
+func FuzzPredCompile(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{2, 3, 0, 10, 20, 1, 2, 0, 1})
+	f.Add([]byte{4, 4, 3, 2, 0, 0, 0, 1, 1, 2, 9})
+	f.Add([]byte{})
+	c := testDataset(700, 77)
+	out := bitset.New(c.rows)
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		d := &predDecoder{tape: tape}
+		p := d.pred(0)
+		if err := CompilePred(p, c, out); err != nil {
+			t.Fatalf("decoded predicate failed to compile: %v", err)
+		}
+		count := 0
+		for i := 0; i < c.rows; i++ {
+			want := c.evalNaive(p, i)
+			if out.Test(i) != want {
+				t.Fatalf("position %d: compiled %v, naive %v (pred %#v)", i, out.Test(i), want, p)
+			}
+			if want {
+				count++
+			}
+		}
+		if out.Count() != count {
+			t.Fatalf("Count() = %d, naive count %d", out.Count(), count)
+		}
+	})
+}

@@ -1,0 +1,254 @@
+package colstore
+
+import (
+	"math/rand"
+	"testing"
+
+	"vectordb/internal/bitset"
+)
+
+// predCols is a segment stand-in: row-aligned raw values per column, with
+// row IDs = 10 + 2·pos so PosOf is exercised on a non-identity mapping.
+type predCols struct {
+	attrRaw [][]int64
+	catRaw  [][]string
+	attrs   []*AttributeColumn
+	cats    []*CategoricalColumn
+	rows    int
+}
+
+func newPredCols(attrRaw [][]int64, catRaw [][]string) *predCols {
+	c := &predCols{attrRaw: attrRaw, catRaw: catRaw}
+	if len(attrRaw) > 0 {
+		c.rows = len(attrRaw[0])
+	} else if len(catRaw) > 0 {
+		c.rows = len(catRaw[0])
+	}
+	ids := make([]int64, c.rows)
+	for i := range ids {
+		ids[i] = 10 + 2*int64(i)
+	}
+	for _, vals := range attrRaw {
+		c.attrs = append(c.attrs, BuildAttributeColumn(vals, ids))
+	}
+	for _, vals := range catRaw {
+		c.cats = append(c.cats, BuildCategoricalColumn(vals, ids))
+	}
+	return c
+}
+
+func (c *predCols) Rows() int { return c.rows }
+
+func (c *predCols) AttrColumn(attr int) *AttributeColumn {
+	if attr < 0 || attr >= len(c.attrs) {
+		return nil
+	}
+	return c.attrs[attr]
+}
+
+func (c *predCols) CatColumn(cat int) *CategoricalColumn {
+	if cat < 0 || cat >= len(c.cats) {
+		return nil
+	}
+	return c.cats[cat]
+}
+
+func (c *predCols) PosOf(row int64) (int32, bool) {
+	if row < 10 || (row-10)%2 != 0 {
+		return 0, false
+	}
+	pos := (row - 10) / 2
+	if pos >= int64(c.rows) {
+		return 0, false
+	}
+	return int32(pos), true
+}
+
+// evalNaive evaluates p for build position i straight off the raw arrays.
+func (c *predCols) evalNaive(p Pred, i int) bool {
+	switch p := p.(type) {
+	case RangePred:
+		v := c.attrRaw[p.Attr][i]
+		return p.Lo <= v && v <= p.Hi
+	case InPred:
+		v := c.catRaw[p.Cat][i]
+		for _, want := range p.Values {
+			if v == want {
+				return true
+			}
+		}
+		return false
+	case AndPred:
+		for _, child := range p.Preds {
+			if !c.evalNaive(child, i) {
+				return false
+			}
+		}
+		return true
+	case OrPred:
+		for _, child := range p.Preds {
+			if c.evalNaive(child, i) {
+				return true
+			}
+		}
+		return false
+	case NotPred:
+		return !c.evalNaive(p.Pred, i)
+	}
+	panic("unknown pred")
+}
+
+func (c *predCols) check(t *testing.T, tag string, p Pred) {
+	t.Helper()
+	out := bitset.New(c.rows)
+	if err := CompilePred(p, c, out); err != nil {
+		t.Fatalf("%s: CompilePred: %v", tag, err)
+	}
+	if out.Len() != c.rows {
+		t.Fatalf("%s: compiled bitset over %d positions, want %d", tag, out.Len(), c.rows)
+	}
+	for i := 0; i < c.rows; i++ {
+		if out.Test(i) != c.evalNaive(p, i) {
+			t.Fatalf("%s: position %d: compiled %v, naive %v", tag, i, out.Test(i), c.evalNaive(p, i))
+		}
+	}
+}
+
+func testDataset(n int, seed int64) *predCols {
+	r := rand.New(rand.NewSource(seed))
+	age := make([]int64, n)
+	score := make([]int64, n)
+	color := make([]string, n)
+	palette := []string{"red", "green", "blue", "cyan", "plum"}
+	for i := 0; i < n; i++ {
+		age[i] = int64(r.Intn(100))
+		score[i] = int64(r.Intn(2000)) - 1000
+		color[i] = palette[r.Intn(len(palette))]
+	}
+	return newPredCols([][]int64{age, score}, [][]string{color})
+}
+
+func TestCompilePred(t *testing.T) {
+	c := testDataset(1500, 71)
+	cases := map[string]Pred{
+		"range":       RangePred{Attr: 0, Lo: 20, Hi: 60},
+		"range_empty": RangePred{Attr: 0, Lo: 500, Hi: 600},
+		"range_all":   RangePred{Attr: 0, Lo: -1, Hi: 1000},
+		"range_inv":   RangePred{Attr: 0, Lo: 60, Hi: 20},
+		"in_one":      InPred{Cat: 0, Values: []string{"red"}},
+		"in_many":     InPred{Cat: 0, Values: []string{"red", "blue", "absent"}},
+		"in_none":     InPred{Cat: 0, Values: nil},
+		"and": AndPred{Preds: []Pred{
+			RangePred{Attr: 0, Lo: 10, Hi: 80},
+			RangePred{Attr: 1, Lo: -200, Hi: 400},
+		}},
+		"or": OrPred{Preds: []Pred{
+			RangePred{Attr: 0, Lo: 0, Hi: 5},
+			InPred{Cat: 0, Values: []string{"plum"}},
+		}},
+		"not":       NotPred{Pred: RangePred{Attr: 0, Lo: 30, Hi: 100}},
+		"and_empty": AndPred{},
+		"or_empty":  OrPred{},
+		"nested": AndPred{Preds: []Pred{
+			OrPred{Preds: []Pred{
+				RangePred{Attr: 1, Lo: -1000, Hi: -500},
+				AndPred{Preds: []Pred{
+					InPred{Cat: 0, Values: []string{"green", "cyan"}},
+					NotPred{Pred: RangePred{Attr: 0, Lo: 0, Hi: 49}},
+				}},
+			}},
+			NotPred{Pred: InPred{Cat: 0, Values: []string{"red"}}},
+		}},
+		"double_not": NotPred{Pred: NotPred{Pred: RangePred{Attr: 1, Lo: 0, Hi: 100}}},
+	}
+	for name, p := range cases {
+		c.check(t, name, p)
+	}
+}
+
+func TestCompilePredErrors(t *testing.T) {
+	c := testDataset(50, 72)
+	out := bitset.New(0)
+	bad := []Pred{
+		RangePred{Attr: 9, Lo: 0, Hi: 1},
+		InPred{Cat: 3, Values: []string{"x"}},
+		AndPred{Preds: []Pred{RangePred{Attr: 0, Lo: 0, Hi: 1}, InPred{Cat: -1}}},
+		NotPred{Pred: RangePred{Attr: -1}},
+		nil,
+	}
+	for i, p := range bad {
+		if err := CompilePred(p, c, out); err == nil {
+			t.Fatalf("case %d: no error for invalid predicate %#v", i, p)
+		}
+	}
+}
+
+// TestCompilePredSkipsForeignRows: postings pointing at rows outside the
+// segment (PosOf not ok) must be dropped, not mis-mapped.
+func TestCompilePredSkipsForeignRows(t *testing.T) {
+	// Build columns whose ids include rows the PredColumns cannot map.
+	ids := []int64{10, 11, 12, 9999}
+	attr := BuildAttributeColumn([]int64{1, 1, 1, 1}, ids)
+	cat := BuildCategoricalColumn([]string{"x", "x", "x", "x"}, ids)
+	c := &predCols{
+		attrRaw: [][]int64{{1, 1}},
+		catRaw:  [][]string{{"x", "x"}},
+		attrs:   []*AttributeColumn{attr},
+		cats:    []*CategoricalColumn{cat},
+		rows:    2,
+	}
+	out := bitset.New(2)
+	if err := CompilePred(RangePred{Attr: 0, Lo: 0, Hi: 2}, c, out); err != nil {
+		t.Fatal(err)
+	}
+	// Only rows 10 (pos 0) and 12 (pos 1) map; 11 and 9999 are foreign.
+	if !out.Test(0) || !out.Test(1) || out.Count() != 2 {
+		t.Fatalf("range compile over foreign rows: got count %d", out.Count())
+	}
+	out2 := bitset.New(2)
+	if err := CompilePred(InPred{Cat: 0, Values: []string{"x"}}, c, out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.Count() != 2 {
+		t.Fatalf("in compile over foreign rows: got count %d", out2.Count())
+	}
+}
+
+func TestEstimatePred(t *testing.T) {
+	c := testDataset(1200, 73)
+	exact := func(p Pred) int {
+		n := 0
+		for i := 0; i < c.rows; i++ {
+			if c.evalNaive(p, i) {
+				n++
+			}
+		}
+		return n
+	}
+	// Leaves are exact.
+	for _, p := range []Pred{
+		RangePred{Attr: 0, Lo: 25, Hi: 70},
+		InPred{Cat: 0, Values: []string{"red", "blue"}},
+	} {
+		if got, want := EstimatePred(p, c), exact(p); got != want {
+			t.Fatalf("%#v: estimate %d, want exact %d", p, got, want)
+		}
+	}
+	// And/Or bound the true count from above.
+	for _, p := range []Pred{
+		AndPred{Preds: []Pred{RangePred{Attr: 0, Lo: 0, Hi: 50}, RangePred{Attr: 1, Lo: 0, Hi: 1000}}},
+		OrPred{Preds: []Pred{RangePred{Attr: 0, Lo: 0, Hi: 9}, InPred{Cat: 0, Values: []string{"plum"}}}},
+	} {
+		got, want := EstimatePred(p, c), exact(p)
+		if got < want {
+			t.Fatalf("%#v: estimate %d below true count %d", p, got, want)
+		}
+		if got > c.rows {
+			t.Fatalf("%#v: estimate %d exceeds rows %d", p, got, c.rows)
+		}
+	}
+	// Unknown columns degrade to "everything matches".
+	if EstimatePred(RangePred{Attr: 7}, c) != c.rows {
+		t.Fatal("unknown attribute must estimate as full segment")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 
+	"vectordb/internal/colstore"
+	"vectordb/internal/index"
 	"vectordb/internal/obs"
 	"vectordb/internal/query"
 	"vectordb/internal/topk"
@@ -341,15 +343,23 @@ func (c *Collection) SearchCategoricalCtx(ctx context.Context, queryVec []float3
 		return h.Results(), nil
 	}
 	tr.Annotate("filter_strategy", "B")
-	bitmap := make(map[int64]struct{}, len(rows))
-	for _, id := range rows {
-		bitmap[id] = struct{}{}
+	// Wider postings: the IN-list compiles to per-segment bitsets pushed
+	// beneath the scans (postings → build positions, word-aligned).
+	pb, matched, total, err := src.compileSnapshotPred(colstore.InPred{Cat: cat, Values: values})
+	if err != nil {
+		return nil, err
+	}
+	defer pb.release()
+	sel := 0.0
+	if total > 0 {
+		sel = float64(matched) / float64(total)
+	}
+	query.AnnotatePushed(tr, query.NewPushedFilter(matched, total, index.FilterModeName(sel), nil, nil))
+	if matched == 0 {
+		return nil, ctx.Err()
 	}
 	o := opts
-	o.Filter = func(id int64) bool {
-		_, ok := bitmap[id]
-		return ok
-	}
+	o.segBits = pb.bits
 	// Search against the already-pinned snapshot so this stays one query
 	// (and one trace) rather than re-entering the counted, admitted
 	// Search path.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"vectordb/internal/batchform"
+	"vectordb/internal/bitset"
 	"vectordb/internal/colstore"
 	"vectordb/internal/exec"
 	"vectordb/internal/index"
@@ -518,6 +519,11 @@ type SearchOptions struct {
 	// leave it nil get a trace automatically when the collection has a
 	// query log.
 	Trace *obs.Trace
+	// segBits carries compiled per-segment filter bitsets (segment ID →
+	// bitset over build positions, tombstones already cleared). Set only
+	// by the pushdown paths, which compile against the same pinned
+	// snapshot the search runs on.
+	segBits map[int64]*bitset.Bitset
 }
 
 // Params converts the options to index-level search parameters (without a
@@ -620,15 +626,26 @@ func (c *Collection) searchSnapshot(ctx context.Context, sn *Snapshot, query []f
 				return
 			}
 			sp := p
-			sp.Filter = sn.FilterFor(segs[i].ID, opts.Filter)
+			if bits := opts.segBits[segs[i].ID]; bits != nil {
+				// Compiled on this pinned snapshot with tombstones already
+				// cleared, so the bitset subsumes the visibility filter.
+				sp.Bits = bits
+				sp.Filter = opts.Filter
+			} else {
+				sp.Filter = sn.FilterFor(segs[i].ID, opts.Filter)
+			}
 			stage := "segment_scan"
-			if segs[i].Index(f) != nil {
+			idx := segs[i].Index(f)
+			if idx != nil {
 				stage = "index_search"
 				indexed[i] = true
 			}
 			span := segSpan.StartChild(stage)
 			span.AnnotateInt("segment", segs[i].ID)
 			span.AnnotateInt("rows", int64(segs[i].Rows()))
+			if sp.Bits != nil {
+				span.Annotate("filter_mode", segFilterMode(idx, sp.Bits, segs[i].Rows()))
+			}
 			segs[i].SearchInto(h, c.schema, f, query, sp)
 			span.End()
 		}
@@ -667,6 +684,23 @@ func (c *Collection) searchSnapshot(ctx context.Context, sn *Snapshot, query []f
 	}
 	mergeSpan.End()
 	return res, nil
+}
+
+// segFilterMode names how one segment evaluates a pushed bitset: graph
+// indexes run filtered traversal; scans (and bucket probes) pick dense run
+// extraction or the sparse gather path from the segment's selectivity.
+func segFilterMode(idx index.Index, bits *bitset.Bitset, rows int) string {
+	if idx != nil {
+		switch idx.Name() {
+		case "HNSW", "RNSG":
+			return "graph"
+		}
+	}
+	sel := 0.0
+	if rows > 0 {
+		sel = float64(bits.Count()) / float64(rows)
+	}
+	return index.FilterModeName(sel)
 }
 
 // poolTasks sizes a query's fan-out: at most one task per pool worker and

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"vectordb/internal/bitset"
+	"vectordb/internal/colstore"
+	"vectordb/internal/index"
+	"vectordb/internal/query"
+	"vectordb/internal/topk"
+)
+
+// segPredCols adapts one immutable segment to the predicate compiler: the
+// sorted/inverted columns store row IDs, and PosOf maps them back to build
+// positions — the bit index every scan and index path agrees on.
+type segPredCols struct{ seg *Segment }
+
+func (s segPredCols) Rows() int { return s.seg.Rows() }
+
+func (s segPredCols) AttrColumn(attr int) *colstore.AttributeColumn {
+	if attr < 0 || attr >= len(s.seg.Attrs) {
+		return nil
+	}
+	return s.seg.Attrs[attr]
+}
+
+func (s segPredCols) CatColumn(cat int) *colstore.CategoricalColumn {
+	if cat < 0 || cat >= len(s.seg.Cats) {
+		return nil
+	}
+	return s.seg.Cats[cat]
+}
+
+func (s segPredCols) PosOf(row int64) (int32, bool) { return s.seg.posOf(row) }
+
+// pushedBits is the compiled filter payload for one pinned snapshot: a
+// pooled bitset per segment, keyed by segment ID, over build positions,
+// with tombstoned rows already cleared.
+type pushedBits struct {
+	bits map[int64]*bitset.Bitset
+}
+
+func (pb *pushedBits) release() {
+	for _, b := range pb.bits {
+		bitset.Put(b)
+	}
+	pb.bits = nil
+}
+
+// compileSnapshotPred compiles pred against every segment of the pinned
+// snapshot and clears tombstoned positions, so no hidden or filtered-out
+// row can surface from the pushed scan. Returns the payload plus the
+// matched (visible) and total physical row counts.
+func (v *SourceView) compileSnapshotPred(pred colstore.Pred) (*pushedBits, int, int, error) {
+	pb := &pushedBits{bits: make(map[int64]*bitset.Bitset, len(v.sn.Segments))}
+	matched, total := 0, 0
+	for _, seg := range v.sn.Segments {
+		b := bitset.Get(seg.Rows())
+		if err := colstore.CompilePred(pred, segPredCols{seg}, b); err != nil {
+			pb.release()
+			bitset.Put(b)
+			return nil, 0, 0, err
+		}
+		for id, seq := range v.sn.Deleted {
+			if seg.ID <= seq {
+				if p, ok := seg.posOf(id); ok {
+					b.Clear(int(p))
+				}
+			}
+		}
+		pb.bits[seg.ID] = b
+		matched += b.Count()
+		total += seg.Rows()
+	}
+	return pb, matched, total, nil
+}
+
+var _ query.PushdownSource = (*SourceView)(nil)
+
+// CompileRange implements query.PushdownSource: the range constraint
+// becomes per-segment bitsets resolved through the sorted columns'
+// zone-map walks.
+func (v *SourceView) CompileRange(attr int, lo, hi int64) (*query.PushedFilter, bool) {
+	if attr < 0 || attr >= len(v.c.schema.AttrFields) {
+		return nil, false
+	}
+	pb, matched, total, err := v.compileSnapshotPred(colstore.RangePred{Attr: attr, Lo: lo, Hi: hi})
+	if err != nil {
+		return nil, false
+	}
+	sel := 0.0
+	if total > 0 {
+		sel = float64(matched) / float64(total)
+	}
+	return query.NewPushedFilter(matched, total, index.FilterModeName(sel), pb, pb.release), true
+}
+
+// VectorQueryPushed implements query.PushdownSource: normal snapshot search
+// with the per-segment bitsets applied beneath each segment's scan or index.
+func (v *SourceView) VectorQueryPushed(field int, q []float32, k, nprobe int, pf *query.PushedFilter) []topk.Result {
+	pb, ok := pf.Handle().(*pushedBits)
+	if !ok {
+		return v.VectorQuery(field, q, k, nprobe, nil)
+	}
+	res, err := v.c.searchSnapshot(v.ctx(), v.sn, q, SearchOptions{
+		Field:   v.c.schema.VectorFields[field].Name,
+		K:       k,
+		Nprobe:  nprobe,
+		Trace:   v.Trace,
+		segBits: pb.bits,
+	})
+	if err != nil {
+		return nil
+	}
+	return res
+}
+
+// SearchPred runs a vector query restricted to entities satisfying an
+// arbitrary predicate tree — numeric ranges, categorical IN-lists, and
+// and/or/not combinations — compiled to per-segment bitsets and pushed
+// beneath the index scans (strategy B with the compiled filter).
+func (c *Collection) SearchPred(queryVec []float32, pred colstore.Pred, opts SearchOptions) ([]topk.Result, error) {
+	//lint:allow ctxflow ctx-less compat wrapper: public API without a context anchors at Background
+	return c.SearchPredCtx(context.Background(), queryVec, pred, opts)
+}
+
+// SearchPredCtx is SearchPred with admission control and cancellation.
+func (c *Collection) SearchPredCtx(ctx context.Context, queryVec []float32, pred colstore.Pred, opts SearchOptions) ([]topk.Result, error) {
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("core: K must be positive")
+	}
+	done := c.beginQuery("filtered", &opts.Trace)
+	defer done()
+	tr := opts.Trace
+	tr.Annotate("placement", "cpu")
+	release, err := c.admit(ctx, tr)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	src := c.Source()
+	src.Trace = tr
+	src.Ctx = ctx
+	defer src.Release()
+	span := tr.StartSpan("attr_filter")
+	pb, matched, total, err := src.compileSnapshotPred(pred)
+	if err != nil {
+		span.End()
+		return nil, err
+	}
+	defer pb.release()
+	span.AnnotateInt("rows", int64(matched))
+	span.End()
+	sel := 0.0
+	if total > 0 {
+		sel = float64(matched) / float64(total)
+	}
+	tr.Annotate("filter_strategy", query.StratB)
+	query.AnnotatePushed(tr, query.NewPushedFilter(matched, total, index.FilterModeName(sel), nil, nil))
+	if matched == 0 {
+		return nil, ctx.Err()
+	}
+	o := opts
+	o.segBits = pb.bits
+	res, err := c.searchSnapshot(ctx, src.sn, queryVec, o)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

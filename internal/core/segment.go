@@ -185,7 +185,7 @@ func (s *Segment) SearchInto(h *topk.Heap, schema *Schema, field int, query []fl
 		return
 	}
 	col := s.Vectors[field]
-	index.ScanBlocked(h, schema.VectorFields[field].Metric, query, col.Data, col.Dim, s.IDs, p.Filter)
+	index.ScanBlocked(h, schema.VectorFields[field].Metric, query, col.Data, col.Dim, s.IDs, index.Selection{Bits: p.Bits, Filter: p.Filter})
 }
 
 // BuildIndex builds (synchronously) an index of the named type over one

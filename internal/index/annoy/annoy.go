@@ -229,6 +229,11 @@ func (f *Forest) Search(query []float32, p index.SearchParams) []topk.Result {
 	}
 	h := topk.New(p.K)
 	for _, c := range cands {
+		// Item positions are build order, so the pushed bitset gates a
+		// candidate before its distance is computed.
+		if p.Bits != nil && !p.Bits.Test(int(c)) {
+			continue
+		}
 		id := f.ids[c]
 		if p.Filter != nil && !p.Filter(id) {
 			continue

@@ -230,10 +230,13 @@ func (h *HNSW) greedyClosest(q []float32, ep, level int) int {
 	}
 }
 
-// searchLayer is the ef-bounded beam search at one level. When filter is
-// non-nil it constrains the *returned* candidates but not navigation, so the
-// graph stays connected for filtered queries (strategy B, Sec. 4.1).
-func (h *HNSW) searchLayer(q []float32, ep, ef, level int, filter func(int64) bool) []topk.Result {
+// searchLayer is the ef-bounded beam search at one level. When pass is
+// non-nil the traversal is skip-but-expand: filtered-out nodes are never
+// returned but are still navigated *through*, and while the result heap is
+// underfull the beam keeps expanding past the unfiltered nav bound — so
+// connectivity survives low selectivity instead of the beam stalling on a
+// neighborhood where nothing matches (strategy B, Sec. 4.1).
+func (h *HNSW) searchLayer(q []float32, ep, ef, level int, pass func(int) bool) []topk.Result {
 	visited := make(map[int32]struct{}, ef*4)
 	visited[int32(ep)] = struct{}{}
 	epD := h.dist(q, h.vecAt(ep))
@@ -241,7 +244,7 @@ func (h *HNSW) searchLayer(q []float32, ep, ef, level int, filter func(int64) bo
 	cand := &minQueue{}
 	cand.push(topk.Result{ID: int64(ep), Distance: epD})
 	best := topk.New(ef)
-	if filter == nil || filter(h.ids[ep]) {
+	if pass == nil || pass(ep) {
 		best.Push(int64(ep), epD)
 	}
 	// navBound tracks the ef-th best *visited* distance regardless of the
@@ -251,8 +254,17 @@ func (h *HNSW) searchLayer(q []float32, ep, ef, level int, filter func(int64) bo
 
 	for cand.len() > 0 {
 		c := cand.pop()
-		if w, ok := nav.Worst(); ok && nav.Full() && c.Distance > w {
-			break
+		if pass == nil {
+			if w, ok := nav.Worst(); ok && nav.Full() && c.Distance > w {
+				break
+			}
+		} else if best.Full() {
+			// Filtered: the only sound bound is over *passing* nodes; the
+			// nav bound would cut the beam while matches may still lie
+			// beyond a filtered-out neighborhood.
+			if w, ok := best.Worst(); ok && c.Distance > w {
+				break
+			}
 		}
 		if level >= len(h.links[int(c.ID)]) {
 			continue
@@ -263,10 +275,15 @@ func (h *HNSW) searchLayer(q []float32, ep, ef, level int, filter func(int64) bo
 			}
 			visited[nb] = struct{}{}
 			d := h.dist(q, h.vecAt(int(nb)))
-			if !nav.Full() || nav.Accepts(d) {
+			expand := !nav.Full() || nav.Accepts(d)
+			if !expand && pass != nil && !best.Full() {
+				// Skip-but-expand: keep walking while results are scarce.
+				expand = true
+			}
+			if expand {
 				cand.push(topk.Result{ID: int64(nb), Distance: d})
 				nav.Push(int64(nb), d)
-				if filter == nil || filter(h.ids[int(nb)]) {
+				if pass == nil || pass(int(nb)) {
 					best.Push(int64(nb), d)
 				}
 			}
@@ -316,15 +333,25 @@ func (h *HNSW) Search(query []float32, p index.SearchParams) []topk.Result {
 	for l := h.maxLevel; l > 0; l-- {
 		ep = h.greedyClosest(query, ep, l)
 	}
-	cands := h.searchLayer(query, ep, ef, 0, p.Filter)
+	// Node positions are build order, so a pushed bitset is tested directly
+	// on the node index; the callback filter composes on external IDs.
+	var pass func(int) bool
+	if p.Bits != nil || p.Filter != nil {
+		pass = func(node int) bool {
+			if p.Bits != nil && !p.Bits.Test(node) {
+				return false
+			}
+			return p.Filter == nil || p.Filter(h.ids[node])
+		}
+	}
+	cands := h.searchLayer(query, ep, ef, 0, pass)
 	out := topk.New(p.K)
 	for _, c := range cands {
 		node := int(c.ID)
-		id := h.ids[node]
-		if p.Filter != nil && !p.Filter(id) {
+		if pass != nil && !pass(node) {
 			continue
 		}
-		out.Push(id, c.Distance)
+		out.Push(h.ids[node], c.Distance)
 	}
 	return out.Results()
 }

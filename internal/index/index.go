@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"sync"
 
+	"vectordb/internal/bitset"
 	"vectordb/internal/topk"
 	"vectordb/internal/vec"
 )
@@ -22,9 +23,18 @@ type SearchParams struct {
 	Nprobe  int // IVF family: buckets to probe (accuracy/perf trade-off, Sec. 3.1)
 	Ef      int // HNSW: candidate list size
 	SearchL int // NSG: search pool size
-	// Filter, when non-nil, restricts results to IDs it accepts. This is the
-	// bitmap test of attribute-filtering strategy B (Sec. 4.1), evaluated
-	// inside the scan so rejected vectors never enter the heap.
+	// Bits, when non-nil, is a pushed-down attribute filter: a dense bitset
+	// over the index's build-order row positions (bit i = i'th vector handed
+	// to Build). Scan-based indexes push it beneath the batch kernels so
+	// excluded rows never reach a distance computation; graph indexes
+	// (HNSW, NSG) switch to filtered traversal — skip-but-expand — so
+	// connectivity survives low selectivity. This is the bitset form of
+	// attribute-filtering strategy B (Sec. 4.1).
+	Bits *bitset.Bitset
+	// Filter, when non-nil, restricts results to IDs it accepts — the legacy
+	// per-row callback form of strategy B, still used for residual filters
+	// (e.g. MVCC tombstones) on top of Bits. When both are set a result must
+	// satisfy both.
 	Filter func(id int64) bool
 }
 

@@ -160,16 +160,27 @@ func (x *IVF) scanBucketForQueries(queries []float32, bucket int, qis []int32, p
 	if len(ids) == 0 {
 		return
 	}
+	// skip applies the pushed selection (bitset over build positions plus
+	// the residual callback); the shared-bucket tile/batch fast paths are
+	// reserved for fully unfiltered groups.
+	pos := x.pos[bucket]
+	skip := func(i int, id int64) bool {
+		if p.Bits != nil && !p.Bits.Test(int(pos[i])) {
+			return true
+		}
+		return p.Filter != nil && !p.Filter(id)
+	}
+	filtered := p.Bits != nil || p.Filter != nil
 	switch x.fine {
 	case FineFlat:
-		if p.Filter == nil && x.metric.BatchEligible() {
+		if !filtered && x.metric.BatchEligible() {
 			x.tileBucketFlat(queries, bucket, qis, heapFor)
 			return
 		}
 		dist := x.metric.Dist()
 		vecsB := x.vecs[bucket]
 		for i, id := range ids {
-			if p.Filter != nil && !p.Filter(id) {
+			if skip(i, id) {
 				continue
 			}
 			row := vecsB[i*x.dim : (i+1)*x.dim]
@@ -180,9 +191,9 @@ func (x *IVF) scanBucketForQueries(queries []float32, bucket int, qis []int32, p
 	case FineSQ8:
 		codes := x.codes[bucket]
 		cs := x.sq8.CodeSize()
-		if p.Filter != nil {
+		if filtered {
 			for i, id := range ids {
-				if !p.Filter(id) {
+				if skip(i, id) {
 					continue
 				}
 				code := codes[i*cs : (i+1)*cs]
@@ -216,7 +227,7 @@ func (x *IVF) scanBucketForQueries(queries []float32, bucket int, qis []int32, p
 		codes := x.codes[bucket]
 		cs := x.pq.CodeSize()
 		for i, id := range ids {
-			if p.Filter != nil && !p.Filter(id) {
+			if skip(i, id) {
 				continue
 			}
 			code := codes[i*cs : (i+1)*cs]

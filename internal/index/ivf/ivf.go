@@ -153,6 +153,7 @@ func (b *Builder) Build(data []float32, ids []int64) (index.Index, error) {
 		nlist:     nlist,
 		coarse:    coarse,
 		ids:       make([][]int64, nlist),
+		pos:       make([][]int32, nlist),
 		nprobeDef: b.Nprobe,
 		size:      n,
 	}
@@ -195,6 +196,7 @@ func (b *Builder) Build(data []float32, ids []int64) (index.Index, error) {
 		row := data[i*b.Dim : (i+1)*b.Dim]
 		c, _ := coarse.Assign(row)
 		idx.ids[c] = append(idx.ids[c], ids[i])
+		idx.pos[c] = append(idx.pos[c], int32(i))
 		switch b.Fine {
 		case FineFlat:
 			idx.vecs[c] = append(idx.vecs[c], row...)
@@ -215,6 +217,7 @@ type IVF struct {
 	nlist     int
 	coarse    *kmeans.Result
 	ids       [][]int64
+	pos       [][]int32   // build-order row position of each bucket entry (bitset pushdown)
 	vecs      [][]float32 // FineFlat
 	codes     [][]uint8   // FineSQ8 / FinePQ
 	sq8       *quantizer.SQ8
@@ -291,19 +294,27 @@ func (x *IVF) ProbeOrder(query []float32, nprobe int) []int {
 }
 
 // ScanBucket scans one bucket (step 2 of Sec. 3.1), pushing candidates that
-// pass filter into h. FLAT buckets go through the shared blocked batch
-// kernels; SQ8 and PQ buckets build their per-query ADC tables lazily here —
-// callers scanning many buckets for one query (Search, the batch scheduler,
-// SQ8H) should build the table once via SQ8ScanQuery/ScanBucketSQ8 instead.
-func (x *IVF) ScanBucket(query []float32, bucket int, filter func(int64) bool, h *topk.Heap) {
+// survive sel into h. sel's Pos field is overwritten with this bucket's
+// build-order positions, so callers only populate Bits/Filter/Force. FLAT
+// buckets go through the shared blocked batch kernels with the selection
+// pushed beneath them; SQ8 and PQ buckets build their per-query ADC tables
+// lazily here — callers scanning many buckets for one query (Search, the
+// batch scheduler, SQ8H) should build the table once via
+// SQ8ScanQuery/ScanBucketSQ8 instead.
+func (x *IVF) ScanBucket(query []float32, bucket int, sel index.Selection, h *topk.Heap) {
 	switch x.fine {
 	case FineFlat:
-		index.ScanBlocked(h, x.metric, query, x.vecs[bucket], x.dim, x.ids[bucket], filter)
+		if sel.Bits != nil {
+			// Bucket positions are appended in build order, so the scan
+			// may use the sorted-span block skip.
+			sel.Pos, sel.PosSorted = x.pos[bucket], true
+		}
+		index.ScanBlocked(h, x.metric, query, x.vecs[bucket], x.dim, x.ids[bucket], sel)
 	case FineSQ8:
-		x.ScanBucketSQ8(x.SQ8ScanQuery(query), bucket, filter, h)
+		x.ScanBucketSQ8(x.SQ8ScanQuery(query), bucket, sel, h)
 	case FinePQ:
 		tab := x.pqTable(query)
-		x.scanBucketPQ(tab, bucket, filter, h)
+		x.scanBucketPQ(tab, bucket, sel, h)
 	}
 }
 
@@ -318,7 +329,7 @@ func (x *IVF) SQ8ScanQuery(query []float32) *quantizer.SQ8Query {
 // are computed directly over the code bytes (two FMAs per dimension, no
 // dequantized floats), a block at a time into a pooled buffer, gated on the
 // heap's worst distance like every other scan path.
-func (x *IVF) ScanBucketSQ8(sq *quantizer.SQ8Query, bucket int, filter func(int64) bool, h *topk.Heap) {
+func (x *IVF) ScanBucketSQ8(sq *quantizer.SQ8Query, bucket int, sel index.Selection, h *topk.Heap) {
 	ids := x.ids[bucket]
 	codes := x.codes[bucket]
 	cs := x.sq8.CodeSize()
@@ -326,9 +337,13 @@ func (x *IVF) ScanBucketSQ8(sq *quantizer.SQ8Query, bucket int, filter func(int6
 	if w, ok := h.Worst(); ok && h.Full() {
 		worst = w
 	}
-	if filter != nil {
+	if !sel.Empty() {
+		pos := x.pos[bucket]
 		for i, id := range ids {
-			if !filter(id) {
+			if sel.Bits != nil && !sel.Bits.Test(int(pos[i])) {
+				continue
+			}
+			if sel.Filter != nil && !sel.Filter(id) {
 				continue
 			}
 			d := sq.Distance(codes[i*cs : (i+1)*cs])
@@ -371,12 +386,16 @@ func (x *IVF) pqTable(query []float32) *quantizer.ADCTable {
 	return x.pq.L2Table(query)
 }
 
-func (x *IVF) scanBucketPQ(tab *quantizer.ADCTable, bucket int, filter func(int64) bool, h *topk.Heap) {
+func (x *IVF) scanBucketPQ(tab *quantizer.ADCTable, bucket int, sel index.Selection, h *topk.Heap) {
 	ids := x.ids[bucket]
 	codes := x.codes[bucket]
 	cs := x.pq.CodeSize()
+	pos := x.pos[bucket]
 	for i, id := range ids {
-		if filter != nil && !filter(id) {
+		if sel.Bits != nil && !sel.Bits.Test(int(pos[i])) {
+			continue
+		}
+		if sel.Filter != nil && !sel.Filter(id) {
 			continue
 		}
 		h.Push(id, tab.Distance(codes[i*cs:(i+1)*cs]))
@@ -389,25 +408,37 @@ func (x *IVF) scanBucketPQ(tab *quantizer.ADCTable, bucket int, filter func(int6
 func (x *IVF) Search(query []float32, p index.SearchParams) []topk.Result {
 	probes := x.ProbeOrder(query, p.Nprobe)
 	h := topk.GetHeap(p.K)
+	sel := x.selection(p)
 	switch x.fine {
 	case FinePQ:
 		tab := x.pqTable(query)
 		for _, b := range probes {
-			x.scanBucketPQ(tab, b, p.Filter, h)
+			x.scanBucketPQ(tab, b, sel, h)
 		}
 	case FineSQ8:
 		sq := x.SQ8ScanQuery(query)
 		for _, b := range probes {
-			x.ScanBucketSQ8(sq, b, p.Filter, h)
+			x.ScanBucketSQ8(sq, b, sel, h)
 		}
 	default:
 		for _, b := range probes {
-			x.ScanBucket(query, b, p.Filter, h)
+			x.ScanBucket(query, b, sel, h)
 		}
 	}
 	out := h.Results()
 	topk.PutHeap(h)
 	return out
+}
+
+// selection builds the per-query pushed selection. The dense/sparse mode is
+// decided once per query from the bitset's global selectivity — counting per
+// bucket would cost a popcount per probe for the same answer in expectation.
+func (x *IVF) selection(p index.SearchParams) index.Selection {
+	sel := index.Selection{Bits: p.Bits, Filter: p.Filter}
+	if p.Bits != nil && x.size > 0 {
+		sel.Force = index.ChooseFilterMode(p.Bits.Count(), x.size)
+	}
+	return sel
 }
 
 // BucketIDs exposes the row IDs of a bucket (GPU scheduling, tests).

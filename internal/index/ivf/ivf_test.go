@@ -125,7 +125,7 @@ func TestScanBucketFilter(t *testing.T) {
 	for _, fine := range []Fine{FineFlat, FineSQ8, FinePQ} {
 		x := buildIVF(t, fine, d, 4)
 		h := topk.New(5)
-		x.ScanBucket(d.Row(0), 0, func(id int64) bool { return id%2 == 0 }, h)
+		x.ScanBucket(d.Row(0), 0, index.Selection{Filter: func(id int64) bool { return id%2 == 0 }}, h)
 		for _, r := range h.Results() {
 			if r.ID%2 != 0 {
 				t.Fatalf("%s: filter violated", x.Name())

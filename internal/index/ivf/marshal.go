@@ -25,7 +25,14 @@ func init() {
 	}
 }
 
-const ivfMagic = uint32(0x49564631) // "IVF1"
+// ivfMagic identifies format v2, which appends each bucket's build-order
+// row positions after its payload (the carrier of bitset pushdown). v1
+// blobs lack positions and cannot support filtered search, so they are
+// rejected rather than half-loaded.
+const (
+	ivfMagic   = uint32(0x49564632) // "IVF2"
+	ivfMagicV1 = uint32(0x49564631) // "IVF1"
+)
 
 type blobWriter struct{ buf []byte }
 
@@ -46,6 +53,12 @@ func (w *blobWriter) ids(xs []int64) {
 	w.u32(uint32(len(xs)))
 	for _, x := range xs {
 		w.u64(uint64(x))
+	}
+}
+func (w *blobWriter) pos32s(xs []int32) {
+	w.u32(uint32(len(xs)))
+	for _, x := range xs {
+		w.u32(uint32(x))
 	}
 }
 
@@ -108,6 +121,19 @@ func (r *blobReader) bytes() []byte {
 	return out
 }
 
+func (r *blobReader) pos32s() []int32 {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+4*n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(r.u32())
+	}
+	return out
+}
+
 func (r *blobReader) ids() []int64 {
 	n := int(r.u32())
 	if r.err != nil || n < 0 || r.off+8*n > len(r.buf) {
@@ -149,13 +175,18 @@ func (x *IVF) MarshalIndex() ([]byte, error) {
 		default:
 			w.bytes(x.codes[b])
 		}
+		w.pos32s(x.pos[b])
 	}
 	return w.buf, nil
 }
 
 func unmarshalIVF(fine Fine, metric vec.Metric, dim int, data []byte) (index.Index, error) {
 	r := &blobReader{buf: data}
-	if r.u32() != ivfMagic {
+	switch magic := r.u32(); magic {
+	case ivfMagic:
+	case ivfMagicV1:
+		return nil, fmt.Errorf("ivf: v1 index blob lacks bucket positions; rebuild the index")
+	default:
 		return nil, fmt.Errorf("ivf: bad index blob magic")
 	}
 	if Fine(r.u32()) != fine {
@@ -207,6 +238,7 @@ func unmarshalIVF(fine Fine, metric vec.Metric, dim int, data []byte) (index.Ind
 		}
 	}
 	x.ids = make([][]int64, x.nlist)
+	x.pos = make([][]int32, x.nlist)
 	if fine == FineFlat {
 		x.vecs = make([][]float32, x.nlist)
 	} else {
@@ -230,12 +262,28 @@ func unmarshalIVF(fine Fine, metric vec.Metric, dim int, data []byte) (index.Ind
 				return nil, fmt.Errorf("ivf: bucket %d has %d code bytes for %d ids (code size %d)", b, len(x.codes[b]), len(x.ids[b]), cs)
 			}
 		}
+		x.pos[b] = r.pos32s()
+		if r.err == nil && len(x.pos[b]) != len(x.ids[b]) {
+			return nil, fmt.Errorf("ivf: bucket %d has %d positions for %d ids", b, len(x.pos[b]), len(x.ids[b]))
+		}
 	}
 	if r.err != nil {
 		return nil, r.err
 	}
 	if total != x.size {
 		return nil, fmt.Errorf("ivf: buckets hold %d vectors, header claims %d", total, x.size)
+	}
+	// Positions are a permutation of [0, size): each filtered scan indexes
+	// the query bitset with them, so a corrupt position would silently drop
+	// or admit the wrong rows.
+	seen := make([]bool, x.size)
+	for b := range x.pos {
+		for _, pp := range x.pos[b] {
+			if pp < 0 || int(pp) >= x.size || seen[pp] {
+				return nil, fmt.Errorf("ivf: bucket %d position %d out of range or duplicated", b, pp)
+			}
+			seen[pp] = true
+		}
 	}
 	if fine == FinePQ && x.pq.Ks < 256 {
 		// Every PQ code byte indexes a Ks-entry distance table at scan

@@ -1,0 +1,6 @@
+//go:build !race
+
+package index
+
+// See race_test.go.
+const raceEnabled = false

@@ -397,7 +397,11 @@ func (g *NSG) MemoryBytes() int64 {
 }
 
 // Search implements index.Index: greedy beam search of pool size SearchL
-// from the navigating node.
+// from the navigating node. Filtered queries run skip-but-expand: the pool
+// navigates the unfiltered graph while every *visited* passing node — not
+// just the final pool — is collected, and an underfull result retries with
+// a doubled pool until k matches are found or the pool covers the graph,
+// so low selectivity widens the search instead of starving it.
 func (g *NSG) Search(query []float32, p index.SearchParams) []topk.Result {
 	l := p.SearchL
 	if l <= 0 {
@@ -406,13 +410,107 @@ func (g *NSG) Search(query []float32, p index.SearchParams) []topk.Result {
 	if l < p.K {
 		l = p.K
 	}
-	out := topk.New(p.K)
-	for _, c := range g.searchOnGraph(g.links, g.nav, query, l) {
-		id := g.ids[c.ID]
-		if p.Filter != nil && !p.Filter(id) {
-			continue
+	if p.Bits == nil && p.Filter == nil {
+		out := topk.New(p.K)
+		for _, c := range g.searchOnGraph(g.links, g.nav, query, l) {
+			out.Push(g.ids[c.ID], c.Distance)
 		}
-		out.Push(id, c.Distance)
+		return out.Results()
 	}
-	return out.Results()
+	// Node positions are build order: test the pushed bitset on the node
+	// index, the callback filter on the external ID.
+	pass := func(node int32) bool {
+		if p.Bits != nil && !p.Bits.Test(int(node)) {
+			return false
+		}
+		return p.Filter == nil || p.Filter(g.ids[node])
+	}
+	n := len(g.ids)
+	if p.Bits != nil {
+		if matched := p.Bits.Count(); matched <= 4*l {
+			// Tiny survivor sets: an exact scan over the set bits is both
+			// cheaper than graph navigation (whose pool would double until
+			// it blankets the graph anyway) and exact — the low-selectivity
+			// regime where traversal recall degrades.
+			out := topk.New(p.K)
+			for i := p.Bits.NextSet(0); i >= 0; i = p.Bits.NextSet(i + 1) {
+				if i >= n {
+					break
+				}
+				if p.Filter == nil || p.Filter(g.ids[i]) {
+					out.Push(g.ids[i], g.dist(query, g.vecAt(i)))
+				}
+			}
+			return out.Results()
+		}
+	}
+	for {
+		out := topk.New(p.K)
+		g.searchFiltered(query, l, pass, out)
+		if out.Len() >= p.K || l >= n {
+			return out.Results()
+		}
+		l *= 2
+		if l > n {
+			l = n
+		}
+	}
+}
+
+// searchFiltered is searchOnGraph over the built graph with collect-at-visit:
+// pool membership (navigation) ignores the filter, but every visited node
+// that passes is offered to the caller's result heap, keeping matches found
+// while walking through filtered-out regions.
+func (g *NSG) searchFiltered(query []float32, l int, pass func(int32) bool, out *topk.Heap) {
+	type cand struct {
+		node    int32
+		dist    float32
+		checked bool
+	}
+	start := int32(g.nav)
+	pool := make([]cand, 0, l+1)
+	visited := map[int32]struct{}{start: {}}
+	insert := func(node int32, d float32) {
+		pos := len(pool)
+		for pos > 0 && pool[pos-1].dist > d {
+			pos--
+		}
+		if pos >= l {
+			return
+		}
+		pool = append(pool, cand{})
+		copy(pool[pos+1:], pool[pos:])
+		pool[pos] = cand{node: node, dist: d}
+		if len(pool) > l {
+			pool = pool[:l]
+		}
+	}
+	visit := func(node int32, d float32) {
+		if pass(node) {
+			out.Push(g.ids[node], d)
+		}
+		insert(node, d)
+	}
+	visit(start, g.dist(query, g.vecAt(int(start))))
+	for {
+		advanced := false
+		for i := 0; i < len(pool); i++ {
+			if pool[i].checked {
+				continue
+			}
+			pool[i].checked = true
+			advanced = true
+			for _, nb := range g.links[pool[i].node] {
+				if _, seen := visited[nb]; seen {
+					continue
+				}
+				visited[nb] = struct{}{}
+				visit(nb, g.dist(query, g.vecAt(int(nb))))
+			}
+			break
+		}
+		if !advanced {
+			break
+		}
+	}
 }

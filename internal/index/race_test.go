@@ -1,0 +1,8 @@
+//go:build race
+
+package index
+
+// raceEnabled gates tests whose assertions the race runtime itself breaks
+// (sync.Pool deliberately drops a quarter of Puts under the race detector,
+// so zero-allocation pins on pooled scratch read refills as regressions).
+const raceEnabled = true

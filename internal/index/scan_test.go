@@ -68,7 +68,7 @@ func TestScanBlockedMatchesPairwise(t *testing.T) {
 				}
 				k := 10
 				h := topk.New(k)
-				ScanBlocked(h, metric, q, data, dim, ids, filter)
+				ScanBlocked(h, metric, q, data, dim, ids, Selection{Filter: filter})
 				got := h.Results()
 				want := refHeap(metric, q, data, dim, k, ids, filter)
 				if len(got) != len(want) {
@@ -103,8 +103,8 @@ func TestScanBlockedSeededHeap(t *testing.T) {
 		idsB[i] = int64(i + 300)
 	}
 	h := topk.New(k)
-	ScanBlocked(h, vec.L2, q, a, dim, idsA, nil)
-	ScanBlocked(h, vec.L2, q, b, dim, idsB, nil)
+	ScanBlocked(h, vec.L2, q, a, dim, idsA, Selection{})
+	ScanBlocked(h, vec.L2, q, b, dim, idsB, Selection{})
 	got := h.Results()
 	all := append(append([]float32{}, a...), b...)
 	want := refHeap(vec.L2, q, all, dim, k, append(append([]int64{}, idsA...), idsB...), nil)
@@ -129,7 +129,7 @@ func TestScanBlockedUsesBatchKernels(t *testing.T) {
 	for _, metric := range []vec.Metric{vec.L2, vec.IP} {
 		vec.ResetDispatchCounts()
 		h := topk.New(5)
-		ScanBlocked(h, metric, q, data, dim, nil, nil)
+		ScanBlocked(h, metric, q, data, dim, nil, Selection{})
 		if got := vec.BatchDispatchTotal(); got == 0 {
 			t.Fatalf("%v: ScanBlocked made no batch-kernel dispatches", metric)
 		}
@@ -137,7 +137,7 @@ func TestScanBlockedUsesBatchKernels(t *testing.T) {
 	// Filtered scans legitimately fall back to pairwise.
 	vec.ResetDispatchCounts()
 	h := topk.New(5)
-	ScanBlocked(h, vec.L2, q, data, dim, nil, func(int64) bool { return true })
+	ScanBlocked(h, vec.L2, q, data, dim, nil, Selection{Filter: func(int64) bool { return true }})
 	if vec.BatchDispatchTotal() != 0 {
 		t.Fatal("filtered scan unexpectedly used batch kernels")
 	}
@@ -152,10 +152,10 @@ func TestScanBlockedAllocs(t *testing.T) {
 	q := randBlock(r, dim)
 	h := topk.New(10)
 	// Warm the buffer pool.
-	ScanBlocked(h, vec.L2, q, data, dim, nil, nil)
+	ScanBlocked(h, vec.L2, q, data, dim, nil, Selection{})
 	avg := testing.AllocsPerRun(100, func() {
 		h.Reset()
-		ScanBlocked(h, vec.L2, q, data, dim, nil, nil)
+		ScanBlocked(h, vec.L2, q, data, dim, nil, Selection{})
 	})
 	if avg > 0.5 {
 		t.Fatalf("ScanBlocked allocates %.1f objects/op, want 0 (pooled buffer regressed?)", avg)

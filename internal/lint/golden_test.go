@@ -152,8 +152,8 @@ func TestGoldenSelect(t *testing.T) {
 			t.Errorf("selected run leaked a %s finding: %s", f.Analyzer, f)
 		}
 	}
-	if counts["kerneldispatch"] != 2 || counts["pragma"] != 2 || len(findings) != 4 {
-		t.Fatalf("got %v, want 2 kerneldispatch + 2 pragma:\n%s", counts, renderFindings(findings))
+	if counts["kerneldispatch"] != 3 || counts["pragma"] != 2 || len(findings) != 5 {
+		t.Fatalf("got %v, want 3 kerneldispatch + 2 pragma:\n%s", counts, renderFindings(findings))
 	}
 }
 

@@ -55,24 +55,30 @@ func NewKernelDispatch() *Analyzer {
 }
 
 // isTierExplicitKernel reports whether fn is a vec kernel entry that takes
-// an explicit Level alongside float32 vector data — i.e. a per-tier
-// kernel, as opposed to Level-typed metadata accessors like DispatchCount.
+// an explicit Level alongside kernel data — i.e. a per-tier kernel, as
+// opposed to Level-typed metadata accessors like DispatchCount. Kernel
+// data is any slice the SIMD tiers operate on: float32 vectors, int32
+// gather row lists, or uint8 quantized codes — so a tier-explicit gather
+// or SQ8 variant cannot slip past by carrying no float32 parameter.
 func isTierExplicitKernel(fn *types.Func) bool {
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok {
 		return false
 	}
-	hasLevel, hasFloats := false, false
+	hasLevel, hasData := false, false
 	for i := 0; i < sig.Params().Len(); i++ {
 		t := sig.Params().At(i).Type()
 		if typeIs(t, "internal/vec", "Level") {
 			hasLevel = true
 		}
 		if sl, ok := types.Unalias(t).(*types.Slice); ok {
-			if b, ok := sl.Elem().(*types.Basic); ok && b.Kind() == types.Float32 {
-				hasFloats = true
+			if b, ok := sl.Elem().(*types.Basic); ok {
+				switch b.Kind() {
+				case types.Float32, types.Int32, types.Uint8:
+					hasData = true
+				}
 			}
 		}
 	}
-	return hasLevel && hasFloats
+	return hasLevel && hasData
 }

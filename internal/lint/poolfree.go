@@ -19,6 +19,8 @@ type poolPair struct {
 // list silently degrades to plain allocation.
 var poolPairs = []poolPair{
 	{pkgSuffix: "internal/bufferpool", get: "GetFloats", put: "PutFloats", noun: "pooled buffer"},
+	{pkgSuffix: "internal/bufferpool", get: "GetInt32s", put: "PutInt32s", noun: "pooled row list"},
+	{pkgSuffix: "internal/bitset", get: "Get", put: "Put", noun: "pooled bitset"},
 	{pkgSuffix: "internal/topk", get: "GetHeap", put: "PutHeap", noun: "pooled heap"},
 }
 

@@ -9,6 +9,13 @@ func Scan(q, data []float32, dim int, out []float32) {
 	vec.L2SquaredBatchAt(vec.AVX2, q, data, dim, out) // want kerneldispatch "bypasses the SIMD dispatch table"
 }
 
+// GatherScan bypasses the dispatch table through a quantized gather
+// kernel whose data parameters are uint8 codes and int32 rows — no
+// float32 slice anywhere in the signature.
+func GatherScan(codes []uint8, dim int, rows []int32, out []int32) {
+	vec.SQ8GatherAt(vec.AVX2, codes, dim, rows, out) // want kerneldispatch "bypasses the SIMD dispatch table"
+}
+
 // Pin pins the process-wide tier from a library package.
 func Pin() {
 	vec.SetLevel(vec.Generic) // want kerneldispatch "pins the kernel tier process-wide"
@@ -17,6 +24,12 @@ func Pin() {
 // Hooked uses the dispatch entry point: no finding.
 func Hooked(q, data []float32, dim int, out []float32) {
 	vec.L2SquaredBatch(q, data, dim, out)
+}
+
+// HookedGather uses the gather dispatch entry point: int32 rows are
+// kernel data, but without an explicit Level the call is legal.
+func HookedGather(q, data []float32, dim int, rows []int32, out []float32) {
+	vec.L2SquaredGatherBound(q, data, dim, rows, 0, out)
 }
 
 // Meta reads Level-typed metadata, which is not a kernel: no finding.

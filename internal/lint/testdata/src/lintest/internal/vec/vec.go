@@ -17,6 +17,17 @@ func L2SquaredBatch(q, data []float32, dim int, out []float32) { _ = q }
 // L2SquaredBatchAt is the tier-explicit variant of L2SquaredBatch.
 func L2SquaredBatchAt(l Level, q, data []float32, dim int, out []float32) { _ = l }
 
+// L2SquaredGatherBound is a hooked gather entry point: distances for a
+// sparse row list against a blocked column.
+func L2SquaredGatherBound(q, data []float32, dim int, rows []int32, bound float32, out []float32) {
+	_ = rows
+}
+
+// SQ8GatherAt is a tier-explicit gather kernel over quantized codes: no
+// float32 parameter at all, only uint8 codes and an int32 row list. The
+// analyzer must still recognize these as kernel data.
+func SQ8GatherAt(l Level, codes []uint8, dim int, rows []int32, out []int32) { _ = l }
+
 // SetLevel pins the dispatch tier process-wide.
 func SetLevel(l Level) { _ = l }
 

@@ -62,6 +62,64 @@ type Source interface {
 	DistanceByID(field int, q []float32, id int64) (float32, bool)
 }
 
+// PushedFilter is a compiled attribute constraint: the source resolved the
+// predicate to dense per-segment bitsets over build positions, so vector
+// query processing tests membership with word loads under the batch kernels
+// instead of a map probe per encountered ID. Release returns the pooled
+// bitsets; the filter must not be used afterwards.
+type PushedFilter struct {
+	// Matched/Total give the constraint's selectivity (tombstones already
+	// cleared from Matched).
+	Matched, Total int
+	// Mode records how the source will apply the filter — "dense" (run
+	// extraction through the batch kernels), "sparse" (gather path) or
+	// "graph" (filtered traversal) — for the filter_mode trace annotation.
+	Mode    string
+	handle  any
+	release func()
+}
+
+// NewPushedFilter wraps a source-owned compiled filter. handle is opaque to
+// the strategies and flows back through VectorQueryPushed; release (may be
+// nil) returns pooled storage.
+func NewPushedFilter(matched, total int, mode string, handle any, release func()) *PushedFilter {
+	return &PushedFilter{Matched: matched, Total: total, Mode: mode, handle: handle, release: release}
+}
+
+// Handle returns the source-owned payload passed to NewPushedFilter.
+func (pf *PushedFilter) Handle() any { return pf.handle }
+
+// Selectivity is Matched/Total (0 when the source is empty).
+func (pf *PushedFilter) Selectivity() float64 {
+	if pf.Total == 0 {
+		return 0
+	}
+	return float64(pf.Matched) / float64(pf.Total)
+}
+
+// Release returns pooled bitsets to their pool.
+func (pf *PushedFilter) Release() {
+	if pf.release != nil {
+		pf.release()
+		pf.release = nil
+	}
+}
+
+// PushdownSource is a Source that can compile attribute constraints to
+// bitsets and push them beneath its vector scans (the strategy-B upgrade:
+// same plan shape, bitmap replaced by a word-aligned bitset evaluated
+// inside the kernels).
+type PushdownSource interface {
+	Source
+	// CompileRange compiles lo ≤ attr ≤ hi to a pushed filter; ok=false
+	// means pushdown is unavailable (unknown attribute) and the caller
+	// falls back to the bitmap path.
+	CompileRange(attr int, lo, hi int64) (pf *PushedFilter, ok bool)
+	// VectorQueryPushed is VectorQuery with the compiled filter applied
+	// beneath the index scan.
+	VectorQueryPushed(field int, q []float32, k, nprobe int, pf *PushedFilter) []topk.Result
+}
+
 // MultiSource is what multi-vector query processing needs: per-field vector
 // queries plus exact per-field distances for candidate scoring.
 type MultiSource interface {

@@ -1,6 +1,9 @@
 package query
 
 import (
+	"strconv"
+
+	"vectordb/internal/obs"
 	"vectordb/internal/topk"
 )
 
@@ -46,9 +49,24 @@ func StrategyA(s Source, rc RangeCond, vc VecCond) []topk.Result {
 
 // StrategyB: attribute-first-vector-search. The attribute constraint
 // produces a bitmap of qualifying IDs; normal vector query processing runs
-// with the bitmap tested on every encountered vector.
+// with the bitmap tested on every encountered vector. Sources supporting
+// pushdown compile the constraint to per-segment bitsets instead, evaluated
+// beneath the batch kernels; plain sources keep the map-based path.
 func StrategyB(s Source, rc RangeCond, vc VecCond) []topk.Result {
 	vc.Trace.Annotate("filter_strategy", StratB)
+	if ps, ok := s.(PushdownSource); ok {
+		if pf, ok := ps.CompileRange(rc.Attr, rc.Lo, rc.Hi); ok {
+			defer pf.Release()
+			filter := vc.Trace.StartSpan("attr_filter")
+			filter.AnnotateInt("rows", int64(pf.Matched))
+			filter.End()
+			AnnotatePushed(vc.Trace, pf)
+			if pf.Matched == 0 {
+				return nil
+			}
+			return ps.VectorQueryPushed(vc.Field, vc.Query, vc.K, vc.Nprobe, pf)
+		}
+	}
 	filter := vc.Trace.StartSpan("attr_filter")
 	rows := s.RangeRows(rc.Attr, rc.Lo, rc.Hi)
 	bitmap := make(map[int64]struct{}, len(rows))
@@ -64,6 +82,13 @@ func StrategyB(s Source, rc RangeCond, vc VecCond) []topk.Result {
 		_, ok := bitmap[id]
 		return ok
 	})
+}
+
+// AnnotatePushed records the pushed filter's selectivity and evaluation
+// mode on the trace, so cost-based decisions are auditable afterwards.
+func AnnotatePushed(tr *obs.Trace, pf *PushedFilter) {
+	tr.Annotate("filter_mode", pf.Mode)
+	tr.Annotate("filter_selectivity", strconv.FormatFloat(pf.Selectivity(), 'f', 4, 64))
 }
 
 // StrategyC: vector-first-attribute-full-scan. Vector query processing

@@ -46,6 +46,14 @@ type Config struct {
 	// abandoned query — is an invariant violation.
 	CancelRate float64
 
+	// FilterRate is the probability that a searcher runs an
+	// attribute-filtered search instead of a plain one (default 0: off).
+	// Every entity's attribute is derived from its ID (id & 1023), so the
+	// predicate is checkable from the result IDs alone: a returned ID whose
+	// attribute falls outside the queried range is a violation, mid-flight
+	// or quiesced.
+	FilterRate float64
+
 	// RecallFloor is the minimum average recall@K vs. a brute-force scan
 	// over the surviving entities after quiesce (default 0.9).
 	RecallFloor float64
@@ -86,6 +94,7 @@ type Report struct {
 	Inserted   int64 // acknowledged inserted rows
 	Deleted    int64 // acknowledged deleted rows
 	Searches   int64 // completed searches (writers + searchers)
+	Filtered   int64 // completed attribute-filtered searches (FilterRate mode)
 	Cancelled  int64 // searches that returned a context error (CancelRate mode)
 	Flushes    int64 // explicit flush ops issued
 	FlushErrs  int64 // flushes that surfaced an (injected) error
@@ -97,8 +106,8 @@ type Report struct {
 }
 
 func (r *Report) String() string {
-	return fmt.Sprintf("inserted=%d deleted=%d searches=%d cancelled=%d flushes=%d flushErrs=%d injected=%d final=%d recall=%.3f violations=%d",
-		r.Inserted, r.Deleted, r.Searches, r.Cancelled, r.Flushes, r.FlushErrs, r.Injected, r.FinalCount, r.Recall, len(r.Violations))
+	return fmt.Sprintf("inserted=%d deleted=%d searches=%d filtered=%d cancelled=%d flushes=%d flushErrs=%d injected=%d final=%d recall=%.3f violations=%d",
+		r.Inserted, r.Deleted, r.Searches, r.Filtered, r.Cancelled, r.Flushes, r.FlushErrs, r.Injected, r.FinalCount, r.Recall, len(r.Violations))
 }
 
 const (
@@ -118,7 +127,7 @@ type harness struct {
 	mu         sync.Mutex
 	violations []string
 
-	inserted, deleted, searches, cancelled, flushes, flushErrs, indexOps counter
+	inserted, deleted, searches, filtered, cancelled, flushes, flushErrs, indexOps counter
 }
 
 type counter struct {
@@ -210,6 +219,7 @@ func Run(cfg Config) (*Report, error) {
 		Inserted:  h.inserted.get(),
 		Deleted:   h.deleted.get(),
 		Searches:  h.searches.get(),
+		Filtered:  h.filtered.get(),
 		Cancelled: h.cancelled.get(),
 		Flushes:   h.flushes.get(),
 		FlushErrs: h.flushErrs.get(),
@@ -318,9 +328,12 @@ func (h *harness) searcher(s int) {
 		}
 		switch p := rng.Intn(10); {
 		case p < 5:
-			if h.cfg.CancelRate > 0 && rng.Float64() < h.cfg.CancelRate {
+			switch {
+			case h.cfg.CancelRate > 0 && rng.Float64() < h.cfg.CancelRate:
 				h.searchCancel(who, rng)
-			} else {
+			case h.cfg.FilterRate > 0 && rng.Float64() < h.cfg.FilterRate:
+				h.searchFiltered(who, rng)
+			default:
 				h.search(who, rng.Int63())
 			}
 		case p < 7:
@@ -353,6 +366,33 @@ func (h *harness) search(who string, qseed int64) {
 	}
 	h.searches.add(1)
 	h.checkResults(who, query, res)
+}
+
+// searchFiltered runs one attribute-filtered query mid-flight. The
+// attribute of every entity is id & 1023, so the range predicate is
+// verifiable from the result IDs alone, concurrently with inserts and
+// deletes: whatever snapshot the query ran against, a returned ID whose
+// derived attribute falls outside [lo, hi] can only mean the pushed filter
+// leaked a filtered-out row.
+func (h *harness) searchFiltered(who string, rng *rand.Rand) {
+	lo := int64(rng.Intn(1024))
+	hi := lo + int64(rng.Intn(512))
+	if hi > 1023 {
+		hi = 1023
+	}
+	query := VectorForID(rng.Int63()|1, h.cfg.Dim)
+	res, err := h.col.SearchFiltered(query, "a", lo, hi, core.SearchOptions{K: h.cfg.K, Nprobe: 8})
+	if err != nil {
+		h.violate("%s: filtered search error: %v", who, err)
+		return
+	}
+	h.filtered.add(1)
+	h.checkResults(who, query, res)
+	for _, r := range res {
+		if a := r.ID & 1023; a < lo || a > hi {
+			h.violate("%s: filtered search [%d,%d] returned id %d with attr %d", who, lo, hi, r.ID, a)
+		}
+	}
 }
 
 // searchCancel runs one query under a context that dies mid-flight: half of
@@ -532,6 +572,9 @@ func (h *harness) quiesce(states []*writerState, rep *Report) {
 	if len(live) >= h.cfg.K && rep.Recall < h.cfg.RecallFloor {
 		h.violate("quiesce: recall %.3f below floor %.3f", rep.Recall, h.cfg.RecallFloor)
 	}
+	if h.cfg.FilterRate > 0 {
+		h.filteredQuiesceCheck(rng, live)
+	}
 
 	// Snapshot refcount invariant: with all queries joined, only the current
 	// snapshot may be alive. A cancelled query that forgot to release its
@@ -577,6 +620,9 @@ func (h *harness) obsInvariants(rep *Report) {
 	// the read path and counted before the context killed it.
 	if got, want := counter("vectordb_query_total", "collection", "stress", "type", "vector"), rep.Searches+rep.Cancelled; got != want {
 		h.violate("obs: query counter %d != %d attempts (%d completed + %d cancelled)", got, want, rep.Searches, rep.Cancelled)
+	}
+	if got := counter("vectordb_query_total", "collection", "stress", "type", "filtered"); got != rep.Filtered {
+		h.violate("obs: filtered query counter %d != %d completed filtered searches", got, rep.Filtered)
 	}
 	var buf bytes.Buffer
 	if err := h.reg.WritePrometheus(&buf); err != nil {
@@ -651,6 +697,63 @@ func (h *harness) batchformInvariants(rep *Report) {
 	// search completed without being counted on either path.
 	if got := batched + passthrough; got < rep.Searches {
 		h.violate("batchform: %d queries counted across both paths but %d searches completed", got, rep.Searches)
+	}
+}
+
+// filteredQuiesceCheck runs filtered searches against the drained
+// collection and compares them with a brute-force filter-then-scan over the
+// model's live rows: zero filtered-out or deleted IDs, and recall at the
+// configured floor.
+func (h *harness) filteredQuiesceCheck(rng *rand.Rand, live []int64) {
+	for trial := 0; trial < 5; trial++ {
+		lo := int64(rng.Intn(1024))
+		hi := lo + int64(rng.Intn(512))
+		if hi > 1023 {
+			hi = 1023
+		}
+		query := VectorForID(rng.Int63()|1, h.cfg.Dim)
+		gt := topk.New(h.cfg.K)
+		for _, id := range live {
+			if a := id & 1023; a >= lo && a <= hi {
+				gt.Push(id, vec.L2Squared(query, VectorForID(id, h.cfg.Dim)))
+			}
+		}
+		want := gt.Results()
+		res, err := h.col.SearchFiltered(query, "a", lo, hi, core.SearchOptions{K: h.cfg.K, Nprobe: 8})
+		if err != nil {
+			h.violate("quiesce: filtered search error: %v", err)
+			return
+		}
+		liveSet := make(map[int64]bool, len(live))
+		for _, id := range live {
+			liveSet[id] = true
+		}
+		for _, r := range res {
+			if a := r.ID & 1023; a < lo || a > hi {
+				h.violate("quiesce: filtered search [%d,%d] returned id %d with attr %d", lo, hi, r.ID, a)
+			}
+			if !liveSet[r.ID] {
+				h.violate("quiesce: filtered search returned dead id %d", r.ID)
+			}
+		}
+		if len(res) > len(want) {
+			h.violate("quiesce: filtered search [%d,%d] returned %d results, oracle has %d", lo, hi, len(res), len(want))
+		}
+		if len(want) >= h.cfg.K {
+			wantSet := map[int64]bool{}
+			for _, r := range want {
+				wantSet[r.ID] = true
+			}
+			hit := 0
+			for _, r := range res {
+				if wantSet[r.ID] {
+					hit++
+				}
+			}
+			if recall := float64(hit) / float64(len(want)); recall < h.cfg.RecallFloor {
+				h.violate("quiesce: filtered recall %.3f below floor %.3f on [%d,%d]", recall, h.cfg.RecallFloor, lo, hi)
+			}
+		}
 	}
 }
 

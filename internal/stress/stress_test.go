@@ -12,8 +12,9 @@ var seedFlag = flag.Int64("seed", 1, "stress schedule seed")
 
 // -faults selects an extra fault mode for the dedicated fault tests
 // ("cancel" arms the context-cancellation mode in TestStressCancel even
-// under -short).
-var faultsFlag = flag.String("faults", "", `extra fault mode ("cancel")`)
+// under -short; "filtered" does the same for the attribute-filtered mode in
+// TestStressFiltered).
+var faultsFlag = flag.String("faults", "", `extra fault mode ("cancel", "filtered")`)
 
 // TestScheduleDeterminism: the acceptance contract is that the same -seed
 // yields the same operation schedule. The hash covers op kinds, batch sizes
@@ -153,6 +154,39 @@ func TestStressCancel(t *testing.T) {
 	}
 }
 
+// TestStressFiltered arms the attribute-filtered mode: half the searcher
+// queries carry a range predicate over the ID-derived attribute, racing
+// concurrent inserts, deletes, flushes and index builds. The predicate is
+// checkable from result IDs alone, so the zero-filtered-out-IDs invariant
+// holds mid-flight; quiesce then cross-checks filtered results exactly
+// against a filter-then-scan oracle over the surviving rows.
+func TestStressFiltered(t *testing.T) {
+	if testing.Short() && *faultsFlag != "filtered" {
+		t.Skip("stress run skipped in -short mode (force with -faults=filtered)")
+	}
+	dur := 2200 * time.Millisecond
+	if testing.Short() {
+		dur = 500 * time.Millisecond
+	}
+	rep, err := Run(Config{
+		Seed:       *seedFlag,
+		Writers:    4,
+		Searchers:  4,
+		Duration:   dur,
+		FilterRate: 0.5,
+	})
+	t.Logf("filtered: %s", rep)
+	if err != nil {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatal(err)
+	}
+	if rep.Filtered == 0 {
+		t.Fatalf("no filtered searches ran: %s", rep)
+	}
+}
+
 // TestStressSmoke is the fast path for plain `go test`: a short clean run
 // plus a short faulted run so every CI invocation exercises the harness.
 func TestStressSmoke(t *testing.T) {
@@ -162,6 +196,8 @@ func TestStressSmoke(t *testing.T) {
 			Faults: FaultConfig{FailRate: 0.1, TornRate: 0.1, DelayRate: 0.1}},
 		{Seed: *seedFlag, Writers: 2, Searchers: 2, Duration: 150 * time.Millisecond,
 			CancelRate: 0.5},
+		{Seed: *seedFlag, Writers: 2, Searchers: 2, Duration: 150 * time.Millisecond,
+			FilterRate: 0.5},
 	} {
 		rep, err := Run(cfg)
 		t.Logf("smoke: %s", rep)
