@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt lint bench bench-kernels bench-batchform bench-filter bench-smoke kernel-guard conformance-filter ci cover stress experiments examples clean
+.PHONY: all build test race vet fmt lint bench bench-kernels bench-batchform bench-filter bench-ooc bench-smoke kernel-guard conformance-filter conformance-ooc ci cover stress experiments examples clean
 
 all: build test
 
@@ -26,8 +26,9 @@ fmt:
 		echo "fmt: files need gofmt -w:"; echo "$$out"; exit 1; fi
 
 # lint runs vectordblint, the in-tree stdlib-only static-analysis suite
-# (internal/lint): poolfree, ctxflow, kerneldispatch, lockdiscipline,
-# atomicmix, metricreg, clockinject. Intentional exceptions carry //lint:allow pragmas
+# (internal/lint): poolfree, blockpin, ctxflow, kerneldispatch,
+# lockdiscipline, atomicmix, metricreg, clockinject. Intentional
+# exceptions carry //lint:allow pragmas
 # in the source; see DESIGN.md §9.
 lint:
 	$(GO) run ./cmd/vectordblint ./...
@@ -39,11 +40,23 @@ lint:
 # the filtered-search gates (ground-truth conformance plus the concurrent
 # filtered stress mode), the observability coverage floor, the
 # batch-kernel guard and the benchmark smoke run.
-ci: vet fmt build lint test cover kernel-guard conformance-filter bench-smoke
+ci: vet fmt build lint test cover kernel-guard conformance-filter conformance-ooc bench-smoke
 	$(GO) test -race ./internal/...
 	$(GO) test -race ./internal/stress -run TestStressCancel -short -faults=cancel
 	$(GO) test -race ./internal/stress -run TestStressFiltered -short -faults=filtered
+	$(GO) test -race ./internal/stress -run TestStressSpill -short -faults=spill
 	$(GO) test -race ./internal/core -run 'TestSearchCtx|TestAdmission'
+
+# conformance-ooc is the out-of-core ground-truth gate: tiered segments
+# (mmap-backed extents, block-cache scans, spilled cold extents) must
+# return bit-identical results to the in-RAM path across flat, IVF, SQ8
+# and filtered searches, survive demote/promote cycles and restores, and
+# tolerate truncated extent files (internal/colstore recovery tests).
+conformance-ooc:
+	$(GO) test ./internal/core -run TestTiered
+	$(GO) test ./internal/core -run TestDBTierDefaults
+	$(GO) test ./internal/colstore -run TestExtent
+	$(GO) test ./internal/blockcache
 
 # conformance-filter is the filtered-ANN ground-truth gate: every index
 # type × metric × selectivity against the exact filter-then-scan oracle
@@ -76,6 +89,7 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/benchbatchform -quick -o /dev/null
 	$(GO) run ./cmd/benchfilter -quick -o /dev/null
+	$(GO) run ./cmd/benchooc -quick -o /dev/null
 
 # cover enforces a coverage floor on the observability layer: the metrics
 # registry, exposition writer, tracer and query log are the eyes of every
@@ -110,6 +124,13 @@ bench-kernels:
 # probes, on clustered and shuffled attribute layouts.
 bench-filter:
 	$(GO) run ./cmd/benchfilter -o BENCH_filter.json
+
+# bench-ooc regenerates BENCH_ooc.json: out-of-core search under cache
+# pressure — hit rate and latency swept over dataset/cache ratios 1x, 2x,
+# 4x, 10x with sealed segments in mmap-backed extent files and IVF
+# payloads externalized (the tiered-storage companion artifact).
+bench-ooc:
+	$(GO) run ./cmd/benchooc -o BENCH_ooc.json
 
 # bench-batchform regenerates BENCH_batchform.json: the batch former
 # coalescing live concurrent searches into tile batches vs the per-query

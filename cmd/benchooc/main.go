@@ -1,0 +1,276 @@
+// Command benchooc measures out-of-core search against cache pressure and
+// regenerates BENCH_ooc.json (the Sec. 2.3 companion artifact for tiered
+// sealed segments).
+//
+// One dataset is built per point with tiering armed: sealed segments live
+// in mmap-backed extent files, IVF payloads are externalized, and every
+// blocked scan runs through a capacity-bounded block cache sized to a
+// fixed fraction of the dataset — 1x (everything fits) down to 1/10th.
+// Queries probe random IVF buckets, so block reuse across queries tracks
+// the cache share: the sweep documents the hit-rate decay and the latency
+// cliff as the working set grows past the cache (the acceptance run is the
+// >=4x-over-cache point).
+//
+// Every measured query is also checked: a self-query on a dataset row must
+// return that row at distance ~0, so a silently-broken out-of-core read
+// path fails the benchmark instead of producing fast garbage.
+//
+// Usage:
+//
+//	benchooc                       # defaults: n=120000 dim=64 ratios 1,2,4,10
+//	benchooc -quick -o /dev/null   # CI smoke sizing
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"vectordb/internal/blockcache"
+	"vectordb/internal/core"
+	_ "vectordb/internal/index/all"
+	"vectordb/internal/objstore"
+	"vectordb/internal/vec"
+)
+
+type point struct {
+	Ratio       float64 `json:"dataset_over_cache"`
+	DatasetMB   float64 `json:"dataset_mb"`
+	CacheMB     float64 `json:"cache_mb"`
+	HitRate     float64 `json:"hit_rate"`
+	Evictions   int64   `json:"evictions"`
+	TieredFiles int     `json:"tiered_files"`
+	MeanUs      int64   `json:"mean_us"`
+	P50Us       int64   `json:"p50_us"`
+	P99Us       int64   `json:"p99_us"`
+	QPS         float64 `json:"qps"`
+}
+
+type report struct {
+	Benchmark   string `json:"benchmark"`
+	Environment struct {
+		CPU        string `json:"cpu"`
+		GoMaxProcs int    `json:"gomaxprocs"`
+		Go         string `json:"go"`
+		Workload   string `json:"workload"`
+	} `json:"environment"`
+	Points []point `json:"points"`
+}
+
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return runtime.GOARCH
+}
+
+func main() {
+	n := flag.Int("n", 120000, "dataset rows")
+	dim := flag.Int("dim", 64, "vector dimensionality")
+	k := flag.Int("k", 10, "top-k")
+	nlist := flag.Int("nlist", 64, "IVF coarse buckets per segment")
+	nprobe := flag.Int("nprobe", 8, "IVF buckets probed per query")
+	flushRows := flag.Int("flush-rows", 16384, "rows per sealed segment")
+	queries := flag.Int("queries", 200, "measured queries per point (plus 1/4 warmup)")
+	quick := flag.Bool("quick", false, "CI smoke sizing (small n, fewer points)")
+	out := flag.String("o", "BENCH_ooc.json", "output JSON path")
+	flag.Parse()
+
+	ratios := []float64{1, 2, 4, 10}
+	if *quick {
+		*n, *dim, *flushRows, *queries = 20000, 32, 4096, 40
+		*nlist = 32
+		ratios = []float64{1, 4}
+	}
+
+	// Deterministic dataset; queries are perturbed dataset rows so IVF
+	// probes land in populated buckets, fixed across ratios for
+	// comparability.
+	r := rand.New(rand.NewSource(7))
+	data := make([][]float32, *n)
+	for i := range data {
+		v := make([]float32, *dim)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		data[i] = v
+	}
+	qset := make([][]float32, *queries+*queries/4)
+	qrow := make([]int, len(qset))
+	for i := range qset {
+		row := r.Intn(*n)
+		q := make([]float32, *dim)
+		for j, x := range data[row] {
+			q[j] = x + 0.01*float32(r.NormFloat64())
+		}
+		qset[i], qrow[i] = q, row
+	}
+
+	dsBytes := int64(*n) * int64(*dim) * 4
+
+	var rep report
+	rep.Benchmark = "BenchmarkOutOfCoreCachePressure"
+	rep.Environment.CPU = cpuModel()
+	rep.Environment.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rep.Environment.Go = runtime.Version()
+	rep.Environment.Workload = fmt.Sprintf(
+		"n=%d dim=%d k=%d metric=L2; %d-row sealed segments, IVF_FLAT nlist=%d nprobe=%d externalized to extent files; sequential queries on perturbed dataset rows",
+		*n, *dim, *k, *flushRows, *nlist, *nprobe)
+
+	for _, ratio := range ratios {
+		p, err := runPoint(data, qset, qrow, pointConfig{
+			dim: *dim, k: *k, nlist: *nlist, nprobe: *nprobe,
+			flushRows: *flushRows, warmup: *queries / 4,
+			cacheBytes: int64(float64(dsBytes) / ratio),
+		})
+		if err != nil {
+			log.Fatalf("benchooc: ratio %gx: %v", ratio, err)
+		}
+		p.Ratio = ratio
+		p.DatasetMB = round2(float64(dsBytes) / (1 << 20))
+		rep.Points = append(rep.Points, p)
+		fmt.Printf("ratio %gx (cache %.1f MB over %.1f MB): hit rate %.3f, p50 %dus, p99 %dus, %.0f qps\n",
+			ratio, p.CacheMB, p.DatasetMB, p.HitRate, p.P50Us, p.P99Us, p.QPS)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatalf("benchooc: %v", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		log.Fatalf("benchooc: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("benchooc: %v", err)
+	}
+}
+
+type pointConfig struct {
+	dim, k, nlist, nprobe int
+	flushRows, warmup     int
+	cacheBytes            int64
+}
+
+func runPoint(data [][]float32, qset [][]float32, qrow []int, pc pointConfig) (point, error) {
+	dir, err := os.MkdirTemp("", "benchooc-")
+	if err != nil {
+		return point{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	cache := blockcache.New(pc.cacheBytes, 0)
+	schema := core.Schema{VectorFields: []core.VectorField{{Name: "v", Dim: pc.dim, Metric: vec.L2}}}
+	col, err := core.NewCollection("ooc", schema, objstore.NewMemory(), core.Config{
+		FlushRows:     pc.flushRows,
+		FlushInterval: -1,
+		MergeFactor:   1 << 20, // fixed segment population: no merges mid-sweep
+		IndexRows:     pc.flushRows,
+		SyncIndex:     true,
+		IndexType:     "IVF_FLAT",
+		IndexParams:   map[string]string{"nlist": fmt.Sprint(pc.nlist), "iter": "4"},
+		TierDir:       dir,
+		TierCache:     cache,
+	})
+	if err != nil {
+		return point{}, err
+	}
+	defer col.Close()
+
+	batch := make([]core.Entity, 0, 1024)
+	for i, v := range data {
+		batch = append(batch, core.Entity{ID: int64(i + 1), Vectors: [][]float32{v}})
+		if len(batch) == cap(batch) || i == len(data)-1 {
+			if err := col.Insert(batch); err != nil {
+				return point{}, err
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := col.Flush(); err != nil {
+		return point{}, err
+	}
+
+	opts := core.SearchOptions{Field: "v", K: pc.k, Nprobe: pc.nprobe}
+	run := func(i int) error {
+		res, err := col.Search(qset[i], opts)
+		if err != nil {
+			return err
+		}
+		// Correctness tripwire: the perturbed source row must surface in
+		// the top-k — an out-of-core read path returning wrong blocks
+		// would be fast and silent without this.
+		want := int64(qrow[i] + 1)
+		for _, h := range res {
+			if h.ID == want {
+				return nil
+			}
+		}
+		return fmt.Errorf("query %d: source row %d missing from top-%d", i, want, pc.k)
+	}
+	for i := 0; i < pc.warmup; i++ {
+		if err := run(i); err != nil {
+			return point{}, err
+		}
+	}
+
+	base := cache.Stats()
+	lat := make([]time.Duration, 0, len(qset)-pc.warmup)
+	t0 := time.Now()
+	for i := pc.warmup; i < len(qset); i++ {
+		q0 := time.Now()
+		if err := run(i); err != nil {
+			return point{}, err
+		}
+		lat = append(lat, time.Since(q0))
+	}
+	wall := time.Since(t0)
+	st := cache.Stats()
+	ts := col.TierStats()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	pct := func(p float64) int64 {
+		i := int(math.Ceil(p*float64(len(lat)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return lat[i].Microseconds()
+	}
+	acc := float64(st.Hits-base.Hits) + float64(st.Misses-base.Misses)
+	hitRate := 0.0
+	if acc > 0 {
+		hitRate = float64(st.Hits-base.Hits) / acc
+	}
+	return point{
+		CacheMB:     round2(float64(pc.cacheBytes) / (1 << 20)),
+		HitRate:     round3(hitRate),
+		Evictions:   st.Evictions - base.Evictions,
+		TieredFiles: ts.Tiered,
+		MeanUs:      (sum / time.Duration(len(lat))).Microseconds(),
+		P50Us:       pct(0.50),
+		P99Us:       pct(0.99),
+		QPS:         round2(float64(len(lat)) / wall.Seconds()),
+	}, nil
+}
+
+func round2(x float64) float64 { return math.Round(x*100) / 100 }
+func round3(x float64) float64 { return math.Round(x*1000) / 1000 }

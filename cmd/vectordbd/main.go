@@ -5,11 +5,17 @@
 //
 //	vectordbd [-addr :19530] [-data DIR] [-query-timeout 0]
 //	          [-batch-window 0] [-batch-size 0]
+//	          [-tier-dir DIR] [-cache-mb 256] [-tier-mapped-mb 0]
 //
 // With -data, segments persist to the directory; otherwise storage is
 // in-memory. -query-timeout bounds each search request (0 = unbounded).
 // -batch-window bounds the server-side dynamic-batching window (0 = engine
 // default, negative disables batching); -batch-size caps a formed batch.
+// With -tier-dir, sealed segments live out of core: vector payloads move
+// into mmap-backed extent files under the directory, cold extents spill to
+// the object store, and scans run through a shared block cache capped at
+// -cache-mb MiB. -tier-mapped-mb bounds the summed mmap'd bytes per
+// collection (0 = unlimited; the LRU demotes extents past the budget).
 package main
 
 import (
@@ -28,6 +34,9 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 0, "per-search deadline (0 = none)")
 	batchWindow := flag.Duration("batch-window", 0, "dynamic-batching window ceiling (0 = engine default, <0 disables)")
 	batchSize := flag.Int("batch-size", 0, "formed-batch size cap (0 = engine default)")
+	tierDir := flag.String("tier-dir", "", "out-of-core extent directory (empty = segments stay in RAM)")
+	cacheMB := flag.Int64("cache-mb", 256, "shared block-cache capacity in MiB (with -tier-dir)")
+	mappedMB := flag.Int64("tier-mapped-mb", 0, "per-collection mmap budget in MiB (0 = unlimited, with -tier-dir)")
 	flag.Parse()
 
 	var store objstore.Store
@@ -40,6 +49,14 @@ func main() {
 	}
 	db := core.NewDB(store)
 	defer db.Close()
+	if *tierDir != "" {
+		db.EnableTiering(core.TierDefaults{
+			Dir:         *tierDir,
+			CacheBytes:  *cacheMB << 20,
+			MappedBytes: *mappedMB << 20,
+		})
+		log.Printf("vectordbd tiering: extents under %s, cache %d MiB", *tierDir, *cacheMB)
+	}
 
 	srv := rest.NewServerWithConfig(db, rest.ServerConfig{
 		QueryTimeout: *queryTimeout,

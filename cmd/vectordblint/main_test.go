@@ -67,7 +67,7 @@ func TestDriverEndToEnd(t *testing.T) {
 	if code := exitCode(err); code != 0 {
 		t.Fatalf("-list: exit %d, want 0\n%s", code, out)
 	}
-	for _, name := range []string{"poolfree", "ctxflow", "kerneldispatch", "lockdiscipline", "atomicmix", "metricreg"} {
+	for _, name := range []string{"poolfree", "blockpin", "ctxflow", "kerneldispatch", "lockdiscipline", "atomicmix", "metricreg"} {
 		if !strings.Contains(string(out), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out)
 		}

@@ -1,0 +1,295 @@
+// Package blockcache is the capacity-bounded block cache behind
+// out-of-core sealed-segment scans. Keys name a 256-row block of one
+// extent of one owner (segment); values are immutable byte blocks loaded
+// once via per-key singleflight and shared by every concurrent scan.
+//
+// Design points, in the order they matter for correctness:
+//
+//   - Pins. GetOrLoad returns a Pin holding a refcount on the entry; the
+//     block's bytes are guaranteed stable and resident until Release. An
+//     in-flight scan therefore never races eviction — eviction skips
+//     pinned entries, going transiently over capacity if everything is
+//     pinned rather than invalidating live views.
+//   - Singleflight. A miss inserts a loading placeholder under the shard
+//     lock; concurrent getters for the same key block on its ready
+//     channel instead of issuing duplicate loads (one objstore fetch per
+//     cold block no matter how many queries arrive at once).
+//   - Sharding. Keys hash across shards, each with its own lock, map and
+//     intrusive LRU list, so concurrent scans of different segments do
+//     not serialize on one mutex.
+//
+// The cache holds bytes, not typed slices: loaders that want in-place
+// float32 views allocate float-backed blocks (colstore.FloatsToBytes) so
+// alignment is guaranteed by construction.
+package blockcache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Key names one cached block. Owner is a caller-scoped namespace (segment
+// ID), Ext distinguishes extents within the owner (kind/field packed by
+// the caller), Block is the block index within the extent.
+type Key struct {
+	Owner uint64
+	Ext   uint32
+	Block uint32
+}
+
+// entry is one cached block. All fields except ready's close are guarded
+// by the shard mutex; data and err are written once before ready closes
+// and are immutable afterwards.
+type entry struct {
+	key        Key
+	data       []byte
+	ready      chan struct{} // closed when the load completes (either way)
+	loaded     bool          // data is valid
+	dead       bool          // removed from the map while pinned (Drop)
+	refs       int
+	prev, next *entry // intrusive LRU; linked only when loaded
+	linked     bool
+}
+
+// Pin is a live reference to a cached block. It is a small value type —
+// copying it is cheap but only one Release per GetOrLoad is allowed.
+// Bytes stays valid until Release. The zero Pin is a no-op.
+type Pin struct {
+	e *entry
+	s *shard
+}
+
+// Bytes returns the pinned block. Callers must not mutate it.
+func (p Pin) Bytes() []byte {
+	if p.e == nil {
+		return nil
+	}
+	return p.e.data
+}
+
+// Release drops the pin. The block may be evicted afterwards.
+func (p Pin) Release() {
+	if p.e == nil {
+		return
+	}
+	p.s.mu.Lock()
+	p.e.refs--
+	if p.e.dead && p.e.refs == 0 {
+		// Dropped while pinned: reclaim now that the last pin is gone.
+		p.s.unlink(p.e)
+		p.s.bytes -= int64(len(p.e.data))
+	}
+	p.s.mu.Unlock()
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+	// LRU list: head.next is most-recent, head.prev is least-recent.
+	head  entry
+	bytes int64
+}
+
+func (s *shard) init() {
+	s.entries = make(map[Key]*entry)
+	s.head.next, s.head.prev = &s.head, &s.head
+}
+
+func (s *shard) unlink(e *entry) {
+	if e.linked {
+		e.prev.next, e.next.prev = e.next, e.prev
+		e.prev, e.next, e.linked = nil, nil, false
+	}
+}
+
+func (s *shard) pushFront(e *entry) {
+	e.prev, e.next = &s.head, s.head.next
+	s.head.next.prev = e
+	s.head.next = e
+	e.linked = true
+}
+
+// Stats is a point-in-time snapshot of cache counters. Hits count
+// arrivals that found the block present or already loading (a
+// singleflight wait still avoids a duplicate fetch); misses count
+// arrivals that had to start a load.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	LoadFails int64
+	Bytes     int64
+	Entries   int64
+}
+
+// Cache is a sharded LRU block cache. Capacity is a global byte budget
+// divided evenly across shards.
+type Cache struct {
+	shards   []shard
+	perShard int64
+	capacity int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	loadFails atomic.Int64
+}
+
+// New creates a cache with the given capacity in bytes and shard count.
+// capacity <= 0 means unbounded (nothing is ever evicted); shards <= 0
+// picks a default of 8.
+func New(capacity int64, shards int) *Cache {
+	if shards <= 0 {
+		shards = 8
+	}
+	c := &Cache{shards: make([]shard, shards)}
+	for i := range c.shards {
+		c.shards[i].init()
+	}
+	if capacity > 0 {
+		c.capacity = capacity
+		c.perShard = capacity / int64(shards)
+		if c.perShard == 0 {
+			c.perShard = 1
+		}
+	}
+	return c
+}
+
+// Capacity returns the configured byte budget (0 = unbounded).
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+func (c *Cache) shardFor(k Key) *shard {
+	// FNV-1a over the key fields; cheap and well-spread for dense block
+	// indices.
+	h := uint64(14695981039346656037)
+	for _, v := range [...]uint64{k.Owner, uint64(k.Ext), uint64(k.Block)} {
+		h ^= v
+		h *= 1099511628211
+	}
+	return &c.shards[h%uint64(len(c.shards))]
+}
+
+// GetOrLoad returns a pinned view of the block for k, invoking load at
+// most once per residency to produce it. The returned Pin must be
+// released on every path (the blockpin analyzer enforces this). On load
+// failure the error is returned, nothing is cached, and waiting getters
+// retry (one of them becomes the next loader).
+func (c *Cache) GetOrLoad(k Key, load func() ([]byte, error)) (Pin, error) {
+	s := c.shardFor(k)
+	for {
+		s.mu.Lock()
+		if e, ok := s.entries[k]; ok {
+			if e.loaded {
+				e.refs++
+				s.unlink(e)
+				s.pushFront(e)
+				s.mu.Unlock()
+				c.hits.Add(1)
+				return Pin{e: e, s: s}, nil
+			}
+			// Load in flight: wait, then re-check from scratch (the entry
+			// is removed on load failure).
+			ready := e.ready
+			s.mu.Unlock()
+			c.hits.Add(1)
+			<-ready
+			continue
+		}
+		// Miss: install a loading placeholder and release the lock for
+		// the load itself.
+		e := &entry{key: k, ready: make(chan struct{})}
+		s.entries[k] = e
+		s.mu.Unlock()
+		c.misses.Add(1)
+
+		data, err := load()
+		s.mu.Lock()
+		if err != nil {
+			if s.entries[k] == e {
+				delete(s.entries, k)
+			}
+			s.mu.Unlock()
+			close(e.ready)
+			c.loadFails.Add(1)
+			return Pin{}, err
+		}
+		e.data = data
+		e.loaded = true
+		e.refs = 1
+		s.bytes += int64(len(data)) // Release reclaims this for dead entries
+		if s.entries[k] == e {
+			s.pushFront(e)
+			c.evictLocked(s)
+		} else {
+			// Dropped while loading: serve this pin, cache nothing.
+			e.dead = true
+		}
+		s.mu.Unlock()
+		close(e.ready)
+		return Pin{e: e, s: s}, nil
+	}
+}
+
+// evictLocked walks the LRU from least-recent, dropping unpinned resident
+// entries until the shard is within budget. Pinned entries are skipped —
+// capacity is a target, not a hard guarantee, while scans hold pins.
+func (c *Cache) evictLocked(s *shard) {
+	for c.perShard > 0 && s.bytes > c.perShard {
+		e := s.head.prev
+		for e != &s.head && e.refs > 0 {
+			e = e.prev
+		}
+		if e == &s.head {
+			return // everything pinned
+		}
+		s.unlink(e)
+		if s.entries[e.key] == e {
+			delete(s.entries, e.key)
+		}
+		s.bytes -= int64(len(e.data))
+		c.evictions.Add(1)
+	}
+}
+
+// Drop removes every block belonging to owner (segment GC or demotion
+// invalidation): unpinned blocks are reclaimed immediately, pinned ones
+// are detached from the map (new gets reload fresh) and reclaimed when
+// their last pin releases.
+func (c *Cache) Drop(owner uint64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k, e := range s.entries {
+			if k.Owner != owner || !e.loaded {
+				continue
+			}
+			delete(s.entries, k)
+			if e.refs == 0 {
+				s.unlink(e)
+				s.bytes -= int64(len(e.data))
+			} else {
+				e.dead = true
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Stats returns current counters.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		LoadFails: c.loadFails.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Bytes += s.bytes
+		st.Entries += int64(len(s.entries))
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,246 @@
+package blockcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func blockBytes(n int, fill byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestGetOrLoadBasics(t *testing.T) {
+	c := New(1<<20, 4)
+	loads := 0
+	load := func() ([]byte, error) { loads++; return blockBytes(64, 7), nil }
+
+	p, err := c.GetOrLoad(Key{Owner: 1, Block: 0}, load)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if len(p.Bytes()) != 64 || p.Bytes()[0] != 7 {
+		t.Fatalf("wrong bytes: %v", p.Bytes()[:4])
+	}
+	p.Release()
+
+	p2, err := c.GetOrLoad(Key{Owner: 1, Block: 0}, load)
+	if err != nil {
+		t.Fatalf("second get: %v", err)
+	}
+	p2.Release()
+
+	if loads != 1 {
+		t.Fatalf("loader ran %d times, want 1", loads)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Bytes != 64 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSingleflight(t *testing.T) {
+	c := New(1<<20, 1)
+	var loads atomic.Int64
+	gate := make(chan struct{})
+	load := func() ([]byte, error) {
+		loads.Add(1)
+		<-gate
+		return blockBytes(32, 1), nil
+	}
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := c.GetOrLoad(Key{Owner: 3, Block: 9}, load)
+			errs[i] = err
+			if err == nil {
+				if len(p.Bytes()) != 32 {
+					errs[i] = errors.New("short block")
+				}
+				p.Release()
+			}
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("loader ran %d times under contention, want 1", n)
+	}
+}
+
+func TestEvictionRespectsCapacityAndPins(t *testing.T) {
+	c := New(256, 1) // room for 4 × 64-byte blocks
+	mk := func(i int) (Pin, error) {
+		return c.GetOrLoad(Key{Owner: 1, Block: uint32(i)}, func() ([]byte, error) {
+			return blockBytes(64, byte(i)), nil
+		})
+	}
+	// Hold a pin on block 0 while overflowing the budget.
+	p0, err := mk(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 10; i++ {
+		p, err := mk(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Release()
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions at 10×64B over a 256B budget: %+v", st)
+	}
+	if st.Bytes > 256+64 { // pinned block may hold one block over
+		t.Fatalf("bytes %d way over budget: %+v", st.Bytes, st)
+	}
+	// The pinned block must have survived every eviction pass.
+	hitsBefore := c.Stats().Hits
+	p0b, err := mk(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Hits != hitsBefore+1 {
+		t.Fatal("pinned block was evicted")
+	}
+	if p0b.Bytes()[0] != 0 {
+		t.Fatal("pinned block bytes changed")
+	}
+	p0b.Release()
+	p0.Release()
+}
+
+func TestLoadFailureNotCached(t *testing.T) {
+	c := New(1<<20, 2)
+	boom := errors.New("injected")
+	k := Key{Owner: 5, Block: 5}
+	if _, err := c.GetOrLoad(k, func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	st := c.Stats()
+	if st.LoadFails != 1 || st.Entries != 0 {
+		t.Fatalf("stats after failure: %+v", st)
+	}
+	// Next get retries and succeeds.
+	p, err := c.GetOrLoad(k, func() ([]byte, error) { return blockBytes(16, 2), nil })
+	if err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	p.Release()
+}
+
+func TestFailureWakesWaiters(t *testing.T) {
+	c := New(1<<20, 1)
+	k := Key{Owner: 6, Block: 1}
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	go func() {
+		_, _ = c.GetOrLoad(k, func() ([]byte, error) {
+			close(started)
+			<-gate
+			return nil, errors.New("first load fails")
+		})
+	}()
+	<-started
+	done := make(chan error, 1)
+	go func() {
+		// This waiter arrives mid-flight; after the failure it must retry
+		// with its own loader and succeed, not hang.
+		p, err := c.GetOrLoad(k, func() ([]byte, error) { return blockBytes(8, 9), nil })
+		if err == nil {
+			p.Release()
+		}
+		done <- err
+	}()
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("waiter after failed flight: %v", err)
+	}
+}
+
+func TestDropReclaims(t *testing.T) {
+	c := New(1<<20, 2)
+	var pinned Pin
+	for i := 0; i < 8; i++ {
+		p, err := c.GetOrLoad(Key{Owner: 7, Block: uint32(i)}, func() ([]byte, error) {
+			return blockBytes(128, 1), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 3 {
+			pinned = p
+		} else {
+			p.Release()
+		}
+	}
+	other, err := c.GetOrLoad(Key{Owner: 8, Block: 0}, func() ([]byte, error) {
+		return blockBytes(128, 2), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.Release()
+
+	c.Drop(7)
+	st := c.Stats()
+	// Owner 8's block plus owner 7's still-pinned block remain accounted.
+	if st.Entries != 1 || st.Bytes != 256 {
+		t.Fatalf("after drop: %+v", st)
+	}
+	if pinned.Bytes()[0] != 1 {
+		t.Fatal("pinned bytes invalidated by Drop")
+	}
+	pinned.Release()
+	if st := c.Stats(); st.Bytes != 128 {
+		t.Fatalf("pinned dead block not reclaimed on release: %+v", st)
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	c := New(4096, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				k := Key{Owner: uint64(i % 3), Ext: uint32(w % 2), Block: uint32(i % 17)}
+				p, err := c.GetOrLoad(k, func() ([]byte, error) {
+					if i%31 == 7 && w == 0 {
+						return nil, fmt.Errorf("churn fault %d", i)
+					}
+					return blockBytes(96, byte(i)), nil
+				})
+				if err != nil {
+					continue
+				}
+				_ = p.Bytes()[0]
+				p.Release()
+				if i%61 == 0 {
+					c.Drop(uint64(i % 3))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes < 0 || st.Entries < 0 {
+		t.Fatalf("negative accounting after churn: %+v", st)
+	}
+}

@@ -1,0 +1,22 @@
+package bufferpool
+
+// Pooled byte scratch slices for the out-of-core scan paths: block-cache
+// loaders and the code-shaped (SQ8) range sources stitch straddling
+// blocks into scratch that must not be a per-block allocation.
+
+var byteSlices = NewFree(func() *[]byte { return new([]byte) })
+
+// GetBytes returns a pooled byte slice of length n (contents undefined —
+// callers must overwrite before reading). Release it with PutBytes.
+func GetBytes(n int) *[]byte {
+	p := byteSlices.Get()
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// PutBytes recycles a slice obtained from GetBytes. The caller must not
+// use the slice afterwards.
+func PutBytes(p *[]byte) { byteSlices.Put(p) }

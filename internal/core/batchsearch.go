@@ -144,7 +144,13 @@ func (c *Collection) batchSegment(sn *Snapshot, seg *Segment, field int, metric 
 		}
 		return true
 	}
-	col := seg.Vectors[field]
+	data, rel, err := seg.vectorData(field)
+	if err != nil {
+		// Spill promotion exhausted its retries; the segment contributes
+		// nothing to this batch rather than torn results.
+		return false
+	}
+	defer rel()
 	m := len(items)
 	n := seg.Rows()
 	for i0 := 0; i0 < n; i0 += tileChunkRows {
@@ -153,7 +159,7 @@ func (c *Collection) batchSegment(sn *Snapshot, seg *Segment, field int, metric 
 			i1 = n
 		}
 		rows := i1 - i0
-		chunk := col.Data[i0*dim : i1*dim]
+		chunk := data[i0*dim : i1*dim]
 		t := tile[:m*rows]
 		if metric == vec.IP {
 			vec.NegDotTile(qs, chunk, dim, t)

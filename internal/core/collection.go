@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 
 	"vectordb/internal/batchform"
 	"vectordb/internal/bitset"
+	"vectordb/internal/blockcache"
 	"vectordb/internal/colstore"
 	"vectordb/internal/exec"
 	"vectordb/internal/index"
@@ -71,6 +73,24 @@ type Config struct {
 	// BatchClock injects the former's time source; nil means the wall
 	// clock. Tests pass batchform.NewFake for deterministic triggers.
 	BatchClock batchform.Clock
+	// TierDir enables out-of-core sealed segments when non-empty: each
+	// sealed segment's columns are written as one mmap-backed extent file
+	// under this directory, vector payloads are dropped from the Go heap,
+	// and scans fault 256-row blocks through the block cache. Empty keeps
+	// the all-RAM behaviour.
+	TierDir string
+	// TierCache is the block cache serving tiered scans; nil with TierDir
+	// set creates a collection-private cache of TierCacheBytes capacity
+	// (0 = unbounded) and registers its vectordb_blockcache_* series.
+	TierCache      *blockcache.Cache
+	TierCacheBytes int64
+	// TierSpill is the cold-tier store extent files demote to; nil means
+	// the collection's own object store.
+	TierSpill objstore.Store
+	// TierMappedBytes bounds the summed size of mmap'd extent files; when
+	// exceeded, the least-recently-used unpinned mapped segments demote to
+	// cold. 0 keeps every tiered segment mapped.
+	TierMappedBytes int64
 }
 
 func (c *Config) defaults() {
@@ -125,6 +145,8 @@ type Collection struct {
 	pool   *exec.Pool
 	former *batchform.Former // nil when dynamic batching is disabled
 
+	tier *collTier // nil when tiering is off
+
 	mu       sync.Mutex // guards mem, nextSeg/nextSnap, flushErr, snapshot installs
 	mem      *memTable
 	nextSeg  int64
@@ -166,13 +188,47 @@ func NewCollection(name string, schema Schema, store objstore.Store, cfg Config)
 		indexCh:   make(chan *Segment, 64),
 		stopTimer: make(chan struct{}),
 	}
+	if cfg.TierDir != "" {
+		cache := cfg.TierCache
+		if cache == nil {
+			cache = blockcache.New(cfg.TierCacheBytes, 0)
+			// A private cache's series carry the collection label; a shared
+			// cache is registered once by whoever created it.
+			cfg.Obs.RegisterCacheMetrics("vectordb_blockcache", func() obs.CacheStats {
+				st := cache.Stats()
+				return obs.CacheStats{
+					Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
+					Bytes: st.Bytes, Entries: st.Entries, Detail: true,
+				}
+			}, "collection", name)
+		}
+		spill := cfg.TierSpill
+		if spill == nil {
+			spill = store
+		}
+		c.tier = &collTier{
+			dir:    filepath.Join(cfg.TierDir, name),
+			cache:  cache,
+			spill:  spill,
+			budget: cfg.TierMappedBytes,
+			met:    c.met,
+			segs:   map[uint64]*segTier{},
+		}
+	}
 	c.snaps = newSnapTracker(func(seg *Segment) {
-		// Background GC of obsolete segments (Sec. 5.2): drop the data blob
-		// and any persisted per-field indexes.
+		// Background GC of obsolete segments (Sec. 5.2): drop the data blob,
+		// any persisted per-field indexes, and the tiered extent storage
+		// (local file, cached blocks, spill object).
 		key := c.segmentKey(seg.ID)
 		_ = c.store.Delete(key)
 		for f := range schema.VectorFields {
 			_ = c.store.Delete(IndexKey(key, f))
+		}
+		if seg.tier != nil {
+			seg.tier.destroy()
+		}
+		for _, t := range seg.idxTiers() {
+			t.destroy()
 		}
 		c.met.segGC.Inc()
 	})
@@ -418,6 +474,11 @@ func (c *Collection) buildSegment(rows []Entity) (*Segment, error) {
 	if err := c.store.Put(c.segmentKey(seg.ID), blob); err != nil {
 		return nil, fmt.Errorf("core: persist segment %d: %w", seg.ID, err)
 	}
+	if err := c.tierSegment(seg); err != nil {
+		// The flush path retries the whole seal on the next flush; nothing
+		// acknowledged is lost.
+		return nil, err
+	}
 	c.met.segBuilt.Inc()
 	return seg, nil
 }
@@ -474,6 +535,7 @@ func (c *Collection) buildSegmentIndexes(seg *Segment) {
 			continue
 		}
 		c.persistIndex(seg, f)
+		c.tierIndexPayload(seg, f)
 	}
 }
 
@@ -495,6 +557,7 @@ func (c *Collection) BuildIndex(fieldName, indexType string, params map[string]s
 			return err
 		}
 		c.persistIndex(seg, f)
+		c.tierIndexPayload(seg, f)
 	}
 	return nil
 }
@@ -739,8 +802,15 @@ func (c *Collection) Get(id int64) (*Entity, bool) {
 		}
 		e := &Entity{ID: id}
 		for f := range c.schema.VectorFields {
-			v := seg.Vectors[f].Row(int(p))
-			e.Vectors = append(e.Vectors, append([]float32(nil), v...))
+			rowAt, rel, err := seg.vectorRows(f)
+			if err != nil {
+				// Spill promotion exhausted its retries; the row is not
+				// readable right now. Treat as absent rather than torn.
+				return nil, false
+			}
+			v := append([]float32(nil), rowAt(int(p))...)
+			rel()
+			e.Vectors = append(e.Vectors, v)
 		}
 		for a := range c.schema.AttrFields {
 			e.Attrs = append(e.Attrs, seg.RawAttrs[a][p])

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"vectordb/internal/blockcache"
 	"vectordb/internal/exec"
 	"vectordb/internal/objstore"
 	"vectordb/internal/obs"
@@ -24,6 +25,12 @@ type DB struct {
 
 	mu          sync.RWMutex
 	collections map[string]*Collection
+
+	// tier/tierCache are the database-wide out-of-core defaults installed
+	// by EnableTiering; collections created without their own tier settings
+	// inherit them, sharing one block cache.
+	tier      TierDefaults
+	tierCache *blockcache.Cache
 }
 
 // NewDB creates a database over store (in-memory store when nil).
@@ -83,6 +90,40 @@ func registerRuntimeMetrics(reg *obs.Registry) {
 // distributed deployment).
 func (db *DB) Store() objstore.Store { return db.store }
 
+// TierDefaults is the database-wide out-of-core configuration: collections
+// created without their own tier settings inherit it, so one block-cache
+// capacity bound holds across the whole process.
+type TierDefaults struct {
+	Dir         string // extent-file root; one subdirectory per collection
+	CacheBytes  int64  // shared block-cache capacity (0 = cache default)
+	MappedBytes int64  // per-collection mapped-bytes budget (0 = unlimited)
+}
+
+// EnableTiering installs database-wide out-of-core defaults. Every
+// collection created afterwards without explicit tier settings seals its
+// segments into mmap-backed extent files under Dir/<collection>, spills
+// cold extents into the database's object store, and serves blocked scans
+// from one shared capacity-bounded block cache, whose series are
+// registered here — once, unlabeled by collection — on the database's
+// registry. A second call, or a call with an empty Dir, is a no-op.
+func (db *DB) EnableTiering(d TierDefaults) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.tierCache != nil || d.Dir == "" {
+		return
+	}
+	cache := blockcache.New(d.CacheBytes, 0)
+	db.reg.RegisterCacheMetrics("vectordb_blockcache", func() obs.CacheStats {
+		st := cache.Stats()
+		return obs.CacheStats{
+			Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
+			Bytes: st.Bytes, Entries: st.Entries, Detail: true,
+		}
+	}, "scope", "db")
+	db.tier = d
+	db.tierCache = cache
+}
+
 // CreateCollection creates and registers a collection.
 func (db *DB) CreateCollection(name string, schema Schema, cfg Config) (*Collection, error) {
 	db.mu.Lock()
@@ -98,6 +139,13 @@ func (db *DB) CreateCollection(name string, schema Schema, cfg Config) (*Collect
 	}
 	if cfg.Exec == nil {
 		cfg.Exec = db.pool
+	}
+	if db.tierCache != nil && cfg.TierDir == "" {
+		cfg.TierDir = db.tier.Dir
+		cfg.TierCache = db.tierCache
+		if cfg.TierMappedBytes == 0 {
+			cfg.TierMappedBytes = db.tier.MappedBytes
+		}
 	}
 	c, err := NewCollection(name, schema, db.store, cfg)
 	if err != nil {

@@ -156,7 +156,26 @@ func (c *Collection) searchFused(ctx context.Context, sn *Snapshot, fq []float32
 				continue
 			}
 			// Unindexed fused scan: aggregate per-field distances row by
-			// row (identical to scanning the concatenation).
+			// row (identical to scanning the concatenation). Tiered
+			// segments pin their mapping per field for the sweep.
+			rows := make([]func(int) []float32, len(c.schema.VectorFields))
+			rels := make([]func(), 0, len(rows))
+			readable := true
+			for f := range rows {
+				rowAt, rel, err := seg.vectorRows(f)
+				if err != nil {
+					readable = false
+					break
+				}
+				rows[f] = rowAt
+				rels = append(rels, rel)
+			}
+			if !readable {
+				for _, rel := range rels {
+					rel()
+				}
+				continue
+			}
 			dist := m.Dist()
 			h := topk.New(p.K)
 			for r := 0; r < seg.Rows(); r++ {
@@ -168,10 +187,13 @@ func (c *Collection) searchFused(ctx context.Context, sn *Snapshot, fq []float32
 				off := 0
 				for f := range c.schema.VectorFields {
 					fd := c.schema.VectorFields[f].Dim
-					d += dist(fq[off:off+fd], seg.Vectors[f].Row(r))
+					d += dist(fq[off:off+fd], rows[f](r))
 					off += fd
 				}
 				h.Push(id, d)
+			}
+			for _, rel := range rels {
+				rel()
 			}
 			results[i] = h.Results()
 		}

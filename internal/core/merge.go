@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/bits"
 
 	"vectordb/internal/colstore"
@@ -125,6 +126,27 @@ func (c *Collection) mergeSegments(group []*Segment, sn *Snapshot) (*Segment, er
 	raw := make([][]int64, len(c.schema.AttrFields))
 	rawCats := make([][]string, len(c.schema.CatFields))
 	for _, s := range group {
+		// Pin the source segment's storage once per field for the whole
+		// copy (tiered members fault their extents in; hot members hand
+		// out resident rows).
+		rows := make([]func(int) []float32, len(data))
+		rels := make([]func(), 0, len(data))
+		var rowErr error
+		for f := range data {
+			rowAt, rel, err := s.vectorRows(f)
+			if err != nil {
+				rowErr = err
+				break
+			}
+			rows[f] = rowAt
+			rels = append(rels, rel)
+		}
+		if rowErr != nil {
+			for _, rel := range rels {
+				rel()
+			}
+			return nil, fmt.Errorf("core: merge segment %d: %w", s.ID, rowErr)
+		}
 		for r := 0; r < s.Rows(); r++ {
 			id := s.IDs[r]
 			if sn.deletedCovers(id, s.ID) {
@@ -132,7 +154,7 @@ func (c *Collection) mergeSegments(group []*Segment, sn *Snapshot) (*Segment, er
 			}
 			seg.IDs = append(seg.IDs, id)
 			for f := range data {
-				data[f] = append(data[f], s.Vectors[f].Row(r)...)
+				data[f] = append(data[f], rows[f](r)...)
 			}
 			for a := range raw {
 				raw[a] = append(raw[a], s.RawAttrs[a][r])
@@ -140,6 +162,9 @@ func (c *Collection) mergeSegments(group []*Segment, sn *Snapshot) (*Segment, er
 			for cf := range rawCats {
 				rawCats[cf] = append(rawCats[cf], s.RawCats[cf][r])
 			}
+		}
+		for _, rel := range rels {
+			rel()
 		}
 	}
 	if len(seg.IDs) == 0 {
@@ -156,6 +181,9 @@ func (c *Collection) mergeSegments(group []*Segment, sn *Snapshot) (*Segment, er
 		return nil, err
 	}
 	if err := c.store.Put(c.segmentKey(seg.ID), blob); err != nil {
+		return nil, err
+	}
+	if err := c.tierSegment(seg); err != nil {
 		return nil, err
 	}
 	return seg, nil

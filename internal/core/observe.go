@@ -29,6 +29,13 @@ type colMetrics struct {
 	segIndex *obs.Counter // per-query segments served by an index
 	segScan  *obs.Counter // per-query segments served by brute-force scan
 
+	tierSealed         *obs.Counter // segments written as extent files at seal
+	tierIdxSealed      *obs.Counter // IVF index payloads externalized to extent files
+	tierPromotes       *obs.Counter // cold→mapped transitions (incl. fresh maps)
+	tierPromoteRetries *obs.Counter // spill fetch attempts beyond the first
+	tierPromoteErrs    *obs.Counter // promotions that exhausted their retries
+	tierDemotes        *obs.Counter // mapped→cold transitions
+
 	queryLatency *obs.Histogram // end-to-end query latency, all query types
 
 	idx *index.Metrics // per-index-type build/search telemetry
@@ -48,8 +55,16 @@ func newColMetrics(reg *obs.Registry, name string) *colMetrics {
 		segGC:        reg.Counter("vectordb_segment_gc_total", "collection", name),
 		segIndex:     reg.Counter("vectordb_query_segments_total", "collection", name, "path", "index"),
 		segScan:      reg.Counter("vectordb_query_segments_total", "collection", name, "path", "scan"),
-		queryLatency: reg.Histogram("vectordb_query_latency_seconds", nil, "collection", name),
-		idx:          index.NewMetrics(reg),
+		tierSealed:   reg.Counter("vectordb_tier_sealed_total", "collection", name),
+		tierIdxSealed: reg.Counter(
+			"vectordb_tier_index_sealed_total", "collection", name),
+		tierPromotes: reg.Counter("vectordb_tier_promote_total", "collection", name),
+		tierPromoteRetries: reg.Counter(
+			"vectordb_tier_promote_retries_total", "collection", name),
+		tierPromoteErrs: reg.Counter("vectordb_tier_promote_errors_total", "collection", name),
+		tierDemotes:     reg.Counter("vectordb_tier_demote_total", "collection", name),
+		queryLatency:    reg.Histogram("vectordb_query_latency_seconds", nil, "collection", name),
+		idx:             index.NewMetrics(reg),
 	}
 }
 

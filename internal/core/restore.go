@@ -58,6 +58,14 @@ func RestoreCollection(name string, schema Schema, store objstore.Store, cfg Con
 		if seg.ID > maxID {
 			maxID = seg.ID
 		}
+		// A tiered restore re-seals the segment out of core immediately:
+		// the unmarshaled columns exist only long enough to write (or
+		// re-adopt) the extent file, so a reader restoring a dataset much
+		// larger than RAM never holds it resident.
+		if err := c.tierSegment(seg); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("core: restore %s: %w", key, err)
+		}
 		segs = append(segs, seg)
 	}
 	del := make(map[int64]int64, len(deleted))

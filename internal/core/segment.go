@@ -35,6 +35,18 @@ type Segment struct {
 	indexMu sync.RWMutex
 	indexes []index.Index // per vector field; nil = unindexed (brute scan)
 	fused   index.Index   // optional index over concatenated vector fields
+
+	// tier, when set, is the out-of-core residency state machine: the
+	// vector payloads live in an mmap-backed extent file (and the spill
+	// store) instead of Vectors[f].Data, and every read goes through the
+	// vectorSource/vectorData/vectorRows accessors. Nil = hot (all-RAM).
+	tier *segTier
+
+	// tierIdx maps vector field → the externalized IVF payload tier (the
+	// index's build-order fine payload in its own extent file). Destroyed
+	// with the segment.
+	tierIdxMu sync.Mutex
+	tierIdx   map[int]*segTier
 }
 
 // Rows returns the segment's row count.
@@ -63,13 +75,24 @@ func (s *Segment) posOf(id int64) (int32, bool) {
 	return p, ok
 }
 
-// VectorByID returns the field vector of an entity, if present.
+// VectorByID returns the field vector of an entity, if present. Tiered
+// segments return a copy (the backing mapping is only pinned for the
+// lookup); hot segments return the resident row view.
 func (s *Segment) VectorByID(field int, id int64) ([]float32, bool) {
 	p, ok := s.posOf(id)
 	if !ok {
 		return nil, false
 	}
-	return s.Vectors[field].Row(int(p)), true
+	if s.tier == nil {
+		return s.Vectors[field].Row(int(p)), true
+	}
+	rowAt, rel, err := s.vectorRows(field)
+	if err != nil {
+		return nil, false
+	}
+	v := append([]float32(nil), rowAt(int(p))...)
+	rel()
+	return v, true
 }
 
 // AttrByID returns the attribute value of an entity, if present.
@@ -142,15 +165,32 @@ func (s *Segment) FusedIndex() index.Index {
 }
 
 // FusedData materializes the row-major concatenation of all vector fields.
+// Returns nil if a tiered segment's storage is unreadable (spill promotion
+// exhausted its retries).
 func (s *Segment) FusedData() []float32 {
 	total := 0
 	for _, v := range s.Vectors {
 		total += v.Dim
 	}
+	rows := make([]func(int) []float32, len(s.Vectors))
+	rels := make([]func(), 0, len(s.Vectors))
+	defer func() {
+		for _, rel := range rels {
+			rel()
+		}
+	}()
+	for f := range s.Vectors {
+		rowAt, rel, err := s.vectorRows(f)
+		if err != nil {
+			return nil
+		}
+		rows[f] = rowAt
+		rels = append(rels, rel)
+	}
 	out := make([]float32, 0, total*s.Rows())
 	for r := 0; r < s.Rows(); r++ {
-		for _, v := range s.Vectors {
-			out = append(out, v.Row(r)...)
+		for f := range s.Vectors {
+			out = append(out, rows[f](r)...)
 		}
 	}
 	return out
@@ -184,8 +224,22 @@ func (s *Segment) SearchInto(h *topk.Heap, schema *Schema, field int, query []fl
 		}
 		return
 	}
-	col := s.Vectors[field]
-	index.ScanBlocked(h, schema.VectorFields[field].Metric, query, col.Data, col.Dim, s.IDs, index.Selection{Bits: p.Bits, Filter: p.Filter})
+	sel := index.Selection{Bits: p.Bits, Filter: p.Filter}
+	if s.tier == nil {
+		// Resident path: call the slice kernel directly (no interface
+		// boxing — this path must stay allocation-free).
+		col := s.Vectors[field]
+		index.ScanBlocked(h, schema.VectorFields[field].Metric, query, col.Data, col.Dim, s.IDs, sel)
+		return
+	}
+	src, err := s.vectorSource(field)
+	if err != nil {
+		// Spill promotion exhausted its retries; this segment contributes
+		// nothing to the query rather than torn results.
+		return
+	}
+	index.ScanBlockedSource(h, schema.VectorFields[field].Metric, query, src, s.IDs, sel)
+	src.Release()
 }
 
 // BuildIndex builds (synchronously) an index of the named type over one
@@ -196,7 +250,12 @@ func (s *Segment) BuildIndex(schema *Schema, field int, indexType string, params
 	if err != nil {
 		return err
 	}
-	idx, err := b.Build(s.Vectors[field].Data, s.IDs)
+	data, rel, err := s.vectorData(field)
+	if err != nil {
+		return fmt.Errorf("core: segment %d field %q: %w", s.ID, f.Name, err)
+	}
+	idx, err := b.Build(data, s.IDs)
+	rel()
 	if err != nil {
 		return fmt.Errorf("core: segment %d field %q: %w", s.ID, f.Name, err)
 	}
@@ -206,8 +265,13 @@ func (s *Segment) BuildIndex(schema *Schema, field int, indexType string, params
 
 // Marshal serializes the segment's data (not its indexes) for the object
 // store: IDs, packed vector fields, raw attribute arrays (the sorted
-// columns with skip pointers are rebuilt on load).
+// columns with skip pointers are rebuilt on load). Only hot segments
+// marshal — sealing writes the blob before tiering drops the payloads; a
+// tiered segment's columnar record is its extent file.
 func (s *Segment) Marshal() ([]byte, error) {
+	if s.tier != nil {
+		return nil, fmt.Errorf("core: segment %d is tiered; marshal before tiering", s.ID)
+	}
 	packed, err := colstore.PackFields(s.Vectors)
 	if err != nil {
 		return nil, err

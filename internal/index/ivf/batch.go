@@ -34,6 +34,19 @@ func (x *IVF) SearchBatchCtx(ctx context.Context, queries []float32, p index.Sea
 	if nq == 0 {
 		return nil, ctx.Err()
 	}
+	if x.ext != nil {
+		// The shared-bucket tile path wants resident bucket payloads; an
+		// externalized index answers per query through the out-of-core
+		// scans (each of which opens the payload source once).
+		out := make([][]topk.Result, nq)
+		for qi := range out {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out[qi] = x.Search(queries[qi*x.dim:(qi+1)*x.dim], p)
+		}
+		return out, nil
+	}
 	// Step 1: probe order per query (itself a multi-query problem over the
 	// centroid table).
 	probes := make([][]int, nq)

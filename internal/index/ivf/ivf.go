@@ -224,6 +224,12 @@ type IVF struct {
 	pq        *quantizer.PQ
 	nprobeDef int
 	size      int
+
+	// ext, when non-nil, serves the fine payload out of core: vecs/codes
+	// are nil and bucket scans pull blocks through the provider. starts[b]
+	// is bucket b's first row within the build-order payload extent.
+	ext    PayloadExt
+	starts []int32
 }
 
 // Name implements index.Index.
@@ -309,6 +315,15 @@ func (x *IVF) ScanBucket(query []float32, bucket int, sel index.Selection, h *to
 			// may use the sorted-span block skip.
 			sel.Pos, sel.PosSorted = x.pos[bucket], true
 		}
+		if x.ext != nil {
+			src, err := x.ext.OpenFloats()
+			if err != nil {
+				return
+			}
+			x.scanBucketFlatSrc(src, query, bucket, sel, h)
+			src.Release()
+			return
+		}
 		index.ScanBlocked(h, x.metric, query, x.vecs[bucket], x.dim, x.ids[bucket], sel)
 	case FineSQ8:
 		x.ScanBucketSQ8(x.SQ8ScanQuery(query), bucket, sel, h)
@@ -330,6 +345,15 @@ func (x *IVF) SQ8ScanQuery(query []float32) *quantizer.SQ8Query {
 // dequantized floats), a block at a time into a pooled buffer, gated on the
 // heap's worst distance like every other scan path.
 func (x *IVF) ScanBucketSQ8(sq *quantizer.SQ8Query, bucket int, sel index.Selection, h *topk.Heap) {
+	if x.ext != nil {
+		src, err := x.ext.OpenBytes()
+		if err != nil {
+			return
+		}
+		x.scanBucketSQ8Src(sq, src, bucket, sel, h)
+		src.Release()
+		return
+	}
 	ids := x.ids[bucket]
 	codes := x.codes[bucket]
 	cs := x.sq8.CodeSize()
@@ -404,7 +428,9 @@ func (x *IVF) scanBucketPQ(tab *quantizer.ADCTable, bucket int, sel index.Select
 
 // Search implements index.Index. Per-query ADC tables (SQ8 fused, PQ) are
 // built once and reused across all probed buckets; the scratch heap is
-// pooled.
+// pooled. Externalized indexes open one payload source for the whole probe
+// sweep so the mapping is pinned (and the segment promoted) once per query
+// rather than once per bucket.
 func (x *IVF) Search(query []float32, p index.SearchParams) []topk.Result {
 	probes := x.ProbeOrder(query, p.Nprobe)
 	h := topk.GetHeap(p.K)
@@ -417,12 +443,34 @@ func (x *IVF) Search(query []float32, p index.SearchParams) []topk.Result {
 		}
 	case FineSQ8:
 		sq := x.SQ8ScanQuery(query)
-		for _, b := range probes {
-			x.ScanBucketSQ8(sq, b, sel, h)
+		if x.ext != nil {
+			if src, err := x.ext.OpenBytes(); err == nil {
+				for _, b := range probes {
+					x.scanBucketSQ8Src(sq, src, b, sel, h)
+				}
+				src.Release()
+			}
+		} else {
+			for _, b := range probes {
+				x.ScanBucketSQ8(sq, b, sel, h)
+			}
 		}
 	default:
-		for _, b := range probes {
-			x.ScanBucket(query, b, sel, h)
+		if x.ext != nil {
+			if src, err := x.ext.OpenFloats(); err == nil {
+				for _, b := range probes {
+					bsel := sel
+					if bsel.Bits != nil {
+						bsel.Pos, bsel.PosSorted = x.pos[b], true
+					}
+					x.scanBucketFlatSrc(src, query, b, bsel, h)
+				}
+				src.Release()
+			}
+		} else {
+			for _, b := range probes {
+				x.ScanBucket(query, b, sel, h)
+			}
 		}
 	}
 	out := h.Results()

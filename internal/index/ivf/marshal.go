@@ -147,8 +147,14 @@ func (r *blobReader) ids() []int64 {
 	return out
 }
 
-// MarshalIndex implements index.Marshaler.
+// MarshalIndex implements index.Marshaler. Externalized indexes refuse:
+// their payload lives in an extent file, and persistence must happen while
+// the built index is still resident (which is the order the core seal path
+// follows).
 func (x *IVF) MarshalIndex() ([]byte, error) {
+	if x.ext != nil {
+		return nil, fmt.Errorf("ivf: externalized index does not marshal; persist before externalizing")
+	}
 	w := &blobWriter{}
 	w.u32(ivfMagic)
 	w.u32(uint32(x.fine))

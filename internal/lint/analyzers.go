@@ -6,6 +6,7 @@ package lint
 func Defaults() []*Analyzer {
 	return []*Analyzer{
 		NewPoolFree(),
+		NewBlockPin(),
 		NewCtxFlow(),
 		NewKernelDispatch(),
 		NewLockDiscipline(),

@@ -20,6 +20,7 @@ type poolPair struct {
 var poolPairs = []poolPair{
 	{pkgSuffix: "internal/bufferpool", get: "GetFloats", put: "PutFloats", noun: "pooled buffer"},
 	{pkgSuffix: "internal/bufferpool", get: "GetInt32s", put: "PutInt32s", noun: "pooled row list"},
+	{pkgSuffix: "internal/bufferpool", get: "GetBytes", put: "PutBytes", noun: "pooled byte buffer"},
 	{pkgSuffix: "internal/bitset", get: "Get", put: "Put", noun: "pooled bitset"},
 	{pkgSuffix: "internal/topk", get: "GetHeap", put: "PutHeap", noun: "pooled heap"},
 }
@@ -64,10 +65,44 @@ func functionScopes(f *ast.File) []*ast.BlockStmt {
 	return scopes
 }
 
+// poolSpec abstracts one resource discipline over the shared release-flow
+// interpreter: how the resource reads in messages and what constitutes a
+// release. poolfree instantiates it per get/put pair; blockpin instantiates
+// it for blockcache pins (method acquire, method release).
+type poolSpec struct {
+	noun    string // what leaks, for messages
+	getDesc string // how the value was acquired, for messages
+	relDesc string // how to release it, for messages
+	// isRelease reports whether call releases the value held in v.
+	isRelease func(info *types.Info, call *ast.CallExpr, v types.Object) bool
+}
+
+// spec adapts a get/put pair to the shared flow: release is a call to the
+// pair's put function with the tracked value among its arguments.
+func (p poolPair) spec() poolSpec {
+	return poolSpec{
+		noun:    p.noun,
+		getDesc: p.get,
+		relDesc: p.pkgSuffix + "." + p.put,
+		isRelease: func(info *types.Info, call *ast.CallExpr, v types.Object) bool {
+			if !isCallTo(info, call, p.pkgSuffix, p.put) {
+				return false
+			}
+			for _, arg := range call.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == v {
+					return true
+				}
+			}
+			return false
+		},
+	}
+}
+
 // poolAcq is one tracked acquisition site.
 type poolAcq struct {
-	pair poolPair
+	spec poolSpec
 	v    types.Object    // the variable holding the pooled value
+	errv types.Object    // error result paired with the acquisition (nil if none)
 	stmt *ast.AssignStmt // the acquiring statement
 }
 
@@ -102,7 +137,7 @@ func checkPoolScope(pass *Pass, body *ast.BlockStmt) {
 					obj = pass.Info.Uses[id]
 				}
 				if obj != nil {
-					acqs = append(acqs, poolAcq{pair: pair, v: obj, stmt: n})
+					acqs = append(acqs, poolAcq{spec: pair.spec(), v: obj, stmt: n})
 				}
 			}
 		case *ast.ExprStmt:
@@ -116,14 +151,21 @@ func checkPoolScope(pass *Pass, body *ast.BlockStmt) {
 			}
 		}
 	})
+	flowAcqs(pass, body, acqs)
+}
+
+// flowAcqs runs the release-flow interpreter over a scope for each tracked
+// acquisition, reporting values still live when the scope falls off its
+// end. (Return-path leaks are reported by the interpreter itself.)
+func flowAcqs(pass *Pass, body *ast.BlockStmt, acqs []poolAcq) {
 	for _, acq := range acqs {
 		fl := &poolFlow{pass: pass, acq: acq}
 		st, term, _ := fl.flowList(body.List, pfState{})
 		// Falling off the end of the scope (void function or closure) with
 		// the value still live and unreleased is a leak too.
 		if !term && st.active && !st.freed && !st.escaped {
-			pass.Reportf(acq.stmt.Pos(), "%s from %s is not released before the function returns: call %s.%s or defer it",
-				acq.pair.noun, acq.pair.get, acq.pair.pkgSuffix, acq.pair.put)
+			pass.Reportf(acq.stmt.Pos(), "%s from %s is not released before the function returns: call %s or defer it",
+				acq.spec.noun, acq.spec.getDesc, acq.spec.relDesc)
 		}
 	}
 }
@@ -216,9 +258,9 @@ func (fl *poolFlow) flowStmt(s ast.Stmt, st pfState) (out pfState, terminated bo
 			if fl.usesValue(s) {
 				return st, true, nil // returned to the caller: ownership transfer
 			}
-			fl.pass.Reportf(s.Pos(), "%s from %s (line %d) is not released on this return path: call %s.%s or defer it after acquisition",
-				fl.acq.pair.noun, fl.acq.pair.get, fl.pass.Fset.Position(fl.acq.stmt.Pos()).Line,
-				fl.acq.pair.pkgSuffix, fl.acq.pair.put)
+			fl.pass.Reportf(s.Pos(), "%s from %s (line %d) is not released on this return path: call %s or defer it after acquisition",
+				fl.acq.spec.noun, fl.acq.spec.getDesc, fl.pass.Fset.Position(fl.acq.stmt.Pos()).Line,
+				fl.acq.spec.relDesc)
 		}
 		return st, true, nil
 
@@ -230,11 +272,22 @@ func (fl *poolFlow) flowStmt(s ast.Stmt, st pfState) (out pfState, terminated bo
 			st, _, _ = fl.flowStmt(s.Init, st)
 		}
 		st = fl.applyExprUses(s.Cond, st)
-		thenSt, thenTerm, thenBr := fl.flowList(s.Body.List, st)
-		elseSt, elseTerm := st, false
+		// Error-guard refinement for (value, err) acquisitions: on the
+		// `err != nil` branch the acquire failed and the tracked value is
+		// its zero value — releasing is a no-op, there is nothing to leak —
+		// so tracking stops on that branch (and symmetrically, `err == nil`
+		// stops tracking on the else branch).
+		thenEntry, elseEntry := st, st
+		if fl.errGuard(s.Cond, token.NEQ) {
+			thenEntry.active = false
+		} else if fl.errGuard(s.Cond, token.EQL) {
+			elseEntry.active = false
+		}
+		thenSt, thenTerm, thenBr := fl.flowList(s.Body.List, thenEntry)
+		elseSt, elseTerm := elseEntry, false
 		var elseBr []pfState
 		if s.Else != nil {
-			elseSt, elseTerm, elseBr = fl.flowStmt(s.Else, st)
+			elseSt, elseTerm, elseBr = fl.flowStmt(s.Else, elseEntry)
 		}
 		breaks = append(thenBr, elseBr...)
 		switch {
@@ -381,16 +434,16 @@ func (fl *poolFlow) flowCases(s ast.Stmt, st pfState) (pfState, bool, []pfState)
 }
 
 // deferReleases reports whether a defer statement releases the tracked
-// value: either `defer Put(v)` directly or `defer func() { ...; Put(v);
-// ... }()`.
+// value: either `defer Put(v)` / `defer v.Release()` directly or a defer
+// of a closure containing the release call.
 func (fl *poolFlow) deferReleases(d *ast.DeferStmt) bool {
-	if fl.isPutCall(d.Call) {
+	if fl.isReleaseCall(d.Call) {
 		return true
 	}
 	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
 		found := false
 		ast.Inspect(lit.Body, func(n ast.Node) bool {
-			if call, ok := n.(*ast.CallExpr); ok && fl.isPutCall(call) {
+			if call, ok := n.(*ast.CallExpr); ok && fl.isReleaseCall(call) {
 				found = true
 			}
 			return !found
@@ -400,16 +453,40 @@ func (fl *poolFlow) deferReleases(d *ast.DeferStmt) bool {
 	return false
 }
 
-func (fl *poolFlow) isPutCall(call *ast.CallExpr) bool {
-	if !isCallTo(fl.pass.Info, call, fl.acq.pair.pkgSuffix, fl.acq.pair.put) {
+func (fl *poolFlow) isReleaseCall(call *ast.CallExpr) bool {
+	return fl.acq.spec.isRelease(fl.pass.Info, call, fl.acq.v)
+}
+
+// errGuard reports whether cond compares the acquisition's paired error
+// against nil with the given operator (`err != nil` for NEQ, `err == nil`
+// for EQL).
+func (fl *poolFlow) errGuard(cond ast.Expr, op token.Token) bool {
+	if fl.acq.errv == nil {
 		return false
 	}
-	for _, arg := range call.Args {
-		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && fl.pass.Info.Uses[id] == fl.acq.v {
-			return true
-		}
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || b.Op != op {
+		return false
 	}
-	return false
+	x, y := ast.Unparen(b.X), ast.Unparen(b.Y)
+	if isNilExpr(fl.pass.Info, x) {
+		x, y = y, x
+	}
+	if !isNilExpr(fl.pass.Info, y) {
+		return false
+	}
+	id, ok := x.(*ast.Ident)
+	return ok && fl.pass.Info.Uses[id] == fl.acq.errv
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
 }
 
 // usesValue reports whether the statement mentions the tracked variable at
@@ -487,6 +564,13 @@ func (fl *poolFlow) classifyUse(stack []ast.Node, id *ast.Ident) useKind {
 		return usePlain // *v: reading through the pooled pointer
 	case *ast.SelectorExpr:
 		if p.X == id {
+			// v.Release() for a method-released resource frees it; every
+			// other field or method access is a plain read.
+			if len(stack) >= 2 {
+				if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == ast.Expr(p) && fl.isReleaseCall(call) {
+					return useFreed
+				}
+			}
 			return usePlain // v.field / v.Method(...)
 		}
 	case *ast.IndexExpr:
@@ -498,7 +582,7 @@ func (fl *poolFlow) classifyUse(stack []ast.Node, id *ast.Ident) useKind {
 	case *ast.CallExpr:
 		for _, arg := range p.Args {
 			if ast.Unparen(arg) == ast.Expr(id) {
-				if fl.isPutCall(p) {
+				if fl.isReleaseCall(p) {
 					return useFreed
 				}
 				return useEscape // handed to another function

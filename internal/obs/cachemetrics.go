@@ -1,0 +1,41 @@
+package obs
+
+// CacheStats is the scrape-time snapshot a cache exposes through
+// RegisterCacheMetrics. Hits and Misses are always meaningful; Evictions,
+// Bytes and Entries are registered only when Detail is set (simple caches
+// like the cluster reader's segment pool track just the hit ratio).
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Bytes     int64
+	Entries   int64
+	Detail    bool
+}
+
+// RegisterCacheMetrics registers the standard series family for one cache
+// under prefix (a vectordb_-namespaced literal at the call site):
+// <prefix>_hits_total and <prefix>_misses_total always, plus
+// <prefix>_evictions_total, <prefix>_bytes and <prefix>_entries when the
+// first snapshot reports Detail. Funcs rather than counters, so a cache
+// that is replaced wholesale (e.g. a reader rebuilt after a crash) keeps
+// its series pointing at the live instance — every cache in the process
+// shares this one registration shape.
+func (r *Registry) RegisterCacheMetrics(prefix string, stats func() CacheStats, labels ...string) {
+	if r == nil || stats == nil {
+		return
+	}
+	//lint:allow metricreg cache families compose literal vectordb_-prefixed call-site prefixes with fixed suffixes; one shared registration shape for every cache
+	r.CounterFunc(prefix+"_hits_total", func() int64 { return stats().Hits }, labels...)
+	//lint:allow metricreg see prefix rationale above
+	r.CounterFunc(prefix+"_misses_total", func() int64 { return stats().Misses }, labels...)
+	if !stats().Detail {
+		return
+	}
+	//lint:allow metricreg see prefix rationale above
+	r.CounterFunc(prefix+"_evictions_total", func() int64 { return stats().Evictions }, labels...)
+	//lint:allow metricreg see prefix rationale above
+	r.GaugeFunc(prefix+"_bytes", func() int64 { return stats().Bytes }, labels...)
+	//lint:allow metricreg see prefix rationale above
+	r.GaugeFunc(prefix+"_entries", func() int64 { return stats().Entries }, labels...)
+}

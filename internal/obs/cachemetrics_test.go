@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterCacheMetrics(t *testing.T) {
+	r := NewRegistry()
+	st := CacheStats{Hits: 3, Misses: 2, Evictions: 7, Bytes: 4096, Entries: 9, Detail: true}
+	r.RegisterCacheMetrics("vectordb_testcache", func() CacheStats { return st }, "cache", "c1")
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`vectordb_testcache_hits_total{cache="c1"} 3`,
+		`vectordb_testcache_misses_total{cache="c1"} 2`,
+		`vectordb_testcache_evictions_total{cache="c1"} 7`,
+		`vectordb_testcache_bytes{cache="c1"} 4096`,
+		`vectordb_testcache_entries{cache="c1"} 9`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Values are collected at scrape time, not registration time.
+	st.Hits = 10
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	if !strings.Contains(b.String(), `vectordb_testcache_hits_total{cache="c1"} 10`) {
+		t.Fatalf("scrape did not observe live hits:\n%s", b.String())
+	}
+}
+
+func TestRegisterCacheMetricsBasicShape(t *testing.T) {
+	r := NewRegistry()
+	// Detail=false registers only the hit/miss pair (the cluster-reader
+	// shape).
+	r.RegisterCacheMetrics("vectordb_simplecache", func() CacheStats {
+		return CacheStats{Hits: 1, Misses: 1}
+	})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "vectordb_simplecache_hits_total 1") {
+		t.Fatalf("hits missing:\n%s", out)
+	}
+	if strings.Contains(out, "vectordb_simplecache_bytes") || strings.Contains(out, "vectordb_simplecache_evictions_total") {
+		t.Fatalf("detail series registered for a basic cache:\n%s", out)
+	}
+
+	// Nil registry and nil stats func are both safe no-ops.
+	var nilReg *Registry
+	nilReg.RegisterCacheMetrics("vectordb_x", func() CacheStats { return CacheStats{} })
+	r.RegisterCacheMetrics("vectordb_y", nil)
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
@@ -38,6 +39,14 @@ type Config struct {
 	// Faults configures the injected object-store fault layer; the zero
 	// value runs fault-free.
 	Faults FaultConfig
+
+	// Spill arms the out-of-core mode: sealed segments tier into
+	// mmap-backed extent files under a run-private temp dir and spill to
+	// the (fault-injected) object store, a tight mapped-bytes budget keeps
+	// the LRU churning, and a background spiller goroutine force-demotes
+	// mapped segments throughout the run so live queries keep promoting
+	// cold segments back — through whatever faults are armed (default off).
+	Spill bool
 
 	// CancelRate is the probability that a searcher wraps a query in a
 	// context that is cancelled or times out mid-flight (default 0: off).
@@ -100,14 +109,16 @@ type Report struct {
 	FlushErrs  int64 // flushes that surfaced an (injected) error
 	IndexOps   int64 // manual index-build ops issued
 	Injected   int64 // faults injected by the store layer
+	Demoted    int64 // segments force-demoted by the spiller (Spill mode)
+	Tiered     int   // extent files under tier management at quiesce (Spill mode)
 	FinalCount int   // collection Count() after quiesce
 	Recall     float64
 	Violations []string
 }
 
 func (r *Report) String() string {
-	return fmt.Sprintf("inserted=%d deleted=%d searches=%d filtered=%d cancelled=%d flushes=%d flushErrs=%d injected=%d final=%d recall=%.3f violations=%d",
-		r.Inserted, r.Deleted, r.Searches, r.Filtered, r.Cancelled, r.Flushes, r.FlushErrs, r.Injected, r.FinalCount, r.Recall, len(r.Violations))
+	return fmt.Sprintf("inserted=%d deleted=%d searches=%d filtered=%d cancelled=%d flushes=%d flushErrs=%d injected=%d demoted=%d tiered=%d final=%d recall=%.3f violations=%d",
+		r.Inserted, r.Deleted, r.Searches, r.Filtered, r.Cancelled, r.Flushes, r.FlushErrs, r.Injected, r.Demoted, r.Tiered, r.FinalCount, r.Recall, len(r.Violations))
 }
 
 const (
@@ -127,7 +138,7 @@ type harness struct {
 	mu         sync.Mutex
 	violations []string
 
-	inserted, deleted, searches, filtered, cancelled, flushes, flushErrs, indexOps counter
+	inserted, deleted, searches, filtered, cancelled, flushes, flushErrs, indexOps, demoted counter
 }
 
 type counter struct {
@@ -176,7 +187,7 @@ func Run(cfg Config) (*Report, error) {
 	// reg (and the query log), searchers scrape concurrently, and quiesce
 	// cross-checks the harness's own accounting against the counters.
 	reg := obs.NewRegistry()
-	col, err := core.NewCollection("stress", schema, faults, core.Config{
+	ccfg := core.Config{
 		FlushRows:      64,
 		FlushInterval:  25 * time.Millisecond, // background flusher on: more interleavings
 		MergeFactor:    4,
@@ -186,7 +197,23 @@ func Run(cfg Config) (*Report, error) {
 		IndexParams:    map[string]string{"nlist": "8"},
 		Obs:            reg,
 		QueryLog:       obs.NewQueryLog(64, 32, time.Millisecond),
-	})
+	}
+	if cfg.Spill {
+		// Out-of-core mode: a run-private extent dir, a cache far smaller
+		// than the dataset the writers will grow, and a mapped-bytes budget
+		// of a few segments so the LRU demotes continuously even before the
+		// spiller piles on. TierSpill is left nil, so cold-tier traffic rides
+		// the same fault-injected store as segment blobs.
+		dir, err := os.MkdirTemp("", "vectordb-stress-tier-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		ccfg.TierDir = dir
+		ccfg.TierCacheBytes = 256 << 10
+		ccfg.TierMappedBytes = 512 << 10
+	}
+	col, err := core.NewCollection("stress", schema, faults, ccfg)
 	if err != nil {
 		return nil, err
 	}
@@ -210,6 +237,13 @@ func Run(cfg Config) (*Report, error) {
 			h.searcher(s)
 		}(s)
 	}
+	if cfg.Spill {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.spiller()
+		}()
+	}
 
 	time.Sleep(cfg.Duration)
 	close(h.done)
@@ -224,6 +258,7 @@ func Run(cfg Config) (*Report, error) {
 		Flushes:   h.flushes.get(),
 		FlushErrs: h.flushErrs.get(),
 		IndexOps:  h.indexOps.get(),
+		Demoted:   h.demoted.get(),
 	}
 	h.quiesce(states, rep)
 	if err := col.Close(); err != nil {
@@ -353,6 +388,24 @@ func (h *harness) searcher(s int) {
 				h.checkVector(who, id, e.Vectors[0])
 			}
 		}
+	}
+}
+
+// spiller applies memory pressure for the run's whole duration: every few
+// milliseconds it force-demotes all unpinned mapped segments to cold, so
+// concurrent searches, point gets and index builds keep promoting extent
+// files back from the (fault-injected) spill store. Demotion skips pinned
+// segments by design, so a count of zero on a tick is not a violation —
+// but across a run some demotions must land (asserted by the caller).
+func (h *harness) spiller() {
+	for {
+		select {
+		case <-h.done:
+			return
+		default:
+		}
+		time.Sleep(2 * time.Millisecond)
+		h.demoted.add(int64(h.col.DemoteSegments()))
 	}
 }
 
@@ -567,6 +620,17 @@ func (h *harness) quiesce(states []*writerState, rep *Report) {
 	// Counter accounting must be checked before recallCheck: its searches
 	// would advance the query counter past what rep recorded.
 	h.obsInvariants(rep)
+
+	// Every sealed segment must live out of core: seal tiers or fails, so
+	// fewer extent files than live segments means a segment escaped the
+	// tier (index-payload files can only push the count higher).
+	if h.cfg.Spill {
+		ts := h.col.TierStats()
+		rep.Tiered = ts.Tiered
+		if segs := h.col.Stats().Segments; segs > 0 && ts.Tiered < segs {
+			h.violate("quiesce: %d live segments but only %d tiered extent files", segs, ts.Tiered)
+		}
+	}
 
 	rep.Recall = h.recallCheck(rng, live)
 	if len(live) >= h.cfg.K && rep.Recall < h.cfg.RecallFloor {

@@ -13,8 +13,9 @@ var seedFlag = flag.Int64("seed", 1, "stress schedule seed")
 // -faults selects an extra fault mode for the dedicated fault tests
 // ("cancel" arms the context-cancellation mode in TestStressCancel even
 // under -short; "filtered" does the same for the attribute-filtered mode in
-// TestStressFiltered).
-var faultsFlag = flag.String("faults", "", `extra fault mode ("cancel", "filtered")`)
+// TestStressFiltered; "spill" for the out-of-core demotion mode in
+// TestStressSpill).
+var faultsFlag = flag.String("faults", "", `extra fault mode ("cancel", "filtered", "spill")`)
 
 // TestScheduleDeterminism: the acceptance contract is that the same -seed
 // yields the same operation schedule. The hash covers op kinds, batch sizes
@@ -187,6 +188,52 @@ func TestStressFiltered(t *testing.T) {
 	}
 }
 
+// TestStressSpill arms the out-of-core mode with the full fault layer:
+// sealed segments tier into mmap-backed extent files spilled through the
+// fault-injected store, a tight mapped-bytes budget keeps the LRU
+// demoting, and a background spiller force-demotes everything mapped every
+// few milliseconds — so concurrent searches, gets and index builds promote
+// cold segments back through failed and delayed spill reads for the whole
+// run. Quiesce must still account for every acknowledged write exactly.
+func TestStressSpill(t *testing.T) {
+	if testing.Short() && *faultsFlag != "spill" {
+		t.Skip("stress run skipped in -short mode (force with -faults=spill)")
+	}
+	dur := 2200 * time.Millisecond
+	if testing.Short() {
+		dur = 500 * time.Millisecond
+	}
+	rep, err := Run(Config{
+		Seed:      *seedFlag,
+		Writers:   4,
+		Searchers: 4,
+		Duration:  dur,
+		Spill:     true,
+		Faults: FaultConfig{
+			FailRate:  0.10,
+			TornRate:  0.05,
+			DelayRate: 0.20,
+			MaxDelay:  2 * time.Millisecond,
+		},
+	})
+	t.Logf("spill: %s", rep)
+	if err != nil {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatal(err)
+	}
+	if rep.Tiered == 0 {
+		t.Fatalf("no segments tiered: %s", rep)
+	}
+	if rep.Demoted == 0 {
+		t.Fatalf("spiller never demoted a segment: %s", rep)
+	}
+	if rep.Injected == 0 {
+		t.Fatal("fault layer injected nothing; spill promotions were not exercised under faults")
+	}
+}
+
 // TestStressSmoke is the fast path for plain `go test`: a short clean run
 // plus a short faulted run so every CI invocation exercises the harness.
 func TestStressSmoke(t *testing.T) {
@@ -198,6 +245,8 @@ func TestStressSmoke(t *testing.T) {
 			CancelRate: 0.5},
 		{Seed: *seedFlag, Writers: 2, Searchers: 2, Duration: 150 * time.Millisecond,
 			FilterRate: 0.5},
+		{Seed: *seedFlag, Writers: 2, Searchers: 2, Duration: 150 * time.Millisecond,
+			Spill: true, Faults: FaultConfig{FailRate: 0.1, DelayRate: 0.1}},
 	} {
 		rep, err := Run(cfg)
 		t.Logf("smoke: %s", rep)
