@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt lint bench bench-kernels bench-batchform bench-filter bench-ooc bench-smoke kernel-guard conformance-filter conformance-ooc ci cover stress experiments examples clean
+.PHONY: all build test race vet fmt lint bench bench-kernels bench-batchform bench-filter bench-ooc bench-plan bench-smoke kernel-guard conformance-filter conformance-ooc ci cover stress experiments examples clean
 
 all: build test
 
@@ -45,6 +45,7 @@ ci: vet fmt build lint test cover kernel-guard conformance-filter conformance-oo
 	$(GO) test -race ./internal/stress -run TestStressCancel -short -faults=cancel
 	$(GO) test -race ./internal/stress -run TestStressFiltered -short -faults=filtered
 	$(GO) test -race ./internal/stress -run TestStressSpill -short -faults=spill
+	$(GO) test -race ./internal/stress -run TestStressPlan -short -faults=plan
 	$(GO) test -race ./internal/core -run 'TestSearchCtx|TestAdmission'
 
 # conformance-ooc is the out-of-core ground-truth gate: tiered segments
@@ -90,6 +91,7 @@ bench-smoke:
 	$(GO) run ./cmd/benchbatchform -quick -o /dev/null
 	$(GO) run ./cmd/benchfilter -quick -o /dev/null
 	$(GO) run ./cmd/benchooc -quick -o /dev/null
+	$(GO) run ./cmd/benchplan -quick -o /dev/null
 
 # cover enforces a coverage floor on the observability layer: the metrics
 # registry, exposition writer, tracer and query log are the eyes of every
@@ -131,6 +133,14 @@ bench-filter:
 # payloads externalized (the tiered-storage companion artifact).
 bench-ooc:
 	$(GO) run ./cmd/benchooc -o BENCH_ooc.json
+
+# bench-plan regenerates BENCH_plan.json: the cost-based planner against
+# every static policy it replaces — placement (pure-CPU / pure-GPU /
+# always-hybrid on the virtual device clocks) swept over nq × residency,
+# and filter strategy (always-A / always-pushdown, wall-clock) swept over
+# selectivity × layout — reporting per-cell regret vs the best static.
+bench-plan:
+	$(GO) run ./cmd/benchplan -o BENCH_plan.json
 
 # bench-batchform regenerates BENCH_batchform.json: the batch former
 # coalescing live concurrent searches into tile batches vs the per-query

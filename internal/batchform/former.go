@@ -30,6 +30,10 @@ type Key struct {
 	Ef         int
 	SearchL    int
 	Filter     string
+	// Venue is the planner's placement decision for the query; queries may
+	// only share a batch when placed on the same venue, so a formed batch
+	// never mixes execution venues.
+	Venue string
 }
 
 // outcome is what a batch run delivers to one item.

@@ -3,10 +3,12 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"vectordb/internal/colstore"
 	"vectordb/internal/index"
 	"vectordb/internal/obs"
+	"vectordb/internal/plan"
 	"vectordb/internal/query"
 	"vectordb/internal/topk"
 )
@@ -161,7 +163,7 @@ func (v *MultiView) FieldDistance(field int, q []float32, id int64) (float32, bo
 }
 
 // SearchFiltered runs an attribute-filtered vector query using the
-// cost-based strategy D over the current snapshot — the default filtering
+// cost-based planner over the current snapshot — the default filtering
 // path of the public API and the REST server.
 func (c *Collection) SearchFiltered(queryVec []float32, attrName string, lo, hi int64, opts SearchOptions) ([]topk.Result, error) {
 	//lint:allow ctxflow ctx-less compat wrapper: public API without a context anchors at Background
@@ -171,6 +173,10 @@ func (c *Collection) SearchFiltered(queryVec []float32, attrName string, lo, hi 
 // SearchFilteredCtx is SearchFiltered with admission control and
 // cancellation: the chosen strategy's scans and sub-queries check ctx and
 // stop early; a cancelled query returns ctx's error, not partial results.
+// The filter strategy — pushdown (strategy B) vs attribute-first exact
+// scan (strategy A) — is picked per query by the calibrated planner from
+// the zone-map-estimated selectivity and the snapshot's physical shape,
+// replacing the static crossover.
 func (c *Collection) SearchFilteredCtx(ctx context.Context, queryVec []float32, attrName string, lo, hi int64, opts SearchOptions) ([]topk.Result, error) {
 	attr, err := c.schema.AttrFieldIndex(attrName)
 	if err != nil {
@@ -197,10 +203,12 @@ func (c *Collection) SearchFilteredCtx(ctx context.Context, queryVec []float32, 
 	src.Trace = opts.Trace
 	src.Ctx = ctx
 	defer src.Release()
-	res, _ := query.StrategyD(src,
+	t0 := time.Now()
+	res, _, dec := query.StrategyPlanned(c.planner, src,
 		query.RangeCond{Attr: attr, Lo: lo, Hi: hi},
-		query.VecCond{Field: field, Query: queryVec, K: opts.K, Nprobe: opts.Nprobe, Trace: opts.Trace, Ctx: ctx},
-		query.DefaultCostModel())
+		query.VecCond{Field: field, Query: queryVec, K: opts.K, Nprobe: opts.Nprobe, Trace: opts.Trace, Ctx: ctx})
+	annotatePlan(opts.Trace, dec)
+	c.planner.Observe(dec, time.Since(t0))
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -306,6 +314,12 @@ func (c *Collection) SearchCategoricalCtx(ctx context.Context, queryVec []float3
 		return nil, err
 	}
 	defer release()
+	field := 0
+	if opts.Field != "" {
+		if field, err = c.schema.VectorFieldIndex(opts.Field); err != nil {
+			return nil, err
+		}
+	}
 	src := c.Source()
 	src.Trace = tr
 	src.Ctx = ctx
@@ -315,21 +329,27 @@ func (c *Collection) SearchCategoricalCtx(ctx context.Context, queryVec []float3
 	filterSpan.AnnotateInt("rows", int64(len(rows)))
 	filterSpan.End()
 	if len(rows) == 0 {
+		tr.Annotate("plan", string(plan.StrategyPrefilter))
 		return nil, nil
 	}
-	// Highly selective postings: exact scan over the matches (strategy A's
-	// regime); otherwise bitmap-filtered vector search (strategy B).
-	if len(rows) <= opts.K*8 {
+	// The planner prices the exact scan over the postings matches
+	// (strategy A's regime) against the bitset pushdown (strategy B) from
+	// the postings' exact match count and the snapshot's physical shape.
+	fs := src.PlanFilterShape(field)
+	fs.Dim = c.schema.VectorFields[field].Dim
+	fs.K = opts.K
+	if opts.Nprobe > 0 {
+		fs.Nprobe = opts.Nprobe
+	}
+	fs.Matched = len(rows)
+	dec := c.planner.PickFilterStrategy(fs)
+	annotatePlan(tr, dec)
+	t0 := time.Now()
+	if dec.Strategy == plan.StrategyPrefilter {
 		tr.Annotate("filter_strategy", "A")
 		scan := tr.StartSpan("exact_scan")
 		defer scan.End()
 		h := topk.New(opts.K)
-		field := 0
-		if opts.Field != "" {
-			if field, err = c.schema.VectorFieldIndex(opts.Field); err != nil {
-				return nil, err
-			}
-		}
 		for i, id := range rows {
 			if i&255 == 0 {
 				if err := ctx.Err(); err != nil {
@@ -340,9 +360,11 @@ func (c *Collection) SearchCategoricalCtx(ctx context.Context, queryVec []float3
 				h.Push(id, d)
 			}
 		}
+		c.planner.Observe(dec, time.Since(t0))
 		return h.Results(), nil
 	}
 	tr.Annotate("filter_strategy", "B")
+	defer func() { c.planner.Observe(dec, time.Since(t0)) }()
 	// Wider postings: the IN-list compiles to per-segment bitsets pushed
 	// beneath the scans (postings → build positions, word-aligned).
 	pb, matched, total, err := src.compileSnapshotPred(colstore.InPred{Cat: cat, Values: values})

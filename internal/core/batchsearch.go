@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"vectordb/internal/batchform"
 	"vectordb/internal/bufferpool"
 	"vectordb/internal/index"
+	"vectordb/internal/plan"
 	"vectordb/internal/topk"
 	"vectordb/internal/vec"
 )
@@ -21,8 +23,9 @@ const tileChunkRows = 256
 
 // batchFormKey is the former's compatibility key for a plain (unfiltered)
 // vector query against field f: queries may only share a batch when every
-// plan-shaping knob matches.
-func (c *Collection) batchFormKey(f int, opts *SearchOptions) batchform.Key {
+// plan-shaping knob — including the planner's venue — matches, so a formed
+// batch never mixes execution venues.
+func (c *Collection) batchFormKey(f int, opts *SearchOptions, venue plan.Venue) batchform.Key {
 	vf := &c.schema.VectorFields[f]
 	return batchform.Key{
 		Collection: c.Name,
@@ -33,6 +36,7 @@ func (c *Collection) batchFormKey(f int, opts *SearchOptions) batchform.Key {
 		Nprobe:     opts.Nprobe,
 		Ef:         opts.Ef,
 		SearchL:    opts.SearchL,
+		Venue:      string(venue),
 	}
 }
 
@@ -42,7 +46,7 @@ func (c *Collection) batchFormKey(f int, opts *SearchOptions) batchform.Key {
 // metric) or the former passed it through because the pool is idle.
 // Validation failures also fall through so the per-query path stays the
 // single source of the canonical error messages.
-func (c *Collection) searchBatched(ctx context.Context, query []float32, opts SearchOptions) (res []topk.Result, handled bool, err error) {
+func (c *Collection) searchBatched(ctx context.Context, query []float32, opts SearchOptions, venue plan.Venue) (res []topk.Result, handled bool, err error) {
 	bf := c.former
 	if bf == nil || opts.Filter != nil {
 		return nil, false, nil
@@ -59,7 +63,7 @@ func (c *Collection) searchBatched(ctx context.Context, query []float32, opts Se
 		return nil, false, nil
 	}
 	sp := opts.Trace.StartSpan("batch_form")
-	res, occ, err := bf.Submit(ctx, c.batchFormKey(f, &opts), query)
+	res, occ, err := bf.Submit(ctx, c.batchFormKey(f, &opts, venue), query)
 	sp.End()
 	if errors.Is(err, batchform.ErrPassThrough) {
 		return nil, false, nil
@@ -223,11 +227,19 @@ func (c *Collection) SearchBatchCtx(ctx context.Context, queries [][]float32, op
 	if len(queries) == 0 {
 		return nil, nil
 	}
+	// Plan the whole batch as one nq-query shape. The batch executor is the
+	// CPU tile sweep, so only CPU venues are offered; the decision still
+	// prices load and residency, and the venue keys the formed batch.
+	sn := c.snaps.acquire()
+	dec := c.planVenue(sn, f, len(queries), opts.K, opts.Nprobe, opts.Trace, false)
+	c.snaps.release(sn)
 	items := make([]*batchform.Item, len(queries))
 	for i, q := range queries {
 		items[i] = batchform.NewItem(ctx, q)
 	}
-	c.runFormedBatch(ctx, c.batchFormKey(f, &opts), items)
+	t0 := time.Now()
+	c.runFormedBatch(ctx, c.batchFormKey(f, &opts, dec.Venue), items)
+	c.planner.Observe(dec, time.Since(t0))
 	out := make([][]topk.Result, len(items))
 	for i, it := range items {
 		res, _, err := it.Outcome()

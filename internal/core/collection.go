@@ -18,6 +18,7 @@ import (
 	_ "vectordb/internal/index/all" // make every built-in index type available
 	"vectordb/internal/objstore"
 	"vectordb/internal/obs"
+	"vectordb/internal/plan"
 	"vectordb/internal/topk"
 	"vectordb/internal/wal"
 )
@@ -91,6 +92,12 @@ type Config struct {
 	// exceeded, the least-recently-used unpinned mapped segments demote to
 	// cold. 0 keeps every tiered segment mapped.
 	TierMappedBytes int64
+	// Planner is the cost-based query planner deciding per-query execution
+	// venue and filter strategy. Nil creates a collection-private planner
+	// (lazy process-wide calibration); DB-created collections share the
+	// database's planner so hysteresis and the calibration profile are
+	// process-wide.
+	Planner *plan.Planner
 }
 
 func (c *Config) defaults() {
@@ -114,6 +121,9 @@ func (c *Config) defaults() {
 	}
 	if c.Exec == nil {
 		c.Exec = exec.Default()
+	}
+	if c.Planner == nil {
+		c.Planner = plan.New(plan.Config{Obs: c.Obs})
 	}
 }
 
@@ -144,6 +154,12 @@ type Collection struct {
 	qlog   *obs.QueryLog
 	pool   *exec.Pool
 	former *batchform.Former // nil when dynamic batching is disabled
+
+	// planner decides per-query venue and filter strategy; gpuSched holds
+	// an optional *gpu.Scheduler installed by AttachGPU (atomic so queries
+	// never lock to check for one).
+	planner  *plan.Planner
+	gpuSched atomic.Value
 
 	tier *collTier // nil when tiering is off
 
@@ -185,6 +201,7 @@ func NewCollection(name string, schema Schema, store objstore.Store, cfg Config)
 		met:       newColMetrics(cfg.Obs, name),
 		qlog:      cfg.QueryLog,
 		pool:      cfg.Exec,
+		planner:   cfg.Planner,
 		indexCh:   make(chan *Segment, 64),
 		stopTimer: make(chan struct{}),
 	}
@@ -606,24 +623,59 @@ func (c *Collection) Search(query []float32, opts SearchOptions) ([]topk.Result,
 // SearchCtx is Search with cancellation and admission control: the query
 // waits for an in-flight slot on the shared execution pool (fast-failing
 // with exec.ErrRejected under overload) and stops between segments once
-// ctx is cancelled or past its deadline, returning ctx's error.
+// ctx is cancelled or past its deadline, returning ctx's error. The
+// cost-based planner places each admitted query on a venue (CPU scan /
+// probe vs attached GPU) from the snapshot's shape and the live pool load;
+// the decision rides the trace as plan=.
 func (c *Collection) SearchCtx(ctx context.Context, query []float32, opts SearchOptions) ([]topk.Result, error) {
 	done := c.beginQuery("vector", &opts.Trace)
 	defer done()
-	opts.Trace.Annotate("placement", "cpu")
 	release, err := c.admit(ctx, opts.Trace)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	// Under concurrent load, compatible queries coalesce into one
-	// cache-aware tile sweep; an idle pool (or an ineligible query)
-	// falls through to the per-query path below.
-	if res, handled, err := c.searchBatched(ctx, query, opts); handled {
-		return res, err
-	}
 	sn := c.snaps.acquire()
 	defer c.snaps.release(sn)
+	f, ok := c.planField(opts.Field, query, opts.K)
+	if !ok {
+		// Invalid queries fall through so the per-query path stays the
+		// single source of the canonical error messages.
+		opts.Trace.Annotate("placement", "cpu")
+		opts.Trace.Annotate("plan", "none")
+		return c.searchSnapshot(ctx, sn, query, opts)
+	}
+	// A caller-supplied row filter is evaluated on the host, so the GPU
+	// venue (whole-column kernels) is not offered for it.
+	dec := c.planVenue(sn, f, 1, opts.K, opts.Nprobe, opts.Trace, opts.Filter == nil)
+	t0 := time.Now()
+	res, err := c.dispatchPlanned(ctx, sn, dec, f, query, opts)
+	c.planner.Observe(dec, time.Since(t0))
+	return res, err
+}
+
+// dispatchPlanned executes one planned query on its decided venue. The
+// CPU venues share the batched/per-query scan path (the venue label names
+// how the snapshot's segments execute there); the GPU venue runs the
+// device-scheduled per-segment path.
+func (c *Collection) dispatchPlanned(ctx context.Context, sn *Snapshot, dec plan.Decision, f int, query []float32, opts SearchOptions) ([]topk.Result, error) {
+	if dec.Venue == plan.VenueGPU {
+		if sched := c.gpuScheduler(); sched != nil {
+			opts.Trace.Annotate("placement", "gpu")
+			res, _, err := c.gpuSearchSnapshot(ctx, sn, sched, f, query, opts)
+			return res, err
+		}
+		// The scheduler detached between planning and dispatch: the CPU
+		// path serves the identical result set.
+	}
+	opts.Trace.Annotate("placement", "cpu")
+	// Under concurrent load, compatible queries coalesce into one
+	// cache-aware tile sweep; an idle pool (or an ineligible query) falls
+	// through to the per-query path below. The venue is part of the batch
+	// key, so a batch never mixes venues.
+	if res, handled, err := c.searchBatched(ctx, query, opts, dec.Venue); handled {
+		return res, err
+	}
 	return c.searchSnapshot(ctx, sn, query, opts)
 }
 

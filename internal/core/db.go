@@ -10,6 +10,7 @@ import (
 	"vectordb/internal/exec"
 	"vectordb/internal/objstore"
 	"vectordb/internal/obs"
+	"vectordb/internal/plan"
 	"vectordb/internal/vec"
 )
 
@@ -18,10 +19,11 @@ import (
 // (and the REST /metrics endpoint) records into, and a query log that
 // captures per-query traces for /debug/queries.
 type DB struct {
-	store objstore.Store
-	reg   *obs.Registry
-	qlog  *obs.QueryLog
-	pool  *exec.Pool
+	store   objstore.Store
+	reg     *obs.Registry
+	qlog    *obs.QueryLog
+	pool    *exec.Pool
+	planner *plan.Planner
 
 	mu          sync.RWMutex
 	collections map[string]*Collection
@@ -56,9 +58,17 @@ func NewDBWithExec(store objstore.Store, pcfg exec.Config) *DB {
 	// it and its exec_* series land in this DB's registry (and /metrics).
 	pcfg.Obs = db.reg
 	db.pool = exec.NewPool(pcfg)
+	// One cost-based planner per DB: every collection's queries plan
+	// against the same calibration profile and hysteresis memory, and the
+	// vectordb_plan_* series land in this DB's registry.
+	db.planner = plan.New(plan.Config{Obs: db.reg})
 	registerRuntimeMetrics(db.reg)
 	return db
 }
+
+// Planner returns the database's shared query planner (profile loading,
+// -recalibrate, tests).
+func (db *DB) Planner() *plan.Planner { return db.planner }
 
 // Obs returns the database's metric registry.
 func (db *DB) Obs() *obs.Registry { return db.reg }
@@ -139,6 +149,9 @@ func (db *DB) CreateCollection(name string, schema Schema, cfg Config) (*Collect
 	}
 	if cfg.Exec == nil {
 		cfg.Exec = db.pool
+	}
+	if cfg.Planner == nil {
+		cfg.Planner = db.planner
 	}
 	if db.tierCache != nil && cfg.TierDir == "" {
 		cfg.TierDir = db.tier.Dir

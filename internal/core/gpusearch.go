@@ -7,6 +7,7 @@ import (
 
 	"vectordb/internal/gpu"
 	"vectordb/internal/index"
+	"vectordb/internal/plan"
 	"vectordb/internal/topk"
 )
 
@@ -22,11 +23,15 @@ type GPUSearcher struct {
 	sched *gpu.Scheduler
 }
 
-// NewGPUSearcher wraps a collection with a device scheduler.
+// NewGPUSearcher wraps a collection with a device scheduler. The scheduler
+// is also attached to the collection, which lets the cost-based planner
+// offer the GPU venue to plain SearchCtx queries (the collection stays
+// detached only if AttachGPU(nil) is called afterwards).
 func NewGPUSearcher(col *Collection, sched *gpu.Scheduler) (*GPUSearcher, error) {
 	if sched == nil || sched.Devices() == 0 {
 		return nil, fmt.Errorf("core: GPU search needs at least one device")
 	}
+	col.AttachGPU(sched)
 	return &GPUSearcher{col: col, sched: sched}, nil
 }
 
@@ -52,6 +57,8 @@ func (g *GPUSearcher) Search(query []float32, opts SearchOptions) ([]topk.Result
 // SearchCtx is Search with admission control and cancellation: placement
 // shares the collection's in-flight budget with CPU queries, and a
 // cancelled query stops before assigning the next segment to a device.
+// The GPU venue here is the caller's explicit choice, not the planner's —
+// the trace records it as a forced plan.
 func (g *GPUSearcher) SearchCtx(ctx context.Context, query []float32, opts SearchOptions) ([]topk.Result, GPUSearchStats, error) {
 	field := 0
 	var err error
@@ -67,6 +74,8 @@ func (g *GPUSearcher) SearchCtx(ctx context.Context, query []float32, opts Searc
 	defer done()
 	tr := opts.Trace
 	tr.Annotate("placement", "gpu")
+	tr.Annotate("plan", string(plan.VenueGPU))
+	tr.Annotate("plan_forced", "true")
 	release, err := g.col.admit(ctx, tr)
 	if err != nil {
 		return nil, GPUSearchStats{}, err
@@ -74,18 +83,28 @@ func (g *GPUSearcher) SearchCtx(ctx context.Context, query []float32, opts Searc
 	defer release()
 	sn := g.col.snaps.acquire()
 	defer g.col.snaps.release(sn)
+	return g.col.gpuSearchSnapshot(ctx, sn, g.sched, field, query, opts)
+}
 
+// gpuSearchSnapshot runs one query over a pinned snapshot on the device
+// fleet: every segment's scan is assigned to a (sticky) device, the
+// segment's vector data is made resident, the scan kernel is charged on
+// the device's virtual clock, and per-segment results — computed exactly
+// on the host — are merged. Shared by the explicit GPUSearcher entry and
+// SearchCtx queries the planner placed on the GPU venue.
+func (c *Collection) gpuSearchSnapshot(ctx context.Context, sn *Snapshot, sched *gpu.Scheduler, field int, query []float32, opts SearchOptions) ([]topk.Result, GPUSearchStats, error) {
+	tr := opts.Trace
 	var stats GPUSearchStats
 	stats.Segments = len(sn.Segments)
 	start := map[int]time.Duration{}
 	lists := make([][]topk.Result, 0, len(sn.Segments))
-	dim := g.col.schema.VectorFields[field].Dim
+	dim := c.schema.VectorFields[field].Dim
 	for _, seg := range sn.Segments {
 		if err := ctx.Err(); err != nil {
 			return nil, stats, err
 		}
-		key := fmt.Sprintf("gpu/%s/seg/%d/f%d", g.col.Name, seg.ID, field)
-		dev, err := g.sched.Assign(key)
+		key := c.gpuSegKey(seg.ID, field)
+		dev, err := sched.Assign(key)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -104,11 +123,11 @@ func (g *GPUSearcher) SearchCtx(ctx context.Context, query []float32, opts Searc
 
 		sp := index.SearchParams{K: opts.K, Nprobe: opts.Nprobe, Ef: opts.Ef, SearchL: opts.SearchL}
 		sp.Filter = sn.FilterFor(seg.ID, opts.Filter)
-		lists = append(lists, seg.Search(g.col.schema, field, query, sp))
+		lists = append(lists, seg.Search(c.schema, field, query, sp))
 		span.End()
 	}
 	for id, s0 := range start {
-		if d, ok := g.sched.Device(id); ok {
+		if d, ok := sched.Device(id); ok {
 			if delta := d.Clock() - s0; delta > stats.Makespan {
 				stats.Makespan = delta
 			}

@@ -3,13 +3,29 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"vectordb/internal/bitset"
 	"vectordb/internal/colstore"
 	"vectordb/internal/index"
+	"vectordb/internal/plan"
 	"vectordb/internal/query"
 	"vectordb/internal/topk"
 )
+
+// predRows enumerates the qualifying visible row IDs for predicates the
+// engine can resolve directly through the sorted/inverted columns (the
+// prefilter path's input). Callers gate on the predicate type; arbitrary
+// trees return nil.
+func predRows(src *SourceView, pred colstore.Pred) []int64 {
+	switch p := pred.(type) {
+	case colstore.RangePred:
+		return src.RangeRows(p.Attr, p.Lo, p.Hi)
+	case colstore.InPred:
+		return src.CatRows(p.Cat, p.Values...)
+	}
+	return nil
+}
 
 // segPredCols adapts one immutable segment to the predicate compiler: the
 // sorted/inverted columns store row IDs, and PosOf maps them back to build
@@ -126,6 +142,11 @@ func (c *Collection) SearchPred(queryVec []float32, pred colstore.Pred, opts Sea
 }
 
 // SearchPredCtx is SearchPred with admission control and cancellation.
+// Before compiling anything, the planner prices the pushdown against the
+// attribute-first exact scan from the zone-map/postings estimate of the
+// predicate's match count; highly selective enumerable predicates (plain
+// ranges and IN-lists) take the prefilter path instead of paying the O(n)
+// bitset compile.
 func (c *Collection) SearchPredCtx(ctx context.Context, queryVec []float32, pred colstore.Pred, opts SearchOptions) ([]topk.Result, error) {
 	if opts.K <= 0 {
 		return nil, fmt.Errorf("core: K must be positive")
@@ -139,10 +160,64 @@ func (c *Collection) SearchPredCtx(ctx context.Context, queryVec []float32, pred
 		return nil, err
 	}
 	defer release()
+	field := 0
+	if opts.Field != "" {
+		if field, err = c.schema.VectorFieldIndex(opts.Field); err != nil {
+			return nil, err
+		}
+	}
 	src := c.Source()
 	src.Trace = tr
 	src.Ctx = ctx
 	defer src.Release()
+	// Price the strategies from the zone-map/postings estimate — nothing
+	// is compiled or enumerated to decide. Plain ranges and IN-lists can
+	// be resolved to a row enumeration, so both strategies are offered for
+	// them; arbitrary trees can only push down.
+	est := 0
+	for _, seg := range src.sn.Segments {
+		est += colstore.EstimatePred(pred, segPredCols{seg})
+	}
+	fs := src.PlanFilterShape(field)
+	fs.Dim = c.schema.VectorFields[field].Dim
+	fs.K = opts.K
+	if opts.Nprobe > 0 {
+		fs.Nprobe = opts.Nprobe
+	}
+	fs.Matched = est
+	enumerable := false
+	switch pred.(type) {
+	case colstore.RangePred, colstore.InPred:
+		enumerable = true
+	}
+	var dec plan.Decision
+	if enumerable {
+		dec = c.planner.PickFilterStrategy(fs)
+	} else {
+		dec = c.planner.PickPushdown(fs)
+	}
+	annotatePlan(tr, dec)
+	t0 := time.Now()
+	defer func() { c.planner.Observe(dec, time.Since(t0)) }()
+	if dec.Strategy == plan.StrategyPrefilter {
+		tr.Annotate("filter_strategy", query.StratA)
+		rows := predRows(src, pred)
+		scan := tr.StartSpan("exact_scan")
+		scan.AnnotateInt("rows", int64(len(rows)))
+		defer scan.End()
+		h := topk.New(opts.K)
+		for i, id := range rows {
+			if i&255 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			if d, ok := src.DistanceByID(field, queryVec, id); ok {
+				h.Push(id, d)
+			}
+		}
+		return h.Results(), nil
+	}
 	span := tr.StartSpan("attr_filter")
 	pb, matched, total, err := src.compileSnapshotPred(pred)
 	if err != nil {

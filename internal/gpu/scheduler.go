@@ -91,6 +91,20 @@ func (s *Scheduler) Assign(segment string) (*Device, error) {
 	return best, nil
 }
 
+// Resident reports whether the segment's sticky device currently holds
+// its data — the planner's residency signal: a warm segment amortizes the
+// PCIe copy away, a cold one must pay it before the kernel runs.
+func (s *Scheduler) Resident(segment string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.sticky[segment]
+	if !ok {
+		return false
+	}
+	d, live := s.devices[id]
+	return live && d.Resident(segment)
+}
+
 // MaxClock returns the largest device clock — the modeled makespan of work
 // spread across the devices.
 func (s *Scheduler) MaxClock() (max int64) {

@@ -1,0 +1,89 @@
+package plan
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, CalibrationFile)
+	p := testProfile()
+	p.CreatedUnix = 12345
+	if err := p.Save(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if got.Fingerprint != p.Fingerprint || got.CreatedUnix != 12345 ||
+		got.BitsetNsPerRow != p.BitsetNsPerRow || got.GPUDimsPerSec != p.GPUDimsPerSec {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, p)
+	}
+	if len(got.KernelDimsPerSec) != len(p.KernelDimsPerSec) {
+		t.Errorf("kernel map lost entries: %v", got.KernelDimsPerSec)
+	}
+}
+
+func TestStaleFingerprint(t *testing.T) {
+	p := testProfile()
+	if p.Stale() {
+		t.Error("matching fingerprint reported stale")
+	}
+	p.Fingerprint = "v0/simd=abacus/gomaxprocs=1"
+	if !p.Stale() {
+		t.Error("foreign fingerprint not reported stale")
+	}
+	var nilProf *Profile
+	if !nilProf.Stale() {
+		t.Error("nil profile must be stale")
+	}
+}
+
+// TestLoadOrCalibrate covers the three paths: fresh persisted profile is
+// reused; a stale one is re-measured and overwritten; force re-measures
+// even a fresh one.
+func TestLoadOrCalibrate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, CalibrationFile)
+
+	// No file yet: calibrates and persists.
+	p1, loaded, err := LoadOrCalibrate(path, false)
+	if err != nil || loaded {
+		t.Fatalf("first call: loaded=%v err=%v", loaded, err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("profile not persisted: %v", err)
+	}
+
+	// Fresh file: loaded without re-measurement.
+	p2, loaded, err := LoadOrCalibrate(path, false)
+	if err != nil || !loaded {
+		t.Fatalf("second call: loaded=%v err=%v", loaded, err)
+	}
+	if p2.CreatedUnix != p1.CreatedUnix {
+		t.Errorf("reloaded profile differs: %d vs %d", p2.CreatedUnix, p1.CreatedUnix)
+	}
+
+	// Force: re-measures despite the fresh file.
+	_, loaded, err = LoadOrCalibrate(path, true)
+	if err != nil || loaded {
+		t.Fatalf("forced call: loaded=%v err=%v", loaded, err)
+	}
+
+	// Stale file (foreign fingerprint): re-measures.
+	p4 := testProfile()
+	p4.Fingerprint = "v0/simd=abacus/gomaxprocs=1"
+	if err := p4.Save(path); err != nil {
+		t.Fatalf("save stale: %v", err)
+	}
+	p5, loaded, err := LoadOrCalibrate(path, false)
+	if err != nil || loaded {
+		t.Fatalf("stale call: loaded=%v err=%v", loaded, err)
+	}
+	if p5.Stale() {
+		t.Error("re-measured profile still stale")
+	}
+}

@@ -1,0 +1,554 @@
+// Package plan implements the cost-based query planner: a calibrated
+// per-query choice of execution venue (flat-CPU / IVF-CPU / GPU / SQ8H)
+// and of filter strategy (pushdown vs attribute-first exact scan vs
+// filtered graph traversal).
+//
+// "To GPU or Not to GPU" (PAPERS.md) argues placement must be decided per
+// query from transfer-vs-compute cost, and the paper's Fig. 13 shows the
+// best SQ8 venue flipping with batch size; BENCH_filter.json shows IVF
+// pushdown losing below ~10% selectivity because the O(n) bitset compile
+// outweighs the partial scan. This package prices each candidate with a
+// handful of calibrated machine primitives (per-SIMD-tier kernel
+// throughput, SQ8 ADC throughput, bitset compile ns/row, per-row exact
+// distance cost, PCIe latency and bandwidth from the gpu device model) and
+// picks the cheapest — recording the decision, its estimate, and later the
+// estimate-vs-actual ratio so mispredictions are auditable
+// (vectordb_plan_decisions_total / vectordb_plan_mispredict_total, plus
+// plan= trace annotations written by the callers).
+//
+// The planner changes venue, never results: callers only offer venues that
+// return identical result sets for the query at hand (GPU and SQ8H compute
+// exact host-side results; the device's virtual clock only prices the
+// plan), so conformance gates hold whatever the planner picks.
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"vectordb/internal/obs"
+)
+
+// Venue is where a vector query executes.
+type Venue string
+
+const (
+	// VenueFlatCPU is the brute-force blocked scan over every row.
+	VenueFlatCPU Venue = "flat_cpu"
+	// VenueIVFCPU probes an inverted-file index on the CPU.
+	VenueIVFCPU Venue = "ivf_cpu"
+	// VenueGPU ships segment data over PCIe and runs the scan kernel on a
+	// device (results still computed exactly on the host; the device's
+	// virtual clock prices the plan).
+	VenueGPU Venue = "gpu"
+	// VenueSQ8H is the hybrid index: coarse quantizer on the GPU, SQ8 ADC
+	// scan of the probed buckets on the CPU (Fig. 13 / Algorithm 1).
+	VenueSQ8H Venue = "sq8h"
+)
+
+// Strategy is how an attribute-filtered query evaluates its predicate.
+type Strategy string
+
+const (
+	// StrategyPushdown compiles the predicate to per-segment bitsets
+	// evaluated beneath the batch kernels (strategy B with pushdown).
+	StrategyPushdown Strategy = "pushdown"
+	// StrategyPrefilter resolves the predicate first and runs an exact
+	// distance scan over only the qualifying rows (strategy A).
+	StrategyPrefilter Strategy = "prefilter"
+	// StrategyGraph is pushdown over a graph index: filtered traversal
+	// with skip-but-expand and beam widening.
+	StrategyGraph Strategy = "graph"
+)
+
+// QueryShape is everything venue placement looks at for one query.
+type QueryShape struct {
+	NQ  int // queries in the batch
+	K   int
+	Dim int
+
+	// Residency split of the candidate rows (core/tier.go): hot rows live
+	// on the Go heap, mapped rows fault through the block cache, cold rows
+	// must first promote from spill.
+	HotRows, MappedRows, ColdRows int
+
+	// IVF geometry when an inverted-file index serves the segments
+	// (0 = unindexed / unknown, estimated from the row count).
+	Nlist, Nprobe int
+	// SQ8 marks quantized codes (the scan leg runs the fused ADC kernel).
+	SQ8 bool
+
+	// DeviceResidentFrac is the fraction of the scan bytes already
+	// resident in GPU memory (0 = everything must cross PCIe).
+	DeviceResidentFrac float64
+
+	// QueueDepth is the live exec-pool backlog (Collection.readLoad);
+	// Workers the pool size. CPU venues slow down with the bucketed load,
+	// device venues do not.
+	QueueDepth int
+	Workers    int
+}
+
+// Rows is the total candidate row count.
+func (s QueryShape) Rows() int { return s.HotRows + s.MappedRows + s.ColdRows }
+
+// FilterShape is everything filter-strategy selection looks at.
+type FilterShape struct {
+	Rows    int // total physical rows (bitset compile domain)
+	Matched int // zone-map / postings-estimated predicate matches
+	Dim     int
+	K       int
+
+	Indexed       bool // an IVF-family index serves the vector leg
+	Graph         bool // a graph index serves it (HNSW/RNSG)
+	SQ8           bool // quantized scan leg
+	Nlist, Nprobe int
+
+	QueueDepth int
+	Workers    int
+}
+
+// Selectivity is Matched/Rows (0 on an empty source).
+func (s FilterShape) Selectivity() float64 {
+	if s.Rows <= 0 {
+		return 0
+	}
+	return float64(s.Matched) / float64(s.Rows)
+}
+
+// Decision is one planner choice with its estimate. Exactly one of Venue
+// and Strategy is set, depending on which question was asked.
+type Decision struct {
+	Venue    Venue
+	Strategy Strategy
+	Est      time.Duration // estimated cost of the chosen plan
+	Sticky   bool          // held by hysteresis rather than strictly cheapest
+}
+
+// Choice is the decision's label value (venue or strategy name).
+func (d Decision) Choice() string {
+	if d.Venue != "" {
+		return string(d.Venue)
+	}
+	return string(d.Strategy)
+}
+
+// Config tunes a planner.
+type Config struct {
+	// Obs receives vectordb_plan_* metrics; nil keeps handles unscraped.
+	Obs *obs.Registry
+	// Profile fixes the calibration profile (deterministic tests, loaded
+	// persistence). Nil calibrates lazily, once per process.
+	Profile *Profile
+
+	// MappedPenalty scales the per-row cost of block-cache-resident rows
+	// vs hot rows (default 1.5); ColdPenalty of spilled rows that must
+	// promote first (default 6).
+	MappedPenalty float64
+	ColdPenalty   float64
+
+	// SwitchMargin is the hysteresis band: a venue already chosen for a
+	// query shape is kept unless a challenger is at least this fraction
+	// cheaper (default 0.2). Prevents placement flapping on cost jitter.
+	SwitchMargin float64
+}
+
+func (c *Config) defaults() {
+	if c.MappedPenalty <= 0 {
+		c.MappedPenalty = 1.5
+	}
+	if c.ColdPenalty <= 0 {
+		c.ColdPenalty = 6
+	}
+	if c.SwitchMargin <= 0 {
+		c.SwitchMargin = 0.2
+	}
+}
+
+// Planner prices query plans against a calibration profile and remembers
+// recent placements for hysteresis. Safe for concurrent use.
+type Planner struct {
+	cfg Config
+	met *planMetrics
+
+	mu   sync.Mutex
+	prof *Profile
+	last map[string]Venue // shape key → venue chosen last time
+}
+
+// maxRemembered bounds the hysteresis memory; shapes are coarse buckets,
+// so real workloads use a handful of entries.
+const maxRemembered = 1024
+
+// New creates a planner. With a nil Config.Profile the first decision
+// triggers the process-wide lazy calibration pass.
+func New(cfg Config) *Planner {
+	cfg.defaults()
+	return &Planner{
+		cfg:  cfg,
+		met:  newPlanMetrics(cfg.Obs),
+		prof: cfg.Profile,
+		last: map[string]Venue{},
+	}
+}
+
+// UseProfile replaces the calibration profile (e.g. after loading a
+// persisted one, or after -recalibrate).
+func (p *Planner) UseProfile(prof *Profile) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.prof = prof
+}
+
+// Profile returns the active calibration profile, running the shared
+// process-wide calibration pass on first use.
+func (p *Planner) Profile() *Profile {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.prof == nil {
+		p.prof = SharedProfile()
+	}
+	return p.prof
+}
+
+// fin clamps a cost estimate to a finite non-negative value: the
+// estimator never returns NaN or a negative, whatever the inputs.
+func fin(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 1) {
+		return math.MaxFloat64 / 16
+	}
+	if x < 0 || math.IsInf(x, -1) {
+		return 0
+	}
+	return x
+}
+
+// effRows weights the candidate rows by residency: mapped rows pay the
+// block-cache fault path, cold rows the promote-from-spill path.
+func (p *Planner) effRows(s QueryShape) float64 {
+	return float64(s.HotRows) +
+		p.cfg.MappedPenalty*float64(s.MappedRows) +
+		p.cfg.ColdPenalty*float64(s.ColdRows)
+}
+
+// queueBucket coarsens the live backlog so load only shifts costs at
+// order-of-magnitude boundaries — the "modulo queue-depth hysteresis" of
+// the placement-flapping invariant.
+func queueBucket(depth, workers int) int {
+	if workers <= 0 {
+		workers = 1
+	}
+	switch {
+	case depth <= 0:
+		return 0
+	case depth < workers:
+		return 1
+	case depth < 4*workers:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// loadFactor scales CPU costs by the bucketed pool backlog.
+func loadFactor(depth, workers int) float64 {
+	return 1 + 0.75*float64(queueBucket(depth, workers))
+}
+
+// ivfGeometry fills in the engine's defaults when the caller does not
+// know the index parameters (ivf.Builder: nlist ≈ n/64 clamped to
+// [1, 4096], nprobe = max(1, nlist/16)).
+func ivfGeometry(rows, nlist, nprobe int) (nl, np int) {
+	nl, np = nlist, nprobe
+	if nl <= 0 {
+		nl = rows / 64
+		if nl < 1 {
+			nl = 1
+		}
+		if nl > 4096 {
+			nl = 4096
+		}
+	}
+	if np <= 0 {
+		np = nl / 16
+		if np < 1 {
+			np = 1
+		}
+	}
+	if np > nl {
+		np = nl
+	}
+	return nl, np
+}
+
+// Per-row structural constants that are not worth calibrating: pushing a
+// candidate through the top-k heap, and triaging (skipping) a filtered-out
+// row beneath the kernels. Triage is not just the word test — the masked
+// probe still walks bucket layouts and block boundaries per skipped row,
+// ~3ns/row measured on the IVF scan path.
+const (
+	heapNsPerRow   = 0.6
+	triageNsPerRow = 3.0
+)
+
+// CostFlatCPU prices a brute-force blocked scan: every effective row's
+// dims through the batch kernel of the active SIMD tier, plus heap
+// maintenance, scaled by pool load.
+func (p *Planner) CostFlatCPU(s QueryShape) float64 {
+	prof := p.Profile()
+	rows := p.effRows(s)
+	perQ := rows*float64(s.Dim)*prof.kernelNsPerDim(false) + rows*heapNsPerRow
+	return fin(float64(s.NQ) * perQ * loadFactor(s.QueueDepth, s.Workers))
+}
+
+// CostIVFCPU prices an inverted-file probe: the coarse quantizer over
+// nlist centroids plus the scan of the probed fraction of rows (fused SQ8
+// ADC when the codes are quantized).
+func (p *Planner) CostIVFCPU(s QueryShape) float64 {
+	prof := p.Profile()
+	nl, np := ivfGeometry(s.Rows(), s.Nlist, s.Nprobe)
+	frac := float64(np) / float64(nl)
+	rows := p.effRows(s) * frac
+	perQ := float64(nl)*float64(s.Dim)*prof.kernelNsPerDim(false) +
+		rows*float64(s.Dim)*prof.kernelNsPerDim(s.SQ8) +
+		rows*heapNsPerRow
+	return fin(float64(s.NQ) * perQ * loadFactor(s.QueueDepth, s.Workers))
+}
+
+// CostGPU prices shipping the non-resident scan bytes over PCIe and
+// running the scan on the device kernel. Unindexed data is a flat device
+// scan of every row. With IVF geometry the device runs the coarse ranking
+// and scans only the probed buckets (the pure-GPU plan of Fig. 13), and
+// only the batch's probed buckets cross PCIe — their expected union grows
+// with nq until the whole dataset is covered. Residency-driven either way:
+// a warm device amortizes the copy away.
+func (p *Planner) CostGPU(s QueryShape) float64 {
+	prof := p.Profile()
+	rows := float64(s.Rows())
+	bytesPerRow := float64(s.Dim) * 4
+	if s.SQ8 {
+		bytesPerRow = float64(s.Dim)
+	}
+	scanRows, coarse, coverage, centroidBytes := rows, 0.0, 1.0, 0.0
+	if s.Nlist > 0 {
+		nl, np := ivfGeometry(s.Rows(), s.Nlist, s.Nprobe)
+		frac := float64(np) / float64(nl)
+		scanRows = rows * frac
+		coarse = float64(nl) * float64(s.Dim)
+		centroidBytes = float64(nl) * float64(s.Dim) * 4
+		coverage = float64(s.NQ) * frac
+		if coverage > 1 {
+			coverage = 1
+		}
+	}
+	miss := (1 - s.DeviceResidentFrac) * (coverage*rows*bytesPerRow + centroidBytes)
+	if miss < 0 {
+		miss = 0
+	}
+	cost := float64(s.NQ) * (coarse + scanRows*float64(s.Dim)) * prof.gpuNsPerDim()
+	if miss > 0 {
+		// The launch latency is a transfer cost: a fully-resident device
+		// pays only kernel time, exactly as the virtual clock charges.
+		cost += prof.PCIeLatencyNs + miss*prof.pcieNsPerByte()
+	}
+	return fin(cost)
+}
+
+// CostSQ8H prices the hybrid plan (Algorithm 1): step 1 compares every
+// query to every bucket centroid on the GPU (centroids stay resident);
+// step 2 scans the probed buckets' SQ8 codes on the CPU with the fused
+// ADC kernel.
+func (p *Planner) CostSQ8H(s QueryShape) float64 {
+	prof := p.Profile()
+	nl, np := ivfGeometry(s.Rows(), s.Nlist, s.Nprobe)
+	frac := float64(np) / float64(nl)
+	centroidMiss := (1 - s.DeviceResidentFrac) * float64(nl) * float64(s.Dim) * 4
+	if centroidMiss < 0 {
+		centroidMiss = 0
+	}
+	step1 := float64(s.NQ) * float64(nl) * float64(s.Dim) * prof.gpuNsPerDim()
+	if centroidMiss > 0 {
+		step1 += prof.PCIeLatencyNs + centroidMiss*prof.pcieNsPerByte()
+	}
+	rows := p.effRows(s) * frac
+	step2 := float64(s.NQ) * (rows*float64(s.Dim)*prof.kernelNsPerDim(true) + rows*heapNsPerRow) *
+		loadFactor(s.QueueDepth, s.Workers)
+	return fin(step1 + step2)
+}
+
+// CostVenue dispatches to the venue's estimator.
+func (p *Planner) CostVenue(v Venue, s QueryShape) float64 {
+	switch v {
+	case VenueFlatCPU:
+		return p.CostFlatCPU(s)
+	case VenueIVFCPU:
+		return p.CostIVFCPU(s)
+	case VenueGPU:
+		return p.CostGPU(s)
+	case VenueSQ8H:
+		return p.CostSQ8H(s)
+	default:
+		return fin(math.MaxFloat64)
+	}
+}
+
+// shapeKey buckets a query shape coarsely (log2 of nq, k and rows, plus
+// the residency and load buckets) so hysteresis memory matches "the same
+// kind of query" rather than exact parameters.
+func shapeKey(scope string, s QueryShape) string {
+	cold := 0
+	if s.ColdRows > 0 {
+		cold = 1
+	} else if s.MappedRows > 0 {
+		cold = 2
+	}
+	return fmt.Sprintf("%s/nq%d/k%d/n%d/r%d/q%d",
+		scope, log2Bucket(s.NQ), log2Bucket(s.K), log2Bucket(s.Rows()), cold,
+		queueBucket(s.QueueDepth, s.Workers))
+}
+
+func log2Bucket(v int) int {
+	b := 0
+	for v > 1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// PlaceQuery picks the cheapest execution venue among the candidates the
+// caller can serve result-identically. scope keys the hysteresis memory
+// (collection/field); identical shapes keep their venue unless a
+// challenger beats it by the switch margin.
+func (p *Planner) PlaceQuery(scope string, s QueryShape, venues ...Venue) Decision {
+	if len(venues) == 0 {
+		venues = []Venue{VenueFlatCPU}
+	}
+	best, bestCost := venues[0], p.CostVenue(venues[0], s)
+	costs := make(map[Venue]float64, len(venues))
+	costs[best] = bestCost
+	for _, v := range venues[1:] {
+		c := p.CostVenue(v, s)
+		costs[v] = c
+		if c < bestCost {
+			best, bestCost = v, c
+		}
+	}
+	d := Decision{Venue: best, Est: time.Duration(bestCost)}
+	key := shapeKey(scope, s)
+	p.mu.Lock()
+	if prev, ok := p.last[key]; ok && prev != best {
+		if c, offered := costs[prev]; offered && bestCost >= (1-p.cfg.SwitchMargin)*c {
+			// The incumbent is within the margin: hold it.
+			d = Decision{Venue: prev, Est: time.Duration(c), Sticky: true}
+		}
+	}
+	if len(p.last) >= maxRemembered {
+		p.last = map[string]Venue{}
+	}
+	p.last[key] = d.Venue
+	p.mu.Unlock()
+	p.met.decision(d.Choice())
+	return d
+}
+
+// CostPrefilter prices strategy A: resolve the predicate through the
+// sorted column / postings, then one exact per-row distance (ID lookup +
+// single-row kernel call) per match.
+func (p *Planner) CostPrefilter(s FilterShape) float64 {
+	prof := p.Profile()
+	perRow := prof.LookupNs + prof.RowOverheadNs + float64(s.Dim)*prof.RowNsPerDim
+	return fin(float64(s.Matched) * perRow * loadFactor(s.QueueDepth, s.Workers))
+}
+
+// CostPushdown prices strategy B with pushdown: compile the predicate to
+// per-segment bitsets (a per-match walk plus a per-row word pass), then
+// the vector leg over the probed fraction — triage word ops on skipped
+// rows, kernel dims on matches.
+func (p *Planner) CostPushdown(s FilterShape) float64 {
+	prof := p.Profile()
+	compile := float64(s.Rows)*prof.BitsetNsPerRow + float64(s.Matched)*prof.BitsetNsPerMatch
+	frac := 1.0
+	coarse := 0.0
+	if s.Indexed || s.Graph {
+		nl, np := ivfGeometry(s.Rows, s.Nlist, s.Nprobe)
+		frac = float64(np) / float64(nl)
+		coarse = float64(nl) * float64(s.Dim) * prof.kernelNsPerDim(false)
+	}
+	scan := coarse +
+		frac*float64(s.Rows)*triageNsPerRow +
+		frac*float64(s.Matched)*(float64(s.Dim)*prof.kernelNsPerDim(s.SQ8)+heapNsPerRow)
+	if s.Graph {
+		// Filtered traversal visits ~K·beam/selectivity nodes (beam
+		// widening keeps recall at low selectivity), capped by the graph.
+		sel := s.Selectivity()
+		if sel < 1e-3 {
+			sel = 1e-3
+		}
+		visits := float64(s.K) * 16 / sel
+		if max := float64(s.Rows); visits > max {
+			visits = max
+		}
+		scan = visits * (float64(s.Dim)*prof.kernelNsPerDim(false) + heapNsPerRow)
+	}
+	return fin(compile + scan*loadFactor(s.QueueDepth, s.Workers))
+}
+
+// PickFilterStrategy chooses the filter strategy for one query from the
+// zone-map-estimated selectivity: below the calibrated crossover the
+// attribute-first exact scan (strategy A) wins because the O(n) bitset
+// compile outweighs the partial scan; above it the pushdown path wins.
+// Deterministic in the shape — no hysteresis memory is needed because the
+// inputs are already coarse.
+func (p *Planner) PickFilterStrategy(s FilterShape) Decision {
+	costA := p.CostPrefilter(s)
+	costPush := p.CostPushdown(s)
+	d := Decision{Strategy: StrategyPushdown, Est: time.Duration(costPush)}
+	if s.Graph {
+		d.Strategy = StrategyGraph
+	}
+	if costA < costPush {
+		d = Decision{Strategy: StrategyPrefilter, Est: time.Duration(costA)}
+	}
+	p.met.decision(d.Choice())
+	return d
+}
+
+// PickPushdown records a pushdown decision without arbitration — for
+// predicates the engine cannot resolve to a row enumeration (arbitrary
+// and/or/not trees), where the prefilter path is not executable and only
+// the pushdown estimate is meaningful.
+func (p *Planner) PickPushdown(s FilterShape) Decision {
+	d := Decision{Strategy: StrategyPushdown, Est: time.Duration(p.CostPushdown(s))}
+	if s.Graph {
+		d.Strategy = StrategyGraph
+	}
+	p.met.decision(d.Choice())
+	return d
+}
+
+// Mispredict bounds: an actual latency this many times off the estimate
+// (beyond the noise floor) counts as a misprediction.
+const (
+	mispredictRatio = 8.0
+	mispredictFloor = 50 * time.Microsecond
+)
+
+// Observe feeds the actual latency of an executed plan back to the
+// planner's audit metrics. Small queries are noise-floored; beyond that,
+// an estimate off by more than 8× either way is a misprediction.
+func (p *Planner) Observe(d Decision, actual time.Duration) {
+	if actual < mispredictFloor && d.Est < mispredictFloor {
+		return
+	}
+	est := float64(d.Est)
+	if est <= 0 {
+		est = 1
+	}
+	ratio := float64(actual) / est
+	if ratio > mispredictRatio || ratio < 1/mispredictRatio {
+		p.met.mispredict(d.Choice())
+	}
+}

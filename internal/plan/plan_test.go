@@ -1,0 +1,334 @@
+package plan
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"vectordb/internal/vec"
+)
+
+// testProfile is a fixed synthetic calibration profile so decision tests
+// are machine-independent: every SIMD tier gets the same batch-kernel
+// rate, and the remaining primitives are set to plausible magnitudes that
+// reproduce the measured strategy crossovers.
+func testProfile() *Profile {
+	kernel := map[string]float64{}
+	for _, l := range vec.Levels() {
+		kernel[l.String()] = 8e9 // 0.125 ns per dim
+	}
+	return &Profile{
+		Fingerprint:      Fingerprint(),
+		GOMAXPROCS:       8,
+		KernelDimsPerSec: kernel,
+		SQ8DimsPerSec:    16e9,
+		RowOverheadNs:    30,
+		RowNsPerDim:      0.5,
+		LookupNs:         40,
+		BitsetNsPerRow:   1.2,
+		BitsetNsPerMatch: 20,
+		PCIeBytesPerSec:  1.5e9,
+		PCIeLatencyNs:    30e3,
+		GPUDimsPerSec:    6.4e10,
+	}
+}
+
+func testPlanner() *Planner {
+	return New(Config{Profile: testProfile()})
+}
+
+// TestVenueGolden pins the placement decision table: each row is a query
+// shape whose cheapest venue is structurally forced by the cost model.
+func TestVenueGolden(t *testing.T) {
+	p := testPlanner()
+	cases := []struct {
+		name   string
+		shape  QueryShape
+		venues []Venue
+		want   Venue
+	}{
+		{
+			// A small single query over an unindexed in-RAM collection with
+			// a cold device: the PCIe copy dwarfs the CPU scan.
+			name:   "small_flat_cold_device",
+			shape:  QueryShape{NQ: 1, K: 10, Dim: 128, HotRows: 10000},
+			venues: []Venue{VenueFlatCPU, VenueGPU},
+			want:   VenueFlatCPU,
+		},
+		{
+			// The same scan with the data already resident on the device:
+			// the kernel rate advantage decides.
+			name:   "flat_warm_device",
+			shape:  QueryShape{NQ: 1, K: 10, Dim: 128, HotRows: 1000000, DeviceResidentFrac: 1},
+			venues: []Venue{VenueFlatCPU, VenueGPU},
+			want:   VenueGPU,
+		},
+		{
+			// A single probe against a cold device must stream its probed
+			// buckets over PCIe — the copy dwarfs the CPU probe.
+			name:   "ivf_beats_cold_device",
+			shape:  QueryShape{NQ: 1, K: 10, Dim: 128, HotRows: 1000000, Nlist: 4096, Nprobe: 256},
+			venues: []Venue{VenueIVFCPU, VenueGPU},
+			want:   VenueIVFCPU,
+		},
+		{
+			// Fig. 13's large-batch regime: 512 queries amortize the one-time
+			// bucket stream and the device kernel-rate advantage takes over,
+			// so pure-GPU beats the CPU probe even from cold.
+			name:   "batch_amortizes_cold_copy",
+			shape:  QueryShape{NQ: 512, K: 10, Dim: 128, HotRows: 1000000, Nlist: 4096, Nprobe: 256},
+			venues: []Venue{VenueIVFCPU, VenueGPU},
+			want:   VenueGPU,
+		},
+		{
+			// A warm device running the coarse ranking plus the probed-bucket
+			// scan at the device kernel rate beats the same probe on the CPU.
+			name:   "warm_device_probe_beats_cpu",
+			shape:  QueryShape{NQ: 1, K: 10, Dim: 128, HotRows: 1000000, Nlist: 4096, Nprobe: 256, DeviceResidentFrac: 1},
+			venues: []Venue{VenueIVFCPU, VenueGPU},
+			want:   VenueGPU,
+		},
+		{
+			// Fig. 13's regime: quantized hybrid beats the pure-CPU probe at
+			// small nq because step 1 runs on the resident centroids.
+			name:   "sq8h_small_batch",
+			shape:  QueryShape{NQ: 1, K: 10, Dim: 128, HotRows: 1000000, Nlist: 512, Nprobe: 32, SQ8: true, DeviceResidentFrac: 1},
+			venues: []Venue{VenueSQ8H, VenueFlatCPU},
+			want:   VenueSQ8H,
+		},
+	}
+	for _, tc := range cases {
+		got := p.PlaceQuery("golden/"+tc.name, tc.shape, tc.venues...)
+		if got.Venue != tc.want {
+			costs := map[Venue]float64{}
+			for _, v := range tc.venues {
+				costs[v] = p.CostVenue(v, tc.shape)
+			}
+			t.Errorf("%s: got %s want %s (costs %v)", tc.name, got.Venue, tc.want, costs)
+		}
+		if got.Est <= 0 {
+			t.Errorf("%s: non-positive estimate %v", tc.name, got.Est)
+		}
+	}
+}
+
+// TestFilterStrategyGolden pins the filter-strategy crossover: the O(n)
+// bitset compile makes pushdown lose at very low selectivity and win at
+// high selectivity — the BENCH_filter regression this planner fixes.
+func TestFilterStrategyGolden(t *testing.T) {
+	p := testPlanner()
+	base := FilterShape{Rows: 100000, Dim: 128, K: 10, Indexed: true, Nlist: 64, Nprobe: 32}
+	cases := []struct {
+		name    string
+		matched int
+		graph   bool
+		want    Strategy
+	}{
+		{"sel_0.001", 100, false, StrategyPrefilter},
+		{"sel_0.01", 1000, false, StrategyPrefilter},
+		{"sel_0.5", 50000, false, StrategyPushdown},
+		{"sel_1.0", 100000, false, StrategyPushdown},
+		{"graph_sel_0.5", 50000, true, StrategyGraph},
+	}
+	for _, tc := range cases {
+		s := base
+		s.Matched = tc.matched
+		s.Graph = tc.graph
+		if tc.graph {
+			s.Indexed = false
+		}
+		got := p.PickFilterStrategy(s)
+		if got.Strategy != tc.want {
+			t.Errorf("%s: got %s want %s (A=%.0f push=%.0f)",
+				tc.name, got.Strategy, tc.want, p.CostPrefilter(s), p.CostPushdown(s))
+		}
+	}
+}
+
+// TestCostMonotonicNQ: every venue's cost strictly increases with nq.
+func TestCostMonotonicNQ(t *testing.T) {
+	p := testPlanner()
+	for _, v := range []Venue{VenueFlatCPU, VenueIVFCPU, VenueGPU, VenueSQ8H} {
+		prev := 0.0
+		for nq := 1; nq <= 1<<12; nq *= 2 {
+			s := QueryShape{NQ: nq, K: 10, Dim: 128, HotRows: 100000, Nlist: 256, Nprobe: 16}
+			c := p.CostVenue(v, s)
+			if !(c > prev) {
+				t.Errorf("%s: cost not strictly increasing at nq=%d (%.0f <= %.0f)", v, nq, c, prev)
+			}
+			prev = c
+		}
+	}
+}
+
+// TestCostMonotonicRows: every venue's cost strictly increases with the
+// row count (fixed explicit IVF geometry so the probed fraction is stable).
+func TestCostMonotonicRows(t *testing.T) {
+	p := testPlanner()
+	for _, v := range []Venue{VenueFlatCPU, VenueIVFCPU, VenueGPU, VenueSQ8H} {
+		prev := 0.0
+		for n := 1024; n <= 1<<24; n *= 4 {
+			s := QueryShape{NQ: 4, K: 10, Dim: 128, HotRows: n, Nlist: 256, Nprobe: 16}
+			c := p.CostVenue(v, s)
+			if !(c > prev) {
+				t.Errorf("%s: cost not strictly increasing at n=%d (%.0f <= %.0f)", v, n, c, prev)
+			}
+			prev = c
+		}
+	}
+}
+
+// TestCostNeverNaNOrNegative fuzzes the estimators with degenerate and
+// adversarial shapes: costs must always come back finite and >= 0.
+func TestCostNeverNaNOrNegative(t *testing.T) {
+	p := testPlanner()
+	shapes := []QueryShape{
+		{},
+		{NQ: -5, K: -1, Dim: -128},
+		{NQ: 1 << 30, K: 1 << 30, Dim: 1 << 20, HotRows: 1 << 30, MappedRows: 1 << 30, ColdRows: 1 << 30},
+		{NQ: 1, Dim: 128, HotRows: 1000, DeviceResidentFrac: 42},
+		{NQ: 1, Dim: 128, HotRows: 1000, DeviceResidentFrac: -3},
+		{NQ: 1, Dim: 128, HotRows: 1000, Nlist: -7, Nprobe: 1 << 30},
+		{NQ: 1, Dim: 128, QueueDepth: -100, Workers: -1},
+	}
+	for _, s := range shapes {
+		for _, v := range []Venue{VenueFlatCPU, VenueIVFCPU, VenueGPU, VenueSQ8H, Venue("bogus")} {
+			c := p.CostVenue(v, s)
+			if math.IsNaN(c) || c < 0 || math.IsInf(c, 0) {
+				t.Errorf("venue %s shape %+v: bad cost %v", v, s, c)
+			}
+		}
+	}
+	fshapes := []FilterShape{
+		{},
+		{Rows: -10, Matched: -4, Dim: -1},
+		{Rows: 1 << 30, Matched: 1 << 31, Dim: 1 << 20, K: 1 << 30, Indexed: true},
+		{Rows: 100, Matched: 1000, Graph: true, K: -1},
+	}
+	for _, s := range fshapes {
+		for _, c := range []float64{p.CostPrefilter(s), p.CostPushdown(s)} {
+			if math.IsNaN(c) || c < 0 || math.IsInf(c, 0) {
+				t.Errorf("filter shape %+v: bad cost %v", s, c)
+			}
+		}
+	}
+}
+
+// TestHysteresis: once a venue is chosen for a shape bucket, a challenger
+// within the switch margin does not flip it; a decisively cheaper one does.
+func TestHysteresis(t *testing.T) {
+	prof := testProfile()
+	p := New(Config{Profile: prof})
+	// Shape where flat and GPU are close — the partial residency leaves
+	// just enough PCIe traffic to keep the (cheaper) GPU within the 20%
+	// margin band of the flat scan.
+	s := QueryShape{NQ: 1, K: 10, Dim: 128, HotRows: 30000, DeviceResidentFrac: 0.962}
+	cFlat := p.CostFlatCPU(s)
+	cGPU := p.CostGPU(s)
+	if !(cGPU < cFlat && cGPU > (1-p.cfg.SwitchMargin)*cFlat) {
+		t.Fatalf("test shape not in the margin band: flat=%.0f gpu=%.0f", cFlat, cGPU)
+	}
+	// First decision with only the CPU venue installs flat as incumbent.
+	d1 := p.PlaceQuery("h", s, VenueFlatCPU)
+	if d1.Venue != VenueFlatCPU {
+		t.Fatalf("incumbent setup: got %s", d1.Venue)
+	}
+	// GPU now offered and cheaper — but within the margin: incumbent holds.
+	d2 := p.PlaceQuery("h", s, VenueFlatCPU, VenueGPU)
+	if d2.Venue != VenueFlatCPU || !d2.Sticky {
+		t.Errorf("margin challenger flipped the venue: got %s (sticky=%v)", d2.Venue, d2.Sticky)
+	}
+	// A decisively cheaper challenger (way more rows → flat blows up,
+	// GPU resident stays cheap) lands in a different shape bucket; instead
+	// keep the bucket and make GPU decisively cheaper via a fresh planner
+	// scope with a shape where gpu << flat.
+	big := QueryShape{NQ: 1, K: 10, Dim: 128, HotRows: 1000000, DeviceResidentFrac: 1}
+	d3 := p.PlaceQuery("h2", big, VenueFlatCPU)
+	if d3.Venue != VenueFlatCPU {
+		t.Fatalf("h2 incumbent setup: got %s", d3.Venue)
+	}
+	d4 := p.PlaceQuery("h2", big, VenueFlatCPU, VenueGPU)
+	if d4.Venue != VenueGPU {
+		t.Errorf("decisive challenger did not flip: got %s", d4.Venue)
+	}
+}
+
+// TestPlacementDeterministic: identical decision sequences produce
+// identical plans — the stress suite's placement-flapping invariant in
+// miniature.
+func TestPlacementDeterministic(t *testing.T) {
+	shapes := []QueryShape{
+		{NQ: 1, K: 10, Dim: 64, HotRows: 50000},
+		{NQ: 8, K: 100, Dim: 64, HotRows: 50000, Nlist: 128, Nprobe: 8},
+		{NQ: 1, K: 10, Dim: 64, HotRows: 50000, DeviceResidentFrac: 1},
+		{NQ: 64, K: 10, Dim: 64, MappedRows: 50000, Nlist: 128, Nprobe: 8},
+	}
+	run := func() []Venue {
+		p := testPlanner()
+		var out []Venue
+		for round := 0; round < 3; round++ {
+			for _, s := range shapes {
+				out = append(out, p.PlaceQuery("det", s, VenueFlatCPU, VenueIVFCPU, VenueGPU).Venue)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical runs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestObserveMispredict: only ratios beyond the 8x band above the noise
+// floor count as mispredictions.
+func TestObserveMispredict(t *testing.T) {
+	p := testPlanner()
+	d := Decision{Venue: VenueFlatCPU, Est: time.Millisecond}
+	p.Observe(d, time.Millisecond)     // exact: fine
+	p.Observe(d, 7*time.Millisecond)   // within 8x: fine
+	p.Observe(d, 100*time.Millisecond) // 100x: mispredict
+	p.Observe(d, time.Microsecond)     // 1/1000x: mispredict
+	// Tiny on both sides: noise-floored.
+	p.Observe(Decision{Venue: VenueFlatCPU, Est: time.Microsecond}, 40*time.Microsecond)
+	// The metrics are nil-registry handles; the assertions above are that
+	// none of these calls panic and the classification logic is exercised
+	// (counted classification is covered in the core metrics test).
+}
+
+// TestQueueBucketLoad: load shifts CPU costs only at bucket boundaries
+// and never affects the device legs.
+func TestQueueBucketLoad(t *testing.T) {
+	p := testPlanner()
+	s := QueryShape{NQ: 1, K: 10, Dim: 128, HotRows: 100000, Workers: 8}
+	idle := p.CostFlatCPU(s)
+	s.QueueDepth = 7 // < workers: bucket 1
+	b1 := p.CostFlatCPU(s)
+	if !(b1 > idle) {
+		t.Errorf("load did not raise CPU cost: %.0f <= %.0f", b1, idle)
+	}
+	s2 := s
+	s2.QueueDepth = 5 // same bucket
+	if got := p.CostFlatCPU(s2); got != b1 {
+		t.Errorf("same load bucket changed cost: %.0f != %.0f", got, b1)
+	}
+	g := QueryShape{NQ: 1, K: 10, Dim: 128, HotRows: 100000, Workers: 8}
+	gpuIdle := p.CostGPU(g)
+	g.QueueDepth = 100
+	if got := p.CostGPU(g); got != gpuIdle {
+		t.Errorf("pool load leaked into the GPU leg: %.0f != %.0f", got, gpuIdle)
+	}
+}
+
+// TestResidencyPenalty: mapped and cold rows raise CPU venue costs in
+// order hot < mapped < cold.
+func TestResidencyPenalty(t *testing.T) {
+	p := testPlanner()
+	hot := p.CostFlatCPU(QueryShape{NQ: 1, K: 10, Dim: 128, HotRows: 100000})
+	mapped := p.CostFlatCPU(QueryShape{NQ: 1, K: 10, Dim: 128, MappedRows: 100000})
+	cold := p.CostFlatCPU(QueryShape{NQ: 1, K: 10, Dim: 128, ColdRows: 100000})
+	if !(hot < mapped && mapped < cold) {
+		t.Errorf("residency ordering violated: hot=%.0f mapped=%.0f cold=%.0f", hot, mapped, cold)
+	}
+}

@@ -63,6 +63,13 @@ type Config struct {
 	// or quiesced.
 	FilterRate float64
 
+	// PlanCheck arms the query-planner mode (default off): searchers run
+	// traced searches and verify every one carries a plan= decision, and
+	// after quiesce the same workload is replayed back-to-back twice — on
+	// a drained system the two plan sequences must be identical (placement
+	// may only flap under queue-depth changes, which quiesce rules out).
+	PlanCheck bool
+
 	// RecallFloor is the minimum average recall@K vs. a brute-force scan
 	// over the surviving entities after quiesce (default 0.9).
 	RecallFloor float64
@@ -110,6 +117,7 @@ type Report struct {
 	IndexOps   int64 // manual index-build ops issued
 	Injected   int64 // faults injected by the store layer
 	Demoted    int64 // segments force-demoted by the spiller (Spill mode)
+	Planned    int64 // traced searches whose plan= annotation was verified (PlanCheck mode)
 	Tiered     int   // extent files under tier management at quiesce (Spill mode)
 	FinalCount int   // collection Count() after quiesce
 	Recall     float64
@@ -117,8 +125,8 @@ type Report struct {
 }
 
 func (r *Report) String() string {
-	return fmt.Sprintf("inserted=%d deleted=%d searches=%d filtered=%d cancelled=%d flushes=%d flushErrs=%d injected=%d demoted=%d tiered=%d final=%d recall=%.3f violations=%d",
-		r.Inserted, r.Deleted, r.Searches, r.Filtered, r.Cancelled, r.Flushes, r.FlushErrs, r.Injected, r.Demoted, r.Tiered, r.FinalCount, r.Recall, len(r.Violations))
+	return fmt.Sprintf("inserted=%d deleted=%d searches=%d filtered=%d cancelled=%d flushes=%d flushErrs=%d injected=%d demoted=%d planned=%d tiered=%d final=%d recall=%.3f violations=%d",
+		r.Inserted, r.Deleted, r.Searches, r.Filtered, r.Cancelled, r.Flushes, r.FlushErrs, r.Injected, r.Demoted, r.Planned, r.Tiered, r.FinalCount, r.Recall, len(r.Violations))
 }
 
 const (
@@ -138,7 +146,7 @@ type harness struct {
 	mu         sync.Mutex
 	violations []string
 
-	inserted, deleted, searches, filtered, cancelled, flushes, flushErrs, indexOps, demoted counter
+	inserted, deleted, searches, filtered, cancelled, flushes, flushErrs, indexOps, demoted, planned counter
 }
 
 type counter struct {
@@ -259,6 +267,7 @@ func Run(cfg Config) (*Report, error) {
 		FlushErrs: h.flushErrs.get(),
 		IndexOps:  h.indexOps.get(),
 		Demoted:   h.demoted.get(),
+		Planned:   h.planned.get(),
 	}
 	h.quiesce(states, rep)
 	if err := col.Close(); err != nil {
@@ -368,6 +377,8 @@ func (h *harness) searcher(s int) {
 				h.searchCancel(who, rng)
 			case h.cfg.FilterRate > 0 && rng.Float64() < h.cfg.FilterRate:
 				h.searchFiltered(who, rng)
+			case h.cfg.PlanCheck && rng.Intn(2) == 0:
+				h.searchPlanned(who, rng)
 			default:
 				h.search(who, rng.Int63())
 			}
@@ -446,6 +457,27 @@ func (h *harness) searchFiltered(who string, rng *rand.Rand) {
 			h.violate("%s: filtered search [%d,%d] returned id %d with attr %d", who, lo, hi, r.ID, a)
 		}
 	}
+}
+
+// searchPlanned runs one traced query mid-flight and verifies the planner
+// stamped its decision: every search trace must carry a plan= annotation,
+// even while writers are reshaping the collection (flushes, merges and
+// index builds change the shape the planner sees between any two calls).
+func (h *harness) searchPlanned(who string, rng *rand.Rand) {
+	query := VectorForID(rng.Int63()|1, h.cfg.Dim)
+	tr := obs.NewTrace("stress-plan")
+	res, err := h.col.Search(query, core.SearchOptions{K: h.cfg.K, Nprobe: 8, Trace: tr})
+	if err != nil {
+		h.violate("%s: planned search error: %v", who, err)
+		return
+	}
+	h.searches.add(1)
+	h.checkResults(who, query, res)
+	if choice, ok := tr.Summary().Attr("plan"); !ok || choice == "" {
+		h.violate("%s: search trace missing plan= annotation", who)
+		return
+	}
+	h.planned.add(1)
 }
 
 // searchCancel runs one query under a context that dies mid-flight: half of
@@ -639,6 +671,9 @@ func (h *harness) quiesce(states []*writerState, rep *Report) {
 	if h.cfg.FilterRate > 0 {
 		h.filteredQuiesceCheck(rng, live)
 	}
+	if h.cfg.PlanCheck {
+		h.planFlapCheck(rng)
+	}
 
 	// Snapshot refcount invariant: with all queries joined, only the current
 	// snapshot may be alive. A cancelled query that forgot to release its
@@ -817,6 +852,40 @@ func (h *harness) filteredQuiesceCheck(rng *rand.Rand, live []int64) {
 			if recall := float64(hit) / float64(len(want)); recall < h.cfg.RecallFloor {
 				h.violate("quiesce: filtered recall %.3f below floor %.3f on [%d,%d]", recall, h.cfg.RecallFloor, lo, hi)
 			}
+		}
+	}
+}
+
+// planFlapCheck replays one deterministic query workload twice against the
+// drained collection and compares the planner's decisions position by
+// position. With the system quiesced the planner's queue-depth input is
+// constant, so the two passes see identical shapes — any divergence is
+// placement flapping, exactly what the hysteresis margin exists to prevent.
+func (h *harness) planFlapCheck(rng *rand.Rand) {
+	const queries = 16
+	vecs := make([][]float32, queries)
+	ks := make([]int, queries)
+	for i := range vecs {
+		vecs[i] = VectorForID(rng.Int63()|1, h.cfg.Dim)
+		ks[i] = 1 + rng.Intn(h.cfg.K)
+	}
+	pass := func() []string {
+		plans := make([]string, 0, queries)
+		for i := range vecs {
+			tr := obs.NewTrace("stress-flap")
+			if _, err := h.col.Search(vecs[i], core.SearchOptions{K: ks[i], Nprobe: 8, Trace: tr}); err != nil {
+				h.violate("quiesce: flap-check search error: %v", err)
+				return nil
+			}
+			choice, _ := tr.Summary().Attr("plan")
+			plans = append(plans, choice)
+		}
+		return plans
+	}
+	first, second := pass(), pass()
+	for i := range first {
+		if i < len(second) && first[i] != second[i] {
+			h.violate("quiesce: placement flapped on identical workload: query %d planned %s then %s", i, first[i], second[i])
 		}
 	}
 }

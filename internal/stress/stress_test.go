@@ -14,8 +14,8 @@ var seedFlag = flag.Int64("seed", 1, "stress schedule seed")
 // ("cancel" arms the context-cancellation mode in TestStressCancel even
 // under -short; "filtered" does the same for the attribute-filtered mode in
 // TestStressFiltered; "spill" for the out-of-core demotion mode in
-// TestStressSpill).
-var faultsFlag = flag.String("faults", "", `extra fault mode ("cancel", "filtered", "spill")`)
+// TestStressSpill; "plan" for the query-planner mode in TestStressPlan).
+var faultsFlag = flag.String("faults", "", `extra fault mode ("cancel", "filtered", "spill", "plan")`)
 
 // TestScheduleDeterminism: the acceptance contract is that the same -seed
 // yields the same operation schedule. The hash covers op kinds, batch sizes
@@ -234,6 +234,40 @@ func TestStressSpill(t *testing.T) {
 	}
 }
 
+// TestStressPlan arms the query-planner mode: half the searcher queries
+// run traced and must carry a plan= decision while writers reshape the
+// collection under them (flushes, merges and index builds all change the
+// shape the planner prices). After quiesce the same 16-query workload is
+// replayed back-to-back twice; on a drained system the plan sequences must
+// be identical — any divergence is placement flapping, which the
+// hysteresis margin exists to prevent.
+func TestStressPlan(t *testing.T) {
+	if testing.Short() && *faultsFlag != "plan" {
+		t.Skip("stress run skipped in -short mode (force with -faults=plan)")
+	}
+	dur := 2200 * time.Millisecond
+	if testing.Short() {
+		dur = 500 * time.Millisecond
+	}
+	rep, err := Run(Config{
+		Seed:      *seedFlag,
+		Writers:   4,
+		Searchers: 4,
+		Duration:  dur,
+		PlanCheck: true,
+	})
+	t.Logf("plan: %s", rep)
+	if err != nil {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatal(err)
+	}
+	if rep.Planned == 0 {
+		t.Fatalf("no planned searches verified: %s", rep)
+	}
+}
+
 // TestStressSmoke is the fast path for plain `go test`: a short clean run
 // plus a short faulted run so every CI invocation exercises the harness.
 func TestStressSmoke(t *testing.T) {
@@ -247,6 +281,8 @@ func TestStressSmoke(t *testing.T) {
 			FilterRate: 0.5},
 		{Seed: *seedFlag, Writers: 2, Searchers: 2, Duration: 150 * time.Millisecond,
 			Spill: true, Faults: FaultConfig{FailRate: 0.1, DelayRate: 0.1}},
+		{Seed: *seedFlag, Writers: 2, Searchers: 2, Duration: 150 * time.Millisecond,
+			PlanCheck: true},
 	} {
 		rep, err := Run(cfg)
 		t.Logf("smoke: %s", rep)
