@@ -12,17 +12,22 @@
 //
 // Usage:
 //
-//	vectordblint [-C dir] [-run list] [-q] [packages...]
+//	vectordblint [-C dir] [-run list] [-q] [-json] [-stats] [packages...]
 //
 // packages default to ./...; -run selects a comma-separated subset of
-// analyzers; -list prints the suite.
+// analyzers; -list prints the suite; -json emits findings as one JSON
+// document on stdout (for CI archiving); -stats prints per-analyzer wall
+// time and call-graph size to stderr (or embeds them in the -json
+// document when both are given).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"vectordb/internal/lint"
@@ -32,12 +37,32 @@ func main() {
 	os.Exit(run())
 }
 
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonStats is the -json wire form of RunStats; nanoseconds are exact,
+// millis are for humans reading the archive.
+type jsonStats struct {
+	Packages      int              `json:"packages"`
+	Suppressed    int              `json:"suppressed"`
+	AnalyzerNanos map[string]int64 `json:"analyzer_nanos"`
+	CallGraph     map[string]int64 `json:"callgraph,omitempty"`
+}
+
 func run() int {
 	var (
-		dir    = flag.String("C", ".", "directory to resolve package patterns in (the module root)")
-		runSel = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
-		list   = flag.Bool("list", false, "list analyzers and exit")
-		quiet  = flag.Bool("q", false, "suppress the summary line, print findings only")
+		dir      = flag.String("C", ".", "directory to resolve package patterns in (the module root)")
+		runSel   = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		quiet    = flag.Bool("q", false, "suppress the summary line, print findings only")
+		jsonOut  = flag.Bool("json", false, "emit findings (and -stats when given) as JSON on stdout")
+		statsOut = flag.Bool("stats", false, "report per-analyzer wall time and call-graph size")
 	)
 	flag.Parse()
 
@@ -61,29 +86,93 @@ func run() int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	findings, err := lint.Run(*dir, patterns, analyzers)
+	findings, stats, err := lint.RunWithStats(*dir, patterns, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vectordblint: %v\n", err)
 		return 2
 	}
 	cwd, _ := os.Getwd()
-	for _, f := range findings {
-		name := f.Pos.Filename
+	relName := func(name string) string {
 		if cwd != "" {
 			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
+				return rel
 			}
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", name, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		return name
 	}
+
+	if *jsonOut {
+		doc := struct {
+			Findings []jsonFinding `json:"findings"`
+			Count    int           `json:"count"`
+			Stats    *jsonStats    `json:"stats,omitempty"`
+		}{Findings: []jsonFinding{}, Count: len(findings)}
+		for _, f := range findings {
+			doc.Findings = append(doc.Findings, jsonFinding{
+				File: relName(f.Pos.Filename), Line: f.Pos.Line, Col: f.Pos.Column,
+				Analyzer: f.Analyzer, Message: f.Message,
+			})
+		}
+		if *statsOut {
+			doc.Stats = &jsonStats{
+				Packages:      stats.Packages,
+				Suppressed:    stats.Suppressed,
+				AnalyzerNanos: stats.AnalyzerNanos,
+				CallGraph:     stats.Extra,
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "vectordblint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", relName(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		}
+		if *statsOut {
+			printStats(stats)
+		}
+	}
+
 	if len(findings) > 0 {
-		if !*quiet {
+		if !*quiet && !*jsonOut {
 			fmt.Fprintf(os.Stderr, "vectordblint: %d finding(s)\n", len(findings))
 		}
 		return 1
 	}
-	if !*quiet {
+	if !*quiet && !*jsonOut {
 		fmt.Fprintf(os.Stderr, "vectordblint: clean (%d analyzers)\n", len(analyzers))
 	}
 	return 0
+}
+
+// printStats renders the text -stats report on stderr, slowest first.
+func printStats(stats *lint.RunStats) {
+	fmt.Fprintf(os.Stderr, "vectordblint: %d package(s), %d suppressed finding(s)\n", stats.Packages, stats.Suppressed)
+	names := make([]string, 0, len(stats.AnalyzerNanos))
+	for n := range stats.AnalyzerNanos {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := stats.AnalyzerNanos[names[i]], stats.AnalyzerNanos[names[j]]
+		if a != b {
+			return a > b
+		}
+		return names[i] < names[j]
+	})
+	for _, n := range names {
+		fmt.Fprintf(os.Stderr, "  %-16s %8.2fms\n", n, float64(stats.AnalyzerNanos[n])/1e6)
+	}
+	if len(stats.Extra) > 0 {
+		keys := make([]string, 0, len(stats.Extra))
+		for k := range stats.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(os.Stderr, "  %-24s %d\n", k, stats.Extra[k])
+		}
+	}
 }

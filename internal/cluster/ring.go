@@ -117,13 +117,19 @@ func (r *Ring) Size() int {
 	return len(r.members)
 }
 
-// Clone returns an independent copy (coordinator replication).
+// Clone returns an independent copy (coordinator replication). State is
+// copied directly — not rebuilt through Add — so no second Ring lock is
+// taken while r.mu is held and members are not re-hashed and re-sorted.
 func (r *Ring) Clone() *Ring {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	c := NewRing(r.vnodes)
+	c.hashes = append(c.hashes, r.hashes...)
+	for h, n := range r.owner {
+		c.owner[h] = n
+	}
 	for m := range r.members {
-		c.Add(m)
+		c.members[m] = true
 	}
 	return c
 }

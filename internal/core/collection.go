@@ -176,8 +176,12 @@ type Collection struct {
 	indexWG    sync.WaitGroup
 	indexCh    chan *Segment
 	pendingIdx atomic.Int64
-	stopTimer  chan struct{}
-	closeOnce  sync.Once
+	// deferredBuilds holds segments whose index build must run on the
+	// current goroutine (SyncIndex, or async queue full) but outside the
+	// critical section; guarded by mu, drained via takeDeferredLocked.
+	deferredBuilds []*Segment
+	stopTimer      chan struct{}
+	closeOnce      sync.Once
 }
 
 // NewCollection creates a collection persisting segments to store.
@@ -342,7 +346,11 @@ func (c *Collection) Delete(ids []int64) error {
 // the size threshold is reached.
 func (c *Collection) applyRecord(r *wal.Record) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer func() {
+		builds := c.takeDeferredLocked()
+		c.mu.Unlock()
+		c.buildDeferred(builds)
+	}()
 	switch r.Type {
 	case wal.RecordInsert:
 		c.mem.entities = append(c.mem.entities, Entity{ID: r.ID, Vectors: r.Vectors, Attrs: r.Attrs, Cats: r.Cats})
@@ -380,7 +388,9 @@ func (c *Collection) flushTimer() {
 			if !c.mem.empty() {
 				c.flushLocked()
 			}
+			builds := c.takeDeferredLocked()
 			c.mu.Unlock()
+			c.buildDeferred(builds)
 		}
 	}
 }
@@ -392,11 +402,14 @@ func (c *Collection) flushTimer() {
 func (c *Collection) Flush() error {
 	c.log.Flush()
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	err := c.flushErr
 	if !c.mem.empty() {
-		return c.flushLocked()
+		err = c.flushLocked()
 	}
-	return c.flushErr
+	builds := c.takeDeferredLocked()
+	c.mu.Unlock()
+	c.buildDeferred(builds)
+	return err
 }
 
 // flushLocked seals the MemTable into a new immutable segment, merges the
@@ -448,7 +461,9 @@ func (c *Collection) flushLocked() error {
 	// Schedule only after install: the index builder drops segments that are
 	// no longer live, and the new segment becomes live with the snapshot.
 	if newSeg != nil {
-		c.scheduleIndex(newSeg)
+		if s := c.scheduleIndex(newSeg); s != nil {
+			c.deferredBuilds = append(c.deferredBuilds, s)
+		}
 	}
 	c.flushErr = nil
 	return c.mergeLocked()
@@ -500,21 +515,40 @@ func (c *Collection) buildSegment(rows []Entity) (*Segment, error) {
 	return seg, nil
 }
 
-// scheduleIndex queues (or synchronously performs) index building for
-// segments that cross the size threshold.
-func (c *Collection) scheduleIndex(seg *Segment) {
+// scheduleIndex queues index building for segments that cross the size
+// threshold. It never builds inline: in SyncIndex mode, or when the async
+// queue is full, the segment is returned for the caller to build once
+// c.mu is released — a kmeans training run must not sit inside the
+// collection's critical section, where it would starve every concurrent
+// read and write.
+func (c *Collection) scheduleIndex(seg *Segment) *Segment {
 	if seg.Rows() < c.cfg.IndexRows {
-		return
-	}
-	if c.cfg.SyncIndex {
-		c.buildSegmentIndexes(seg)
-		return
+		return nil
 	}
 	c.pendingIdx.Add(1)
-	select {
-	case c.indexCh <- seg:
-	default:
-		// Queue full: build inline rather than dropping the request.
+	if !c.cfg.SyncIndex {
+		select {
+		case c.indexCh <- seg:
+			return nil
+		default:
+			// Queue full: the caller builds rather than dropping the request.
+		}
+	}
+	return seg
+}
+
+// takeDeferredLocked hands back the segments whose index builds were
+// deferred out of the critical section. Caller holds c.mu and runs
+// buildDeferred on the result after releasing it.
+func (c *Collection) takeDeferredLocked() []*Segment {
+	b := c.deferredBuilds
+	c.deferredBuilds = nil
+	return b
+}
+
+// buildDeferred performs deferred index builds. Caller must NOT hold c.mu.
+func (c *Collection) buildDeferred(segs []*Segment) {
+	for _, seg := range segs {
 		c.buildSegmentIndexes(seg)
 		c.pendingIdx.Add(-1)
 	}

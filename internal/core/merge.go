@@ -64,7 +64,9 @@ func (c *Collection) mergeLocked() error {
 		c.snaps.release(sn)
 		c.snaps.install(next)
 		if merged != nil {
-			c.scheduleIndex(merged)
+			if s := c.scheduleIndex(merged); s != nil {
+				c.deferredBuilds = append(c.deferredBuilds, s)
+			}
 		}
 	}
 }

@@ -78,7 +78,11 @@ func RestoreCollection(name string, schema Schema, store objstore.Store, cfg Con
 	c.snaps.install(sn)
 	c.mu.Unlock()
 	for _, seg := range segs {
-		c.scheduleIndex(seg)
+		// No lock is held here, so inline builds run directly.
+		if s := c.scheduleIndex(seg); s != nil {
+			c.buildSegmentIndexes(s)
+			c.pendingIdx.Add(-1)
+		}
 	}
 	return c, nil
 }

@@ -2,8 +2,10 @@ package lint
 
 // Defaults returns a fresh instance of every shipped analyzer. Instances
 // carry per-run state (metricreg aggregates registration sites across
-// packages), so callers must not share a set between concurrent runs.
+// packages; the interprocedural trio share one call graph), so callers
+// must not share a set between concurrent runs.
 func Defaults() []*Analyzer {
+	ip := newInterp()
 	return []*Analyzer{
 		NewPoolFree(),
 		NewBlockPin(),
@@ -13,6 +15,9 @@ func Defaults() []*Analyzer {
 		NewAtomicMix(),
 		NewMetricReg(),
 		NewClockInject(),
+		NewLockOrder(ip),
+		NewLockDisciplineX(ip),
+		NewGoLeak(ip),
 	}
 }
 

@@ -1,0 +1,79 @@
+package lint
+
+// goleak checks that every goroutine spawned in non-test internal/*
+// packages has a bounded termination path. A spawn is accepted when the
+// spawned function (transitively, through the call graph):
+//
+//   - observes a termination signal — selects/receives on ctx.Done(), a
+//     done-ish channel (done/stop/quit/close/exit), a comma-ok receive,
+//     or ranges over a channel (ends on close); or
+//   - contains no unbounded loop (`for` without a condition) anywhere on
+//     its call paths — straight-line bodies terminate by construction; or
+//   - is joined via a sync.WaitGroup whose Wait is reachable somewhere in
+//     the module (the body Done()s a WaitGroup the module Wait()s on).
+//
+// Spawns of function values the analysis cannot resolve are skipped
+// (bounded treatment); intentional daemons carry //lint:allow goleak with
+// a reason.
+type goLeak struct {
+	ip *interp
+}
+
+// NewGoLeak returns the goroutine-leak analyzer sharing ip's call graph.
+func NewGoLeak(ip *interp) *Analyzer {
+	gl := &goLeak{ip: ip}
+	return &Analyzer{
+		Name:   "goleak",
+		Doc:    "require a bounded termination path (ctx/done signal, finite body, or WaitGroup join) for every goroutine spawned under internal/",
+		Run:    func(pass *Pass) { gl.ip.visit(pass) },
+		Finish: gl.finish,
+	}
+}
+
+func (gl *goLeak) finish(report reportFunc) {
+	ip := gl.ip
+	ip.finish()
+	for _, key := range ip.order {
+		s := ip.funcs[key]
+		if !inInternal(s.pkg) {
+			continue
+		}
+		for _, sp := range s.spawns {
+			if sp.callee == "" {
+				continue // unresolved function value: bounded treatment
+			}
+			cs, ok := ip.funcs[sp.callee]
+			if !ok {
+				continue // spawned function outside the loaded module
+			}
+			if cs.doneReach || cs.loopW == nil || wgJoined(ip, cs) {
+				continue
+			}
+			w := cs.loopW
+			report(sp.pos, "goroutine leak: %s has an %s (%s:%d) but never observes ctx.Done/a done channel and is not joined by a waited WaitGroup", sp.disp, w.what, w.pos.Filename, w.pos.Line)
+		}
+	}
+}
+
+// wgJoined reports whether the spawned function Done()s a WaitGroup the
+// module Wait()s on somewhere — directly or through its callees.
+func wgJoined(ip *interp, s *funcSummary) bool {
+	seen := map[string]bool{s.key: true}
+	stack := []*funcSummary{s}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range cur.wgDones {
+			if ip.wgWaited[w] {
+				return true
+			}
+		}
+		for _, c := range cur.calls {
+			if cs, ok := ip.funcs[c.callee]; ok && !seen[c.callee] {
+				seen[c.callee] = true
+				stack = append(stack, cs)
+			}
+		}
+	}
+	return false
+}

@@ -29,6 +29,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one reported violation.
@@ -53,8 +54,16 @@ type Analyzer struct {
 	Doc  string
 	Run  func(*Pass)
 	// Finish reports module-wide findings after all packages ran.
-	Finish func(report func(pos token.Position, format string, args ...any))
+	Finish reportFuncConsumer
+	// Stats, when set, contributes analyzer-specific counters (call-graph
+	// size and the like) to RunStats.Extra after Finish has run.
+	Stats func(put func(name string, v int64))
 }
+
+// reportFunc is the reporting callback handed to Finish phases.
+type reportFunc = func(pos token.Position, format string, args ...any)
+
+type reportFuncConsumer = func(report reportFunc)
 
 // Pass hands one type-checked package to an analyzer.
 type Pass struct {
@@ -82,11 +91,17 @@ type Runner struct {
 	suppressed int
 	// allow maps filename -> line -> analyzer names allowed there.
 	allow map[string]map[int]map[string]bool
+	// nanos accumulates per-analyzer wall time across Run and Finish.
+	nanos map[string]int64
 }
 
 // NewRunner returns a runner over the given analyzers.
 func NewRunner(analyzers []*Analyzer) *Runner {
-	return &Runner{Analyzers: analyzers, allow: map[string]map[int]map[string]bool{}}
+	return &Runner{
+		Analyzers: analyzers,
+		allow:     map[string]map[int]map[string]bool{},
+		nanos:     map[string]int64{},
+	}
 }
 
 // report records a finding unless an allow pragma covers it. Pragmas are
@@ -146,6 +161,7 @@ func (r *Runner) RunPackage(pkg *LoadedPackage) {
 		if a.Run == nil {
 			continue
 		}
+		start := time.Now()
 		a.Run(&Pass{
 			Analyzer: a,
 			Fset:     pkg.Fset,
@@ -155,6 +171,7 @@ func (r *Runner) RunPackage(pkg *LoadedPackage) {
 			PkgPath:  pkg.ImportPath,
 			runner:   r,
 		})
+		r.nanos[a.Name] += time.Since(start).Nanoseconds()
 	}
 }
 
@@ -165,9 +182,11 @@ func (r *Runner) Finish() {
 			continue
 		}
 		name := a.Name
+		start := time.Now()
 		a.Finish(func(pos token.Position, format string, args ...any) {
 			r.report(pos, name, fmt.Sprintf(format, args...))
 		})
+		r.nanos[name] += time.Since(start).Nanoseconds()
 	}
 }
 
@@ -214,18 +233,45 @@ func (r *Runner) collectPragmas(fset *token.FileSet, f *ast.File, known map[stri
 	}
 }
 
+// RunStats describes one run for the driver's -stats flag: package count,
+// per-analyzer wall time, analyzer-contributed counters (call-graph size),
+// and how many findings allow pragmas suppressed.
+type RunStats struct {
+	Packages      int
+	AnalyzerNanos map[string]int64
+	Extra         map[string]int64
+	Suppressed    int
+}
+
 // Run is the one-call entry point used by cmd/vectordblint and the tests:
 // load patterns relative to dir, run analyzers over every loaded package,
 // then the cross-package Finish phase.
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	findings, _, err := RunWithStats(dir, patterns, analyzers)
+	return findings, err
+}
+
+// RunWithStats is Run plus per-analyzer timing and size counters.
+func RunWithStats(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, *RunStats, error) {
 	prog, err := Load(dir, patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	r := NewRunner(analyzers)
 	for _, pkg := range prog.Packages {
 		r.RunPackage(pkg)
 	}
 	r.Finish()
-	return r.Findings(), nil
+	stats := &RunStats{
+		Packages:      len(prog.Packages),
+		AnalyzerNanos: r.nanos,
+		Extra:         map[string]int64{},
+		Suppressed:    r.suppressed,
+	}
+	for _, a := range analyzers {
+		if a.Stats != nil {
+			a.Stats(func(name string, v int64) { stats.Extra[name] = v })
+		}
+	}
+	return r.Findings(), stats, nil
 }

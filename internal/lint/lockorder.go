@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// lockorder builds the module-wide lock-order graph — an edge A→B whenever
+// some execution path acquires lock class B while holding class A, whether
+// the two acquisitions sit in one function or at opposite ends of a call
+// chain — and reports every cycle as a potential deadlock, printing the
+// full acquisition chain. Lock classes abstract over instances: all values
+// of field DB.mu are one node, which is exactly the granularity at which
+// an AB/BA inversion between two goroutines deadlocks.
+type lockOrder struct {
+	ip *interp
+}
+
+// NewLockOrder returns the lockorder analyzer sharing ip's call graph.
+func NewLockOrder(ip *interp) *Analyzer {
+	lo := &lockOrder{ip: ip}
+	return &Analyzer{
+		Name:   "lockorder",
+		Doc:    "detect lock-order cycles (potential deadlocks) across the whole module via the interprocedural lock graph",
+		Run:    func(pass *Pass) { lo.ip.visit(pass) },
+		Finish: lo.finish,
+		Stats:  ip.graphStats,
+	}
+}
+
+func (lo *lockOrder) finish(report reportFunc) {
+	ip := lo.ip
+	ip.finish()
+	for _, scc := range lockSCCs(ip.lockGraph) {
+		inSCC := map[string]bool{}
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		start := scc[0]
+		for _, n := range scc[1:] {
+			if ip.lockDisp[n] < ip.lockDisp[start] {
+				start = n
+			}
+		}
+		cycle := findLockCycle(ip.lockGraph, inSCC, start)
+		if cycle == nil {
+			continue // singleton SCC without a self-loop: acyclic
+		}
+		seq := ip.lockDisp[start]
+		var details []string
+		for _, e := range cycle {
+			seq += " → " + ip.lockDisp[e.to]
+			d := fmt.Sprintf("%s→%s in %s", e.fromDisp, e.toDisp, e.funcDisp)
+			if len(e.chain) > 0 {
+				d += " via " + strings.Join(e.chain, " → ")
+			}
+			details = append(details, d)
+		}
+		report(cycle[0].pos, "potential deadlock: lock-order cycle %s (%s)", seq, strings.Join(details, "; "))
+	}
+}
+
+// findLockCycle walks the lock graph from start back to start, restricted
+// to one strongly connected component; in an SCC every node lies on such a
+// cycle, so this always succeeds for SCCs of size ≥ 2 and for self-loops.
+func findLockCycle(graph map[string][]lockEdge, inSCC map[string]bool, start string) []lockEdge {
+	var path []lockEdge
+	visited := map[string]bool{start: true}
+	var dfs func(n string) bool
+	dfs = func(n string) bool {
+		for _, e := range graph[n] {
+			if !inSCC[e.to] {
+				continue
+			}
+			if e.to == start {
+				path = append(path, e)
+				return true
+			}
+			if visited[e.to] {
+				continue
+			}
+			visited[e.to] = true
+			path = append(path, e)
+			if dfs(e.to) {
+				return true
+			}
+			path = path[:len(path)-1]
+		}
+		return false
+	}
+	if dfs(start) {
+		return path
+	}
+	return nil
+}
+
+// lockSCCs condenses the lock graph into strongly connected components,
+// returned sorted by their smallest member for deterministic reporting.
+func lockSCCs(graph map[string][]lockEdge) [][]string {
+	nodes := make([]string, 0, len(graph))
+	seen := map[string]bool{}
+	addNode := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	keys := make([]string, 0, len(graph))
+	for k := range graph {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		addNode(k)
+		for _, e := range graph[k] {
+			addNode(e.to)
+		}
+	}
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+	var strong func(n string)
+	strong = func(n string) {
+		index[n] = next
+		low[n] = next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, e := range graph[n] {
+			if _, ok := index[e.to]; !ok {
+				strong(e.to)
+				if low[e.to] < low[n] {
+					low[n] = low[e.to]
+				}
+			} else if onStack[e.to] && index[e.to] < low[n] {
+				low[n] = index[e.to]
+			}
+		}
+		if low[n] == index[n] {
+			var scc []string
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				scc = append(scc, m)
+				if m == n {
+					break
+				}
+			}
+			sort.Strings(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, n := range nodes {
+		if _, ok := index[n]; !ok {
+			strong(n)
+		}
+	}
+	sort.Slice(sccs, func(i, j int) bool { return sccs[i][0] < sccs[j][0] })
+	return sccs
+}

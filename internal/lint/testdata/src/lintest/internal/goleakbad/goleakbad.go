@@ -1,0 +1,119 @@
+// Package goleakbad seeds goleak violations — goroutines with no bounded
+// termination path — alongside every accepted shape: ctx.Done selection,
+// done-channel selection, range-over-channel, WaitGroup fork-join,
+// loop-free bodies, and the documented-daemon pragma.
+package goleakbad
+
+import (
+	"context"
+	"sync"
+)
+
+// W owns the channels the spawned goroutines drain.
+type W struct {
+	ch   chan int
+	done chan struct{}
+	n    int
+}
+
+// loop spins forever with no termination signal.
+func (w *W) loop() {
+	for {
+		w.n++
+	}
+}
+
+// start hides the unbounded loop behind one call of indirection.
+func (w *W) start() {
+	w.n = 0
+	w.loop()
+}
+
+// BadDirect spawns the unbounded loop directly.
+func (w *W) BadDirect() {
+	go w.loop() // want goleak "goroutine leak: goleakbad.W.loop has an unbounded for-loop"
+}
+
+// BadIndirect leaks through one call of indirection: start itself has no
+// loop, only the module-wide closure sees the loop it reaches.
+func (w *W) BadIndirect() {
+	go w.start() // want goleak "goroutine leak: goleakbad.W.start has an unbounded for-loop"
+}
+
+// BadLit leaks an anonymous daemon.
+func (w *W) BadLit() {
+	go func() { // want goleak "has an unbounded for-loop"
+		for {
+			w.n++
+		}
+	}()
+}
+
+// GoodCtx terminates when the context is cancelled: no finding.
+func (w *W) GoodCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-w.ch:
+				w.n += v
+			}
+		}
+	}()
+}
+
+// GoodDone terminates on the done channel: no finding.
+func (w *W) GoodDone() {
+	go func() {
+		for {
+			select {
+			case <-w.done:
+				return
+			case v := <-w.ch:
+				w.n += v
+			}
+		}
+	}()
+}
+
+// GoodRange drains until the channel closes: no finding.
+func (w *W) GoodRange() {
+	go func() {
+		for v := range w.ch {
+			w.n += v
+		}
+	}()
+}
+
+// GoodJoined is a fork-join: the worker Done()s a WaitGroup this
+// function Wait()s on, so the spawn is bounded by the join.
+func (w *W) GoodJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			if w.n > 10 {
+				return
+			}
+			w.n++
+		}
+	}()
+	wg.Wait()
+}
+
+// GoodBounded terminates by construction — no unbounded loop anywhere.
+func (w *W) GoodBounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			w.n++
+		}
+	}()
+}
+
+// Daemon is an intentional forever-goroutine, documented via pragma.
+func (w *W) Daemon() {
+	//lint:allow goleak fixture daemon: runs for the process lifetime by design
+	go w.loop()
+}

@@ -1,0 +1,45 @@
+// Package pkga is the other half of the cross-package lock-order cycle
+// fixture: Forward acquires A.mu → B.Mu, Backward acquires B.Mu → A.mu,
+// each through one call of indirection. Neither package alone contains a
+// cycle; only the module-wide lock graph does.
+package pkga
+
+import (
+	"sync"
+
+	"lintest.example/internal/locks/pkgb"
+)
+
+// A owns lock class A.mu.
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (a *A) take() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n++
+}
+
+// Forward holds A.mu while Grab acquires B.Mu.
+func (a *A) Forward(b *pkgb.B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.Grab() // want lockorder "lock-order cycle A.mu → B.Mu → A.mu"
+}
+
+// Backward holds B.Mu while take acquires A.mu — the inversion.
+func (a *A) Backward(b *pkgb.B) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	a.take()
+}
+
+// Consistent takes A.mu then B.Mu in the same order as Forward — an edge
+// the graph already has, so no new cycle and no finding here.
+func (a *A) Consistent(b *pkgb.B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.Grab()
+}

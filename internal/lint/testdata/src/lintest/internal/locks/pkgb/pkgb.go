@@ -1,0 +1,51 @@
+// Package pkgb is half of the cross-package lock-order cycle fixture:
+// it owns lock class B.Mu (and the self-inversion fixture S), while the
+// inverted acquisition orders live in pkgb's importer, pkga — so the
+// cycle is invisible to any per-package pass and only the module-wide
+// lockorder graph can see it.
+package pkgb
+
+import "sync"
+
+// B exposes its mutex so the importing package can take it directly.
+type B struct {
+	Mu sync.Mutex
+	n  int
+}
+
+// Grab acquires B.Mu (one edge endpoint when called under another lock).
+func (b *B) Grab() {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	b.n++
+}
+
+// S seeds the same-class self-inversion: one instance's method acquires
+// another instance's lock of the same class while holding its own.
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) inner() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// Outer holds s.mu while taking o.mu through inner — class S.mu twice,
+// a deadlock when two goroutines run Outer(each other's S).
+func (s *S) Outer(o *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o.inner() // want lockorder "lock-order cycle S.mu → S.mu"
+}
+
+// Disjoint takes only its own lock before a lock-free helper: no finding.
+func (s *S) Disjoint() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n = plain(s.n)
+}
+
+func plain(n int) int { return n + 1 }
